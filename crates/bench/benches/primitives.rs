@@ -1,0 +1,79 @@
+//! Criterion bench: the Table 1 primitives in isolation —
+//! `tw_set_trap` / `tw_clear_trap` over ranges, `tw_register_page` /
+//! `tw_remove_page`, and the ECC diagnostic path they model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use tapeworm_core::{CacheConfig, Tapeworm};
+use tapeworm_mem::{EccMemory, Pfn, PhysAddr, TrapMap};
+use tapeworm_os::Tid;
+use tapeworm_stats::SeedSeq;
+
+const PAGE: u64 = 4096;
+
+fn bench_trap_ranges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tw_set_clear_trap");
+    for size in [16u64, 256, PAGE] {
+        group.throughput(Throughput::Bytes(size));
+        group.bench_function(format!("{size}B"), |b| {
+            let mut traps = TrapMap::new(1 << 22, 16);
+            b.iter(|| {
+                traps.set_range(black_box(PhysAddr::new(0x1000)), size);
+                traps.clear_range(black_box(PhysAddr::new(0x1000)), size);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_register_remove(c: &mut Criterion) {
+    c.bench_function("tw_register_remove_page", |b| {
+        b.iter_batched_ref(
+            || {
+                let cfg = CacheConfig::new(16 * 1024, 16, 1).expect("valid");
+                (
+                    Tapeworm::new(cfg, PAGE, SeedSeq::new(1)),
+                    TrapMap::new(1 << 22, 16),
+                )
+            },
+            |(tw, traps)| {
+                for p in 0..16u64 {
+                    tw.tw_register_page(traps, Tid::new(1), Pfn::new(p), p);
+                }
+                for p in 0..16u64 {
+                    tw.tw_remove_page(traps, Tid::new(1), Pfn::new(p), p);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_ecc_reference_model(c: &mut Criterion) {
+    // The exact ECC path: what a trap set/clear costs when every check
+    // bit is real (the diagnostic-ASIC route of §4.3).
+    let mut mem = EccMemory::new(1 << 16);
+    c.bench_function("ecc_set_clear_trap_line", |b| {
+        b.iter(|| {
+            mem.set_trap(black_box(PhysAddr::new(0x100)), 16).expect("in range");
+            mem.clear_trap(black_box(PhysAddr::new(0x100)), 16).expect("in range");
+        });
+    });
+    c.bench_function("ecc_read_word", |b| {
+        b.iter(|| black_box(mem.read_word(black_box(PhysAddr::new(0x100)))));
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_trap_ranges, bench_register_remove, bench_ecc_reference_model
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench: `tw_replace` across geometries — the component the
+//! paper says grows "slightly" with associativity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tapeworm_core::{CacheConfig, Replacement, SimCache};
+use tapeworm_mem::{PhysAddr, VirtAddr};
+use tapeworm_os::Tid;
+use tapeworm_stats::SeedSeq;
+
+fn bench_replace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tw_replace");
+    for (label, ways, repl) in [
+        ("dm_fifo", 1u32, Replacement::Fifo),
+        ("2way_fifo", 2, Replacement::Fifo),
+        ("4way_fifo", 4, Replacement::Fifo),
+        ("4way_random", 4, Replacement::Random),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched_ref(
+                || {
+                    let cfg = CacheConfig::new(4096, 16, ways)
+                        .expect("valid")
+                        .with_replacement(repl);
+                    SimCache::new(cfg, SeedSeq::new(1))
+                },
+                |cache| {
+                    // Conflict-heavy insertion stream.
+                    for i in 0..512u64 {
+                        let a = (i * 4096 + (i % 8) * 16) % (1 << 20);
+                        black_box(cache.insert(
+                            Tid::new(1),
+                            VirtAddr::new(a),
+                            PhysAddr::new(a),
+                        ));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_page_flush(c: &mut Criterion) {
+    c.bench_function("flush_physical_page", |b| {
+        b.iter_batched_ref(
+            || {
+                let cfg = CacheConfig::new(64 * 1024, 16, 1).expect("valid");
+                let mut cache = SimCache::new(cfg, SeedSeq::new(1));
+                for i in 0..4096u64 {
+                    cache.insert(
+                        Tid::new(1),
+                        VirtAddr::new(i * 16),
+                        PhysAddr::new(i * 16),
+                    );
+                }
+                cache
+            },
+            |cache| black_box(cache.flush_physical_page(PhysAddr::new(0), 4096)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_replace, bench_page_flush
+}
+criterion_main!(benches);

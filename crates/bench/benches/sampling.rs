@@ -1,0 +1,63 @@
+//! Criterion bench: hardware set-sample registration versus software
+//! trace filtering — the §3.2 cost asymmetry.
+//!
+//! Tapeworm obtains a sample by *setting fewer traps* at registration
+//! (cost proportional to the sample); a trace-driven simulator must
+//! re-scan the full trace for every new sample.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tapeworm_core::{CacheConfig, SetSample, Tapeworm};
+use tapeworm_mem::{Pfn, TrapMap};
+use tapeworm_os::Tid;
+use tapeworm_stats::SeedSeq;
+use tapeworm_trace::{Pixie, SetSampleFilter};
+use tapeworm_workload::Workload;
+
+fn bench_trap_side_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampled_registration");
+    for den in [1u64, 8] {
+        group.bench_function(format!("1/{den}"), |b| {
+            b.iter_batched_ref(
+                || TrapMap::new(1 << 22, 16),
+                |traps| {
+                    let cfg = CacheConfig::new(16 * 1024, 16, 1).expect("valid");
+                    let mut tw = Tapeworm::new(cfg, 4096, SeedSeq::new(1))
+                        .with_sampling(SetSample::new(den, SeedSeq::new(2)));
+                    for p in 0..64u64 {
+                        black_box(tw.tw_register_page(traps, Tid::new(1), Pfn::new(p), p));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_side_filtering(c: &mut Criterion) {
+    let trace = Pixie::annotate(Workload::Espresso, 50_000, SeedSeq::new(1))
+        .expect("espresso is single-task");
+    c.bench_function("trace_filter_full_rescan", |b| {
+        b.iter(|| {
+            // A new sample requires re-processing the whole trace.
+            let filter =
+                SetSampleFilter::new(SetSample::new(8, SeedSeq::new(3)), 1024, 16);
+            black_box(filter.filter(&trace))
+        });
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_trap_side_sampling, bench_trace_side_filtering
+}
+criterion_main!(benches);

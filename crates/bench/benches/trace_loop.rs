@@ -1,0 +1,74 @@
+//! Criterion bench: the trace-driven core loop (Figure 1, left side).
+//!
+//! Every address pays search; the per-address cost is what makes
+//! trace-driven simulation ~20x slower regardless of cache size.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tapeworm_mem::VirtAddr;
+use tapeworm_stats::SeedSeq;
+use tapeworm_trace::{Cache2000, Cache2000Config, Pixie, StackDistance, TracePolicy};
+use tapeworm_workload::Workload;
+
+fn bench_cache2000(c: &mut Criterion) {
+    let trace = Pixie::annotate(Workload::Espresso, 100_000, SeedSeq::new(1))
+        .expect("espresso is single-task");
+    let addrs: Vec<VirtAddr> = trace.iter().collect();
+
+    let mut group = c.benchmark_group("cache2000");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for (label, policy) in [("lru", TracePolicy::Lru), ("fifo", TracePolicy::Fifo)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = Cache2000Config::with_geometry(4096, 16, 2);
+                cfg.policy = policy;
+                let mut sim = Cache2000::new(cfg);
+                for &va in &addrs {
+                    black_box(sim.reference(va));
+                }
+                black_box(sim.misses())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_encoding(c: &mut Criterion) {
+    let trace = Pixie::annotate(Workload::MpegPlay, 100_000, SeedSeq::new(2))
+        .expect("mpeg_play is single-task");
+    c.bench_function("trace_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = trace.to_bytes();
+            black_box(tapeworm_trace::Trace::from_bytes(&bytes).expect("roundtrip"))
+        });
+    });
+}
+
+fn bench_stack_distance(c: &mut Criterion) {
+    let trace = Pixie::annotate(Workload::Espresso, 20_000, SeedSeq::new(3))
+        .expect("espresso is single-task");
+    let addrs: Vec<VirtAddr> = trace.iter().collect();
+    c.bench_function("stack_distance_pass", |b| {
+        b.iter(|| {
+            let mut s = StackDistance::new(16);
+            for &va in &addrs {
+                s.reference(va);
+            }
+            black_box(s.misses_for_capacity(256))
+        });
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_cache2000, bench_trace_encoding, bench_stack_distance
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: the Tapeworm miss handler (Table 5's 246-cycle
+//! budget, here in wall-clock nanoseconds of the reproduction).
+//!
+//! Measures the full miss path — count, clear trap, replace, re-trap —
+//! for direct-mapped and associative geometries, plus the hit path
+//! (one trap-map probe), whose cheapness is the whole point.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tapeworm_core::{CacheConfig, Tapeworm};
+use tapeworm_machine::Component;
+use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+use tapeworm_os::Tid;
+use tapeworm_stats::SeedSeq;
+
+const PAGE: u64 = 4096;
+const MEM: u64 = 1 << 22;
+
+fn setup(ways: u32) -> (Tapeworm, TrapMap) {
+    let cfg = CacheConfig::new(4096, 16, ways).expect("valid");
+    let mut tw = Tapeworm::new(cfg, PAGE, SeedSeq::new(1));
+    let mut traps = TrapMap::new(MEM, 16);
+    for p in 0..64 {
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(p), p);
+    }
+    (tw, traps)
+}
+
+fn bench_miss_handler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miss_handler");
+    for ways in [1u32, 2, 4] {
+        group.bench_function(format!("{ways}-way"), |b| {
+            b.iter_batched_ref(
+                || setup(ways),
+                |(tw, traps)| {
+                    // Stream of conflicting lines: every access misses.
+                    for i in 0..256u64 {
+                        let pa = PhysAddr::new((i * 4096 + (i % 16) * 16) % (64 * PAGE));
+                        if traps.is_trapped(pa) {
+                            black_box(tw.handle_miss(
+                                traps,
+                                Component::User,
+                                Tid::new(1),
+                                VirtAddr::new(pa.raw()),
+                                pa,
+                            ));
+                        }
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let (mut tw, mut traps) = setup(1);
+    // Cache one line; probe it forever: the full-hardware-speed path.
+    let pa = PhysAddr::new(0);
+    tw.handle_miss(&mut traps, Component::User, Tid::new(1), VirtAddr::new(0), pa);
+    c.bench_function("hit_path_probe", |b| {
+        b.iter(|| black_box(traps.is_trapped(black_box(pa))));
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_miss_handler, bench_hit_path
+}
+criterion_main!(benches);

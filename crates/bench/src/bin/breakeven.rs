@@ -1,0 +1,55 @@
+//! §4.1: the trap- vs trace-driven break-even analysis.
+//!
+//! "This suggests a rough break-even ratio of 4 hits to 1 miss before
+//! Tapeworm becomes slower than Cache2000." We sweep the miss ratio
+//! and report each approach's cycles per reference, for all three cost
+//! models.
+
+use tapeworm_bench::dm4;
+use tapeworm_core::CostModel;
+use tapeworm_sim::compare::{breakeven_cycles, breakeven_miss_ratio};
+use tapeworm_stats::table::Table;
+
+fn main() {
+    let cfg = dm4(4);
+    let trap = CostModel::optimized().cycles_per_miss(&cfg);
+    let trace = 53u64;
+
+    let mut t = Table::new(
+        [
+            "Miss ratio",
+            "Trap-driven cyc/ref",
+            "Trace-driven cyc/ref",
+            "Winner",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    t.numeric().title(format!(
+        "Break-even sweep ({trap} cycles/miss vs {trace} cycles/address)"
+    ));
+    for miss_pct in [1u32, 2, 5, 10, 15, 20, 22, 25, 30, 40] {
+        let ratio = f64::from(miss_pct) / 100.0;
+        let (trap_c, trace_c) = breakeven_cycles(1, ratio, trap, trace);
+        t.row(vec![
+            format!("{miss_pct}%"),
+            format!("{trap_c:.1}"),
+            format!("{trace_c:.1}"),
+            if trap_c < trace_c { "trap" } else { "trace" }.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Break-even miss ratio: {:.3} (≈ {:.1} hits per miss; paper: ~4:1)",
+        breakeven_miss_ratio(trap, trace),
+        1.0 / breakeven_miss_ratio(trap, trace) - 1.0,
+    );
+    println!(
+        "With hardware-assisted traps ({} cycles/miss) break-even moves to {:.2};\n\
+         with the unoptimized C handler ({} cycles) it moves to {:.3}.",
+        CostModel::hardware_assisted().cycles_per_miss(&cfg),
+        breakeven_miss_ratio(CostModel::hardware_assisted().cycles_per_miss(&cfg), trace),
+        CostModel::unoptimized_c().cycles_per_miss(&cfg),
+        breakeven_miss_ratio(CostModel::unoptimized_c().cycles_per_miss(&cfg), trace),
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 4: measurement error due to time dilation.
+//!
+//! mpeg_play including all system activity, 4K direct-mapped
+//! physically-addressed I-cache with 4-word lines. "Time dilation was
+//! varied by changing the degree of sampling" — heavier sampling means
+//! less slowdown, fewer extra clock interrupts, and fewer
+//! interrupt-induced conflict misses. The paper's curve: error grows
+//! steeply from slowdowns 0–2 and levels off (14.4% at slowdown 9.29).
+
+use tapeworm_bench::{base_seed, dm4, scale};
+use tapeworm_sim::{run_trial, SystemConfig};
+use tapeworm_stats::table::Table;
+use tapeworm_stats::SeedSeq;
+use tapeworm_workload::Workload;
+
+/// Paper reference rows: (slowdown, misses ×10⁶, increase %).
+const PAPER: [(f64, f64, f64); 5] = [
+    (0.43, 90.56, 0.0),
+    (0.96, 91.54, 1.2),
+    (2.08, 95.70, 5.7),
+    (4.42, 99.66, 10.1),
+    (9.29, 103.57, 14.4),
+];
+
+fn main() {
+    let base = base_seed();
+    let scale = scale();
+
+    // Baseline: no dilation at all (overhead does not advance the
+    // clock) — the "true" miss count.
+    let undilated_cfg = {
+        let mut c = SystemConfig::cache(Workload::MpegPlay, dm4(4)).with_scale(scale);
+        c.dilate = false;
+        c
+    };
+    // Average a few trials for a stable baseline.
+    let baseline: f64 = (0..4)
+        .map(|i| {
+            run_trial(&undilated_cfg, base, SeedSeq::new(40 + i)).total_misses()
+        })
+        .sum::<f64>()
+        / 4.0;
+
+    let mut t = Table::new(
+        ["Dilation (slowdown)", "Misses (x10^6 est.)", "Increase %", "paper row"]
+            .map(String::from)
+            .to_vec(),
+    );
+    t.numeric().title(format!(
+        "Figure 4: error due to time dilation (mpeg_play, all activity, 4K DM, scale 1/{scale})"
+    ));
+
+    for (i, den) in [16u64, 8, 4, 2, 1].into_iter().enumerate() {
+        let cfg = SystemConfig::cache(Workload::MpegPlay, dm4(4))
+            .with_scale(scale)
+            .with_sampling(den);
+        // Average over trials to smooth sampling noise.
+        let trials = if den > 1 { 6 } else { 2 };
+        let (mut misses, mut slow) = (0.0, 0.0);
+        for k in 0..trials {
+            let r = run_trial(&cfg, base, SeedSeq::new(100 + k));
+            misses += r.total_misses();
+            slow += r.slowdown();
+        }
+        misses /= trials as f64;
+        slow /= trials as f64;
+        let increase = 100.0 * (misses - baseline) / baseline;
+        let (p_slow, p_misses, p_inc) = PAPER[i];
+        t.row(vec![
+            format!("{slow:.2}"),
+            format!("{:.2}", misses / 1.0e6),
+            format!("{increase:.1}%"),
+            format!("({p_slow:.2} -> {p_misses:.2}M, {p_inc:.1}%)"),
+        ]);
+    }
+    println!("{t}");
+    println!("Baseline (undilated) misses: {:.2}M", baseline / 1.0e6);
+}

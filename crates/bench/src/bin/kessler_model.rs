@@ -1,0 +1,68 @@
+//! Kessler's conflict model vs. measured Table 9 variance.
+//!
+//! The paper explains Table 9's variance-vs-cache-size structure with
+//! Kessler's probabilistic page-conflict model. This binary prints the
+//! model's predictions (expected colliding page pairs, collision
+//! probability) next to the measured physically-indexed miss spread
+//! for mpeg_play, so the correspondence the paper asserts can be seen
+//! directly.
+
+use tapeworm_bench::{base_seed, dm4, paper_millions, scale, threads};
+use tapeworm_sim::kessler::{collision_probability, expected_colliding_pairs};
+use tapeworm_sim::{run_trial, ComponentSet, SystemConfig};
+use tapeworm_stats::table::Table;
+use tapeworm_stats::trials::run_trials_parallel;
+use tapeworm_workload::Workload;
+
+const TRIALS: usize = 6;
+
+fn main() {
+    let base = base_seed();
+    let scale = scale();
+    let footprint = Workload::MpegPlay.spec().user_stream.footprint_bytes;
+    let pages = footprint / 4096;
+
+    let mut t = Table::new(
+        [
+            "Cache",
+            "slots",
+            "E[colliding pairs]",
+            "P(any conflict)",
+            "measured s (x10^6)",
+            "measured s%",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    t.numeric().title(format!(
+        "Kessler conflict model vs measured variance\n\
+         (mpeg_play user task, {pages} pages of text, physically-indexed DM, {TRIALS} trials)"
+    ));
+
+    for kb in [4u64, 8, 16, 32, 64, 128] {
+        let slots = kb * 1024 / 4096;
+        let cfg = SystemConfig::cache(Workload::MpegPlay, dm4(kb))
+            .with_components(ComponentSet::user_only())
+            .with_scale(scale);
+        let set = run_trials_parallel(base.derive("kessler", kb), TRIALS, threads(), |trial| {
+            run_trial(&cfg, base, trial).total_misses()
+        });
+        let s = set.summary();
+        t.row(vec![
+            format!("{kb}K"),
+            slots.to_string(),
+            format!("{:.2}", expected_colliding_pairs(pages, slots)),
+            format!("{:.2}", collision_probability(pages, slots)),
+            format!("{:.2}", paper_millions(s.stddev(), scale)),
+            format!("{:.0}%", s.stddev_pct_of_mean()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "At 4K every page aliases every other (1 slot): conflicts are certain and\n\
+         *identical* across trials — zero variance. As slots grow, conflicts turn\n\
+         rare but placement-dependent: measured spread tracks the model's\n\
+         transition from certain to probabilistic conflicts, fading only when\n\
+         P(any conflict) nears zero."
+    );
+}

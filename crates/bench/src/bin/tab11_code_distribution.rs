@@ -1,0 +1,89 @@
+//! Table 11: Tapeworm code distribution.
+//!
+//! The paper reports how little of Tapeworm is machine-dependent (343
+//! lines, 5%). We measure the analogous split over this repository:
+//! the "machine-dependent kernel code" is the hardware mechanism layer
+//! (ECC codec, trap map, machine devices), the "machine-independent
+//! kernel code" is the simulator that would live in the kernel
+//! (tapeworm-core, the OS hooks), and the rest is user-level tooling.
+
+use std::fs;
+use std::path::Path;
+
+use tapeworm_stats::table::Table;
+
+fn loc(dir: &Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                total += loc(&path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(text) = fs::read_to_string(&path) {
+                    total += text
+                        .lines()
+                        .filter(|l| {
+                            let t = l.trim();
+                            !t.is_empty() && !t.starts_with("//")
+                        })
+                        .count() as u64;
+                }
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let crates = root.join("crates");
+
+    // Machine-dependent: the hardware-mechanism layer.
+    let machine_dep = loc(&crates.join("mem").join("src"))
+        + loc(&crates.join("machine").join("src"));
+    // Machine-independent kernel-resident code: the simulator + VM
+    // hooks.
+    let kernel_indep = loc(&crates.join("core").join("src"))
+        + loc(&crates.join("os").join("src"));
+    // User-level code: workloads, trace tools, experiment layer,
+    // statistics, benches, examples.
+    let user = loc(&crates.join("workload").join("src"))
+        + loc(&crates.join("trace").join("src"))
+        + loc(&crates.join("sim").join("src"))
+        + loc(&crates.join("stats").join("src"))
+        + loc(&crates.join("bench").join("src"))
+        + loc(&root.join("examples"));
+
+    let total = machine_dep + kernel_indep + user;
+    let pct = |n: u64| format!("{:.0}%", 100.0 * n as f64 / total as f64);
+
+    let mut t = Table::new(["Code", "Lines", "%", "(paper)"].map(String::from).to_vec());
+    t.numeric()
+        .title("Table 11: code distribution of this reproduction");
+    t.row(vec![
+        "Hardware-mechanism (\"machine-dependent\") code".into(),
+        machine_dep.to_string(),
+        pct(machine_dep),
+        "(343, 5%)".into(),
+    ]);
+    t.row(vec![
+        "Machine-independent kernel code".into(),
+        kernel_indep.to_string(),
+        pct(kernel_indep),
+        "(889, 13%)".into(),
+    ]);
+    t.row(vec![
+        "Machine-independent user code".into(),
+        user.to_string(),
+        pct(user),
+        "(5652, 82%)".into(),
+    ]);
+    println!("{t}");
+    println!(
+        "Note: our \"machine-dependent\" layer is larger than the paper's because\n\
+         we must *build* the hardware (ECC codec, memory, TLB, clock), not just\n\
+         talk to it; the structural point — most code is machine-independent\n\
+         user-level tooling — holds."
+    );
+}

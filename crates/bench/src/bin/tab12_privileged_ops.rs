@@ -1,0 +1,33 @@
+//! Table 12: privileged operations on modern (1994) microprocessors,
+//! and which of them could host Tapeworm.
+
+use tapeworm_core::portability::{PrivilegedOp, TABLE12};
+use tapeworm_stats::table::Table;
+
+fn main() {
+    let mut headers = vec!["Privileged Operation".to_string()];
+    headers.extend(TABLE12.iter().map(|p| p.name.to_string()));
+    let mut t = Table::new(headers);
+    t.numeric()
+        .title("Table 12: privileged operations on modern microprocessors");
+    for op in PrivilegedOp::ALL {
+        let mut row = vec![op.label().to_string()];
+        row.extend(TABLE12.iter().map(|p| p.support(op).to_string()));
+        t.row(row);
+    }
+    println!("{t}");
+
+    let hosts: Vec<&str> = TABLE12
+        .iter()
+        .filter(|p| p.can_host_tapeworm())
+        .map(|p| p.name)
+        .collect();
+    println!(
+        "Processors able to host full (cache + TLB) Tapeworm: {}",
+        hosts.join(", ")
+    );
+    println!(
+        "Every listed processor supports invalid-page traps, so TLB-only\n\
+         Tapeworm (like the paper's 486 port) runs anywhere."
+    );
+}

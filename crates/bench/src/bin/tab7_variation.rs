@@ -1,0 +1,64 @@
+//! Table 7: variation in measured memory-system performance.
+//!
+//! 16 trials per workload with 1/8 set sampling, all activity
+//! (kernel and servers included), 16K direct-mapped physically-indexed
+//! caches with 4-word lines. Both sampling and physical page
+//! allocation vary across trials.
+
+use tapeworm_bench::{base_seed, dm4, paper_millions, scale, threads};
+use tapeworm_sim::{run_trial, SystemConfig};
+use tapeworm_stats::table::Table;
+use tapeworm_stats::trials::run_trials_parallel;
+use tapeworm_workload::Workload;
+
+const TRIALS: usize = 16;
+
+fn main() {
+    let base = base_seed();
+    let scale = scale();
+    let mut t = Table::new(
+        [
+            "Workload",
+            "Misses x̄ (10^6)",
+            "s",
+            "(s%)",
+            "Min",
+            "(%)",
+            "Max",
+            "(%)",
+            "Range",
+            "(%)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    t.numeric().title(format!(
+        "Table 7: variation over {TRIALS} trials, 1/8 set sampling, 16K DM\n\
+         physically-indexed, all activity (scale 1/{scale})"
+    ));
+
+    let mut order = Workload::ALL;
+    order.sort_by_key(|w| w.name());
+    for w in order {
+        let cfg = SystemConfig::cache(w, dm4(16))
+            .with_scale(scale)
+            .with_sampling(8);
+        let set = run_trials_parallel(base.derive("tab7", w as u64), TRIALS, threads(), |trial| {
+            run_trial(&cfg, base, trial).total_misses()
+        });
+        let s = set.summary();
+        t.row(vec![
+            w.to_string(),
+            format!("{:.2}", paper_millions(s.mean(), scale)),
+            format!("{:.2}", paper_millions(s.stddev(), scale)),
+            format!("({:.0}%)", s.stddev_pct_of_mean()),
+            format!("{:.2}", paper_millions(s.min(), scale)),
+            format!("({:.0}%)", s.min_pct_below_mean()),
+            format!("{:.2}", paper_millions(s.max(), scale)),
+            format!("({:.0}%)", s.max_pct_above_mean()),
+            format!("{:.2}", paper_millions(s.range(), scale)),
+            format!("({:.0}%)", s.range_pct_of_mean()),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,69 @@
+//! Table 9: variation due to page allocation, isolated.
+//!
+//! mpeg_play user task without sampling, physically- versus
+//! virtually-indexed caches of 4K–128K (DM, 4-word lines), 4 trials
+//! per point. Virtual indexing shows zero variance; physical indexing
+//! varies with the random frame allocation — except at 4K, where the
+//! cache equals the page size and every allocation looks alike.
+
+use tapeworm_bench::{base_seed, dm4, paper_millions, scale, threads};
+use tapeworm_core::Indexing;
+use tapeworm_sim::{run_trial, ComponentSet, SystemConfig};
+use tapeworm_stats::table::Table;
+use tapeworm_stats::trials::run_trials_parallel;
+use tapeworm_workload::Workload;
+
+const TRIALS: usize = 4;
+
+/// Paper means (×10⁶): (KB, physical x̄, physical s, virtual x̄).
+const PAPER: [(u64, f64, f64, f64); 6] = [
+    (4, 37.81, 0.09, 37.75),
+    (8, 22.38, 5.89, 14.03),
+    (16, 12.07, 4.84, 10.20),
+    (32, 9.01, 5.62, 1.90),
+    (64, 5.83, 5.96, 1.38),
+    (128, 2.92, 4.60, 0.28),
+];
+
+fn main() {
+    let base = base_seed();
+    let scale = scale();
+    let mut t = Table::new(
+        [
+            "Size", "Phys x̄", "Phys s", "(paper x̄/s)", "Virt x̄", "Virt s", "(paper x̄)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    t.numeric().title(format!(
+        "Table 9: page-allocation variance, mpeg_play user task, no sampling,\n\
+         {TRIALS} trials, misses x10^6 at paper scale (scale 1/{scale})"
+    ));
+
+    for (kb, p_phys, p_s, p_virt) in PAPER {
+        let measure = |indexing: Indexing, label: u64| {
+            let cache = dm4(kb).with_indexing(indexing);
+            let cfg = SystemConfig::cache(Workload::MpegPlay, cache)
+                .with_components(ComponentSet::user_only())
+                .with_scale(scale);
+            run_trials_parallel(
+                base.derive("tab9", kb * 10 + label),
+                TRIALS,
+                threads(),
+                move |trial| run_trial(&cfg, base, trial).total_misses(),
+            )
+        };
+        let phys = measure(Indexing::Physical, 0);
+        let virt = measure(Indexing::Virtual, 1);
+        t.row(vec![
+            format!("{kb}K"),
+            format!("{:.2}", paper_millions(phys.summary().mean(), scale)),
+            format!("{:.2}", paper_millions(phys.summary().stddev(), scale)),
+            format!("({p_phys:.2}/{p_s:.2})"),
+            format!("{:.2}", paper_millions(virt.summary().mean(), scale)),
+            format!("{:.2}", paper_millions(virt.summary().stddev(), scale)),
+            format!("({p_virt:.2})"),
+        ]);
+    }
+    println!("{t}");
+}

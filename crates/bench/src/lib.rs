@@ -1,0 +1,79 @@
+//! Shared helpers for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure; this
+//! library holds the common plumbing: standard seeds, the Figure 2
+//! cache ladder, and paper reference values used for side-by-side
+//! printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tapeworm_core::CacheConfig;
+use tapeworm_stats::SeedSeq;
+
+/// The base seed all experiment binaries use, so their outputs are
+/// reproducible run to run. Override with the `TW_SEED` environment
+/// variable.
+pub fn base_seed() -> SeedSeq {
+    let raw = std::env::var("TW_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1994);
+    SeedSeq::new(raw)
+}
+
+/// Instruction scale divisor (paper counts ÷ scale). Override with
+/// `TW_SCALE`; default 100.
+pub fn scale() -> u64 {
+    std::env::var("TW_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(100)
+}
+
+/// Number of worker threads for multi-trial experiments. Override with
+/// `TW_THREADS`; defaults to the available parallelism.
+pub fn threads() -> usize {
+    std::env::var("TW_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
+/// A direct-mapped cache with 4-word (16-byte) lines — the paper's
+/// standard geometry.
+///
+/// # Panics
+///
+/// Panics if the size is invalid.
+pub fn dm4(kbytes: u64) -> CacheConfig {
+    CacheConfig::new(kbytes * 1024, 16, 1).expect("valid direct-mapped geometry")
+}
+
+/// Rescales a miss count from the experiment's instruction scale back
+/// to paper magnitudes (×10⁶), for side-by-side printing.
+pub fn paper_millions(misses: f64, scale: u64) -> f64 {
+    misses * scale as f64 / 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dm4_shapes() {
+        assert_eq!(dm4(4).sets(), 256);
+    }
+
+    #[test]
+    fn rescaling() {
+        assert!((paper_millions(376_300.0, 100) - 37.63).abs() < 1e-9);
+    }
+}

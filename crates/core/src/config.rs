@@ -1,0 +1,281 @@
+//! Simulated-cache configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use tapeworm_mem::{PhysAddr, VirtAddr};
+
+/// How the simulated cache is indexed and tagged.
+///
+/// Because `tw_replace` "has access to the actual virtual-to-physical
+/// page mappings established by the VM system, it can simulate either
+/// virtual or physical cache indexing" (§3.2). The choice matters: with
+/// physical indexing, run-to-run page-allocation randomness makes miss
+/// counts vary (Table 9); virtual indexing is deterministic (Table 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Indexing {
+    /// Index and tag by physical address.
+    #[default]
+    Physical,
+    /// Index by virtual address; the task id forms part of the tag.
+    Virtual,
+}
+
+/// Replacement policy of the simulated cache.
+///
+/// Trap-driven simulation never sees hits, so recency-based policies
+/// (LRU) cannot be maintained; FIFO and random are implementable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Round-robin within each set.
+    #[default]
+    Fifo,
+    /// Uniform random way within each set.
+    Random,
+}
+
+/// An invalid cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// A size/line/associativity field was zero or not a power of two.
+    NotPowerOfTwo(&'static str, u64),
+    /// `size < line * associativity` leaves no sets.
+    TooSmall,
+    /// Line size below one word.
+    LineTooSmall,
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::NotPowerOfTwo(field, v) => {
+                write!(f, "{field} must be a nonzero power of two, got {v}")
+            }
+            CacheConfigError::TooSmall => {
+                f.write_str("cache must hold at least one set (size >= line * associativity)")
+            }
+            CacheConfigError::LineTooSmall => f.write_str("line size must be at least one word"),
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
+/// Geometry and policy of a simulated cache.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_core::{CacheConfig, Indexing};
+///
+/// // The paper's Figure 2 baseline: direct-mapped, 4-word (16-byte)
+/// // lines.
+/// let cfg = CacheConfig::new(4 * 1024, 16, 1)?;
+/// assert_eq!(cfg.sets(), 256);
+/// assert_eq!(cfg.indexing(), Indexing::Physical);
+/// # Ok::<(), tapeworm_core::CacheConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    line_bytes: u64,
+    associativity: u32,
+    indexing: Indexing,
+    replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Validates a physically-indexed FIFO cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] for non-power-of-two fields, lines
+    /// smaller than a word, or a cache smaller than one set.
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u64,
+        associativity: u32,
+    ) -> Result<Self, CacheConfigError> {
+        if !size_bytes.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo("size", size_bytes));
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo("line size", line_bytes));
+        }
+        if line_bytes < tapeworm_mem::WORD_BYTES {
+            return Err(CacheConfigError::LineTooSmall);
+        }
+        if !associativity.is_power_of_two() || associativity == 0 {
+            return Err(CacheConfigError::NotPowerOfTwo(
+                "associativity",
+                u64::from(associativity),
+            ));
+        }
+        if size_bytes < line_bytes * u64::from(associativity) {
+            return Err(CacheConfigError::TooSmall);
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            line_bytes,
+            associativity,
+            indexing: Indexing::default(),
+            replacement: Replacement::default(),
+        })
+    }
+
+    /// Returns the config with a different indexing mode.
+    pub fn with_indexing(mut self, indexing: Indexing) -> Self {
+        self.indexing = indexing;
+        self
+    }
+
+    /// Returns the config with a different replacement policy.
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Indexing mode.
+    pub fn indexing(&self) -> Indexing {
+        self.indexing
+    }
+
+    /// Replacement policy.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / u64::from(self.associativity)
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Words per line.
+    pub fn line_words(&self) -> u64 {
+        self.line_bytes / tapeworm_mem::WORD_BYTES
+    }
+
+    /// The set an access maps to, given both addresses (the indexing
+    /// mode selects which one is used).
+    pub fn set_of(&self, va: VirtAddr, pa: PhysAddr) -> u64 {
+        let line = match self.indexing {
+            Indexing::Physical => pa.line_index(self.line_bytes),
+            Indexing::Virtual => va.line_index(self.line_bytes),
+        };
+        line % self.sets()
+    }
+
+    /// The set a *physical* line index maps to under physical indexing
+    /// (used when registering pages: which of a page's lines belong to
+    /// a sampled set).
+    pub fn set_of_line(&self, line_index: u64) -> u64 {
+        line_index % self.sets()
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = self.size_bytes / 1024;
+        write!(
+            f,
+            "{}K/{}B/{}-way/{}",
+            k,
+            self.line_bytes,
+            self.associativity,
+            match self.indexing {
+                Indexing::Physical => "PI",
+                Indexing::Virtual => "VI",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_configs_validate() {
+        for kb in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let cfg = CacheConfig::new(kb * 1024, 16, 1).unwrap();
+            assert_eq!(cfg.lines(), kb * 1024 / 16);
+            assert_eq!(cfg.sets(), cfg.lines());
+            assert_eq!(cfg.line_words(), 4);
+        }
+    }
+
+    #[test]
+    fn associativity_divides_sets() {
+        let cfg = CacheConfig::new(8 * 1024, 32, 4).unwrap();
+        assert_eq!(cfg.sets(), 64);
+        assert_eq!(cfg.lines(), 256);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(matches!(
+            CacheConfig::new(3000, 16, 1),
+            Err(CacheConfigError::NotPowerOfTwo("size", 3000))
+        ));
+        assert!(matches!(
+            CacheConfig::new(4096, 24, 1),
+            Err(CacheConfigError::NotPowerOfTwo(..))
+        ));
+        assert!(matches!(
+            CacheConfig::new(4096, 2, 1),
+            Err(CacheConfigError::LineTooSmall)
+        ));
+        assert!(matches!(
+            CacheConfig::new(16, 16, 4),
+            Err(CacheConfigError::TooSmall)
+        ));
+        assert!(CacheConfig::new(4096, 16, 3).is_err());
+        assert!(!CacheConfig::new(16, 16, 4).unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn physical_vs_virtual_set_selection() {
+        let cfg = CacheConfig::new(4096, 16, 1).unwrap();
+        let va = VirtAddr::new(0x10);
+        let pa = PhysAddr::new(0x20);
+        assert_eq!(cfg.set_of(va, pa), 2); // physical: 0x20/16 = 2
+        let vcfg = cfg.with_indexing(Indexing::Virtual);
+        assert_eq!(vcfg.set_of(va, pa), 1); // virtual: 0x10/16 = 1
+    }
+
+    #[test]
+    fn set_wraps_modulo_sets() {
+        let cfg = CacheConfig::new(1024, 16, 1).unwrap(); // 64 sets
+        let pa = PhysAddr::new(65 * 16);
+        assert_eq!(cfg.set_of(VirtAddr::new(0), pa), 1);
+        assert_eq!(cfg.set_of_line(65), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let cfg = CacheConfig::new(4096, 16, 2)
+            .unwrap()
+            .with_indexing(Indexing::Virtual);
+        assert_eq!(cfg.to_string(), "4K/16B/2-way/VI");
+    }
+}

@@ -1,0 +1,212 @@
+//! The Table 5 miss-handler cost model.
+//!
+//! The optimized Tapeworm handler is hand-written assembly that
+//! bypasses the usual kernel entry/exit, needs no stack and saves a
+//! minimal number of registers. Table 5 gives its budget in
+//! *instructions* per component and its total in *cycles*:
+//!
+//! | routine                  | instructions |
+//! |--------------------------|--------------|
+//! | kernel trap and return   | 53           |
+//! | `tw_cache_miss()`        | 23           |
+//! | `tw_replace()`           | 20           |
+//! | `tw_set_trap()`          | 35           |
+//! | `tw_clear_trap()`        | 6            |
+//! | **cycles per miss**      | **246**      |
+//!
+//! for a direct-mapped cache with 4-word lines. "Higher degrees of
+//! associativity slightly increase the time in `tw_replace()`, while
+//! longer cache lines increase the cost of `tw_set_trap()` and
+//! `tw_clear_trap()`." The original all-C handler took over 2000
+//! cycles (§4.1), comparable to the Wisconsin Wind Tunnel's 2500.
+
+use crate::config::CacheConfig;
+
+/// Instruction counts of Table 5 (direct-mapped, 4-word lines).
+const TRAP_AND_RETURN: u64 = 53;
+const TW_CACHE_MISS: u64 = 23;
+const TW_REPLACE: u64 = 20;
+const TW_SET_TRAP: u64 = 35;
+const TW_CLEAR_TRAP: u64 = 6;
+/// Total instructions in the baseline handler.
+const BASE_INSTRUCTIONS: u64 = TRAP_AND_RETURN + TW_CACHE_MISS + TW_REPLACE + TW_SET_TRAP + TW_CLEAR_TRAP;
+/// Table 5's measured total for that baseline.
+const BASE_CYCLES: u64 = 246;
+
+/// Extra `tw_replace` instructions per additional way beyond
+/// direct-mapped.
+const REPLACE_PER_WAY: u64 = 3;
+/// Extra trap set/clear instructions per additional 4-word group in the
+/// line (the memory-controller ASIC flips check bits per 4-word
+/// refill).
+const TRAP_PER_GROUP: u64 = 9;
+
+/// Cycle-cost model for the Tapeworm miss handler and page
+/// registration.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_core::{CacheConfig, CostModel};
+///
+/// let cfg = CacheConfig::new(4096, 16, 1)?;
+/// let cost = CostModel::optimized();
+/// assert_eq!(cost.cycles_per_miss(&cfg), 246);
+/// assert!(CostModel::unoptimized_c().cycles_per_miss(&cfg) > 2000);
+/// # Ok::<(), tapeworm_core::CacheConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cycles per handler instruction (the measured handler runs at
+    /// ~1.8 CPI because of its own cache behaviour).
+    cpi: f64,
+    /// Multiplier over the optimized instruction budget (1.0 for the
+    /// assembly handler; ~8 for the original C handler with full
+    /// kernel entry/exit).
+    bloat: f64,
+    /// Cycles to set traps on one whole page at registration time, per
+    /// 4-word group.
+    register_group_cycles: u64,
+}
+
+impl CostModel {
+    /// The optimized assembly handler of Table 5 (246 cycles per miss
+    /// for DM, 4-word lines).
+    pub fn optimized() -> Self {
+        CostModel {
+            cpi: BASE_CYCLES as f64 / BASE_INSTRUCTIONS as f64,
+            bloat: 1.0,
+            register_group_cycles: 8,
+        }
+    }
+
+    /// The original all-C handler: "over 2,000 cycles" (§4.1).
+    pub fn unoptimized_c() -> Self {
+        CostModel {
+            cpi: BASE_CYCLES as f64 / BASE_INSTRUCTIONS as f64,
+            bloat: 8.2,
+            register_group_cycles: 24,
+        }
+    }
+
+    /// A hypothetical machine with "a cleaner interface to the
+    /// diagnostic functions of the memory ASIC", which the paper
+    /// estimates "could reduce the total miss-handling time to about 50
+    /// cycles" (§4.3).
+    pub fn hardware_assisted() -> Self {
+        CostModel {
+            cpi: 50.0 / BASE_INSTRUCTIONS as f64,
+            bloat: 1.0,
+            register_group_cycles: 2,
+        }
+    }
+
+    /// Handler instructions for a given geometry.
+    pub fn instructions_per_miss(&self, cfg: &CacheConfig) -> u64 {
+        let extra_ways = u64::from(cfg.associativity()) - 1;
+        let groups = cfg.line_words().div_ceil(4);
+        let extra_groups = groups - 1;
+        let instr = BASE_INSTRUCTIONS
+            + extra_ways * REPLACE_PER_WAY
+            + extra_groups * TRAP_PER_GROUP;
+        (instr as f64 * self.bloat).round() as u64
+    }
+
+    /// Handler cycles per simulated miss for a given geometry.
+    pub fn cycles_per_miss(&self, cfg: &CacheConfig) -> u64 {
+        (self.instructions_per_miss(cfg) as f64 * self.cpi).round() as u64
+    }
+
+    /// Cycles for `tw_register_page`: setting traps across a page of
+    /// `page_bytes` (proportional to the number of 4-word groups
+    /// trapped; `trapped_fraction` accounts for set sampling).
+    pub fn cycles_per_register(&self, page_bytes: u64, trapped_fraction: f64) -> u64 {
+        let groups = page_bytes / 16;
+        (groups as f64 * trapped_fraction * self.register_group_cycles as f64).round() as u64
+    }
+
+    /// The per-component instruction budget of Table 5 for the
+    /// baseline geometry, for regenerating that table.
+    pub fn table5_rows() -> [(&'static str, u64); 5] {
+        [
+            ("kernel trap and return", TRAP_AND_RETURN),
+            ("tw_cache_miss()", TW_CACHE_MISS),
+            ("tw_replace()", TW_REPLACE),
+            ("tw_set_trap()", TW_SET_TRAP),
+            ("tw_clear_trap()", TW_CLEAR_TRAP),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm4() -> CacheConfig {
+        CacheConfig::new(4096, 16, 1).unwrap()
+    }
+
+    #[test]
+    fn baseline_matches_table5() {
+        let cost = CostModel::optimized();
+        assert_eq!(cost.instructions_per_miss(&dm4()), 137);
+        assert_eq!(cost.cycles_per_miss(&dm4()), 246);
+    }
+
+    #[test]
+    fn associativity_increases_replace_cost_slightly() {
+        let cost = CostModel::optimized();
+        let dm = cost.cycles_per_miss(&dm4());
+        let two = cost.cycles_per_miss(&CacheConfig::new(4096, 16, 2).unwrap());
+        let four = cost.cycles_per_miss(&CacheConfig::new(4096, 16, 4).unwrap());
+        assert!(dm < two && two < four);
+        assert!(four - dm < 30, "assoc effect must be slight");
+    }
+
+    #[test]
+    fn longer_lines_increase_trap_cost() {
+        let cost = CostModel::optimized();
+        let w4 = cost.cycles_per_miss(&dm4());
+        let w8 = cost.cycles_per_miss(&CacheConfig::new(4096, 32, 1).unwrap());
+        let w16 = cost.cycles_per_miss(&CacheConfig::new(4096, 64, 1).unwrap());
+        assert!(w4 < w8 && w8 < w16);
+    }
+
+    #[test]
+    fn cache_size_does_not_change_cost() {
+        let cost = CostModel::optimized();
+        let small = cost.cycles_per_miss(&CacheConfig::new(1024, 16, 1).unwrap());
+        let large = cost.cycles_per_miss(&CacheConfig::new(1 << 20, 16, 1).unwrap());
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn unoptimized_is_an_order_slower() {
+        let cfg = dm4();
+        let opt = CostModel::optimized().cycles_per_miss(&cfg);
+        let c = CostModel::unoptimized_c().cycles_per_miss(&cfg);
+        assert!(c > 2000, "C handler took over 2000 cycles, got {c}");
+        assert!(c / opt >= 8);
+    }
+
+    #[test]
+    fn hardware_assist_hits_50_cycles() {
+        let cycles = CostModel::hardware_assisted().cycles_per_miss(&dm4());
+        assert!((45..=55).contains(&cycles), "got {cycles}");
+    }
+
+    #[test]
+    fn register_cost_scales_with_page_and_sampling() {
+        let cost = CostModel::optimized();
+        let full = cost.cycles_per_register(4096, 1.0);
+        let eighth = cost.cycles_per_register(4096, 1.0 / 8.0);
+        assert_eq!(full, 8 * 256);
+        assert_eq!(eighth, full / 8);
+    }
+
+    #[test]
+    fn table5_rows_sum_to_base() {
+        let total: u64 = CostModel::table5_rows().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 137);
+    }
+}

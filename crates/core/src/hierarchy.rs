@@ -1,0 +1,376 @@
+//! Two-level (L1 + L2) trap-driven cache simulation.
+//!
+//! §3.2 notes that `tw_replace` can maintain "more complex cache
+//! structures including split, unified or multi-level caches." The
+//! multi-level construction: **traps encode L1 residency** — a line is
+//! trapped iff not in the simulated L1. Every trap is therefore an L1
+//! miss; the handler then searches the software L2 structure (a
+//! legitimate software search, since it runs only on L1 misses) to
+//! classify it as an L2 hit or a full miss:
+//!
+//! * L1 miss, L2 hit → promote the line to L1; clear its trap; re-trap
+//!   the L1 victim (which stays in L2).
+//! * L1 miss, L2 miss → insert into both levels. The L2 victim must be
+//!   invalidated in L1 too (inclusion), re-arming its trap.
+//!
+//! Inclusion keeps trap state meaningful: any line outside L1 is
+//! trapped, whether or not it is in L2.
+//!
+//! Multi-level simulation is physically indexed (both levels share the
+//! physical line identity that the trap map is keyed by).
+
+use tapeworm_machine::Component;
+use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+use tapeworm_os::{Tid, VmEvent};
+use tapeworm_stats::SeedSeq;
+
+use crate::cache::SimCache;
+use crate::config::{CacheConfig, Indexing};
+use crate::cost::CostModel;
+use crate::stats::MissStats;
+
+/// Extra handler cycles for the software L2 lookup on every L1 miss.
+const L2_SEARCH_CYCLES: u64 = 24;
+/// Extra handler cycles when the L2 also misses (second replacement
+/// plus inclusion invalidation).
+const L2_MISS_CYCLES: u64 = 38;
+
+/// A two-level trap-driven cache simulator.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_core::{CacheConfig, TwoLevelTapeworm};
+/// use tapeworm_machine::Component;
+/// use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+/// use tapeworm_os::Tid;
+/// use tapeworm_stats::SeedSeq;
+///
+/// let l1 = CacheConfig::new(1024, 16, 1)?;
+/// let l2 = CacheConfig::new(8 * 1024, 16, 2)?;
+/// let mut tw = TwoLevelTapeworm::new(l1, l2, 4096, SeedSeq::new(1));
+/// let mut traps = TrapMap::new(1 << 20, 16);
+/// tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+/// let pa = PhysAddr::new(0);
+/// tw.handle_miss(&mut traps, Component::User, Tid::new(1), VirtAddr::new(0), pa);
+/// assert_eq!(tw.l1_stats().raw_total(), 1);
+/// assert_eq!(tw.l2_stats().raw_total(), 1); // cold: missed both levels
+/// # Ok::<(), tapeworm_core::CacheConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelTapeworm {
+    l1: SimCache,
+    l2: SimCache,
+    l1_stats: MissStats,
+    l2_stats: MissStats,
+    cost: CostModel,
+    page_bytes: u64,
+    page_refs: std::collections::HashMap<Pfn, u32>,
+    overhead_cycles: u64,
+}
+
+impl TwoLevelTapeworm {
+    /// Creates a two-level simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both levels are physically indexed, share a line
+    /// size, L2 is at least as large as L1, and the page holds whole
+    /// lines.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, page_bytes: u64, seed: SeedSeq) -> Self {
+        assert_eq!(
+            l1.indexing(),
+            Indexing::Physical,
+            "multi-level simulation is physically indexed"
+        );
+        assert_eq!(l2.indexing(), Indexing::Physical);
+        assert_eq!(
+            l1.line_bytes(),
+            l2.line_bytes(),
+            "levels must share a line size"
+        );
+        assert!(
+            l2.size_bytes() >= l1.size_bytes(),
+            "L2 must be at least as large as L1"
+        );
+        assert!(page_bytes % l1.line_bytes() == 0);
+        TwoLevelTapeworm {
+            l1: SimCache::new(l1, seed.derive("l1", 0)),
+            l2: SimCache::new(l2, seed.derive("l2", 0)),
+            l1_stats: MissStats::new(1.0),
+            l2_stats: MissStats::new(1.0),
+            cost: CostModel::optimized(),
+            page_bytes,
+            page_refs: std::collections::HashMap::new(),
+            overhead_cycles: 0,
+        }
+    }
+
+    /// L1 miss counters (every trap).
+    pub fn l1_stats(&self) -> &MissStats {
+        &self.l1_stats
+    }
+
+    /// L2 miss counters (the subset that missed both levels).
+    pub fn l2_stats(&self) -> &MissStats {
+        &self.l2_stats
+    }
+
+    /// Total simulator overhead in cycles.
+    pub fn overhead_cycles(&self) -> u64 {
+        self.overhead_cycles
+    }
+
+    /// Local L2 hit ratio: fraction of L1 misses served by L2.
+    pub fn l2_local_hit_ratio(&self) -> f64 {
+        let l1 = self.l1_stats.raw_total();
+        if l1 == 0 {
+            0.0
+        } else {
+            1.0 - self.l2_stats.raw_total() as f64 / l1 as f64
+        }
+    }
+
+    /// `tw_register_page`: first registration traps the page's lines.
+    pub fn tw_register_page(&mut self, traps: &mut TrapMap, tid: Tid, pfn: Pfn, vpn: u64) -> u64 {
+        let refs = self.page_refs.entry(pfn).or_insert(0);
+        *refs += 1;
+        let _ = (tid, vpn);
+        if *refs > 1 {
+            return 0;
+        }
+        traps.set_range(pfn.base(self.page_bytes), self.page_bytes);
+        let cycles = self.cost.cycles_per_register(self.page_bytes, 1.0);
+        self.overhead_cycles += cycles;
+        cycles
+    }
+
+    /// `tw_remove_page`: last removal flushes both levels and clears
+    /// traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing a page that was never registered.
+    pub fn tw_remove_page(&mut self, traps: &mut TrapMap, tid: Tid, pfn: Pfn, vpn: u64) -> u64 {
+        let refs = self
+            .page_refs
+            .get_mut(&pfn)
+            .unwrap_or_else(|| panic!("removing unregistered page {pfn}"));
+        *refs -= 1;
+        let _ = (tid, vpn);
+        if *refs > 0 {
+            return 0;
+        }
+        self.page_refs.remove(&pfn);
+        let base = pfn.base(self.page_bytes);
+        self.l1.flush_physical_page(base, self.page_bytes);
+        self.l2.flush_physical_page(base, self.page_bytes);
+        traps.clear_range(base, self.page_bytes);
+        let cycles = self.cost.cycles_per_register(self.page_bytes, 1.0);
+        self.overhead_cycles += cycles;
+        cycles
+    }
+
+    /// Dispatches a VM event.
+    pub fn on_vm_event(&mut self, traps: &mut TrapMap, event: VmEvent) -> u64 {
+        match event {
+            VmEvent::PageRegistered { tid, pfn, vpn } => {
+                self.tw_register_page(traps, tid, pfn, vpn)
+            }
+            VmEvent::PageRemoved { tid, pfn, vpn } => self.tw_remove_page(traps, tid, pfn, vpn),
+        }
+    }
+
+    /// The two-level miss handler. Returns cycles charged.
+    pub fn handle_miss(
+        &mut self,
+        traps: &mut TrapMap,
+        component: Component,
+        tid: Tid,
+        va: VirtAddr,
+        pa: PhysAddr,
+    ) -> u64 {
+        let line = self.l1.config().line_bytes();
+        self.l1_stats.count_miss(component);
+        traps.clear_range(pa.line_base(line), line);
+
+        let mut cycles = self.cost.cycles_per_miss(self.l1.config()) + L2_SEARCH_CYCLES;
+        let l2_hit = self.l2.lookup_physical(pa).is_some();
+        if !l2_hit {
+            // Full miss: bring the line into L2 as well.
+            self.l2_stats.count_miss(component);
+            cycles += L2_MISS_CYCLES;
+            if let Some(l2_victim) = self.l2.insert(tid, va, pa) {
+                // Inclusion: evicting from L2 evicts from L1 too, and
+                // the line leaves the hierarchy entirely -> trap it.
+                self.l1.remove_physical_line(l2_victim.pa);
+                if self.is_registered(l2_victim.pa) {
+                    traps.set_range(l2_victim.pa, line);
+                }
+            }
+        }
+        // Promote into L1; the L1 victim (usually still in L2) leaves
+        // L1, so its trap is re-armed — trapped means "not in L1".
+        if let Some(l1_victim) = self.l1.insert(tid, va, pa) {
+            if self.is_registered(l1_victim.pa) {
+                traps.set_range(l1_victim.pa, line);
+            }
+        }
+        self.overhead_cycles += cycles;
+        cycles
+    }
+
+    fn is_registered(&self, pa: PhysAddr) -> bool {
+        self.page_refs
+            .contains_key(&Pfn::new(pa.raw() / self.page_bytes))
+    }
+
+    /// Verifies the multi-level invariants for registered pages:
+    /// traps encode L1 residency exactly, and L1 ⊆ L2 (inclusion).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate_invariant(&self, traps: &TrapMap) -> Result<(), String> {
+        let line = self.l1.config().line_bytes();
+        for &pfn in self.page_refs.keys() {
+            let base = pfn.base(self.page_bytes);
+            for i in 0..self.page_bytes / line {
+                let pa = PhysAddr::new(base.raw() + i * line);
+                let in_l1 = self.l1.contains_physical(pa);
+                let in_l2 = self.l2.contains_physical(pa);
+                let trapped = traps.is_trapped(pa);
+                if in_l1 && !in_l2 {
+                    return Err(format!("inclusion violated at {pa}"));
+                }
+                if trapped == in_l1 {
+                    return Err(format!(
+                        "trap state wrong at {pa}: trapped={trapped}, in_l1={in_l1}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: u64 = 4096;
+
+    fn setup(l1_bytes: u64, l2_bytes: u64) -> (TwoLevelTapeworm, TrapMap) {
+        let l1 = CacheConfig::new(l1_bytes, 16, 1).unwrap();
+        let l2 = CacheConfig::new(l2_bytes, 16, 2).unwrap();
+        (
+            TwoLevelTapeworm::new(l1, l2, PAGE, SeedSeq::new(1)),
+            TrapMap::new(1 << 20, 16),
+        )
+    }
+
+    fn drive(tw: &mut TwoLevelTapeworm, traps: &mut TrapMap, addrs: &[u64]) {
+        for &a in addrs {
+            let pa = PhysAddr::new(a);
+            if traps.is_trapped(pa) {
+                tw.handle_miss(traps, Component::User, Tid::new(1), VirtAddr::new(a), pa);
+            }
+        }
+    }
+
+    #[test]
+    fn cold_miss_fills_both_levels() {
+        let (mut tw, mut traps) = setup(1024, 8192);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        drive(&mut tw, &mut traps, &[0]);
+        assert_eq!(tw.l1_stats().raw_total(), 1);
+        assert_eq!(tw.l2_stats().raw_total(), 1);
+        tw.validate_invariant(&traps).unwrap();
+    }
+
+    #[test]
+    fn l1_conflict_that_fits_l2_is_an_l2_hit_on_return() {
+        let (mut tw, mut traps) = setup(1024, 8192);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        // Lines 0 and 1024 conflict in the 1K L1 but coexist in L2.
+        drive(&mut tw, &mut traps, &[0, 1024, 0, 1024, 0]);
+        // 5 traps fired (every access misses L1 in this ping-pong)...
+        assert_eq!(tw.l1_stats().raw_total(), 5);
+        // ...but only the two cold misses reached memory.
+        assert_eq!(tw.l2_stats().raw_total(), 2);
+        assert!((tw.l2_local_hit_ratio() - 0.6).abs() < 1e-12);
+        tw.validate_invariant(&traps).unwrap();
+    }
+
+    #[test]
+    fn l2_eviction_enforces_inclusion_and_retraps() {
+        let (mut tw, mut traps) = setup(1024, 2048);
+        for p in 0..4 {
+            tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(p), p);
+        }
+        // Touch far more distinct lines than L2 holds.
+        let addrs: Vec<u64> = (0..512).map(|i| i * 16 % (4 * PAGE)).collect();
+        drive(&mut tw, &mut traps, &addrs);
+        tw.validate_invariant(&traps).unwrap();
+        assert!(tw.l2_stats().raw_total() > 0);
+        assert!(tw.l1_stats().raw_total() >= tw.l2_stats().raw_total());
+    }
+
+    #[test]
+    fn random_workload_preserves_invariants() {
+        use rand::Rng;
+        let (mut tw, mut traps) = setup(1024, 4096);
+        for p in 0..4 {
+            tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(p), p);
+        }
+        let mut rng = SeedSeq::new(99).rng();
+        let addrs: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..4 * PAGE)).collect();
+        drive(&mut tw, &mut traps, &addrs);
+        tw.validate_invariant(&traps).unwrap();
+    }
+
+    #[test]
+    fn page_removal_flushes_both_levels() {
+        let (mut tw, mut traps) = setup(1024, 8192);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        drive(&mut tw, &mut traps, &[0, 16, 32]);
+        tw.tw_remove_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        assert_eq!(traps.count(), 0);
+        tw.validate_invariant(&traps).unwrap();
+        // Re-registration starts cold again.
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        drive(&mut tw, &mut traps, &[0]);
+        assert_eq!(tw.l2_stats().raw_total(), 4);
+    }
+
+    #[test]
+    fn two_level_beats_single_level_memory_traffic() {
+        // The classic result a downstream user would check: an L2
+        // absorbs most L1 misses for a loop slightly bigger than L1.
+        let (mut tw, mut traps) = setup(1024, 16 * 1024);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        let lap: Vec<u64> = (0..128).map(|i| i * 16 % 2048).collect();
+        for _ in 0..10 {
+            drive(&mut tw, &mut traps, &lap);
+        }
+        assert!(tw.l2_local_hit_ratio() > 0.5, "{}", tw.l2_local_hit_ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "physically indexed")]
+    fn virtual_hierarchy_is_rejected() {
+        let l1 = CacheConfig::new(1024, 16, 1)
+            .unwrap()
+            .with_indexing(Indexing::Virtual);
+        let l2 = CacheConfig::new(8192, 16, 1).unwrap();
+        let _ = TwoLevelTapeworm::new(l1, l2, PAGE, SeedSeq::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as large")]
+    fn l2_smaller_than_l1_is_rejected() {
+        let l1 = CacheConfig::new(8192, 16, 1).unwrap();
+        let l2 = CacheConfig::new(1024, 16, 1).unwrap();
+        let _ = TwoLevelTapeworm::new(l1, l2, PAGE, SeedSeq::new(0));
+    }
+}

@@ -1,0 +1,69 @@
+//! Tapeworm II: trap-driven cache and TLB simulation.
+//!
+//! This crate is the paper's primary contribution — the simulator that
+//! lives in the kernel and is driven by hardware traps instead of
+//! address traces. The core loop (paper Figure 1):
+//!
+//! ```text
+//! kernel traps invoke tw_miss(address):
+//!
+//! tw_miss(address) {
+//!     miss++;
+//!     tw_clear_trap(address);
+//!     displaced_address = tw_replace(address);
+//!     tw_set_trap(displaced_address);
+//! }
+//! ```
+//!
+//! A trap set on a line means "not in the simulated cache". Hits never
+//! enter the simulator; the hardware filters them at full speed. The
+//! crate provides:
+//!
+//! * [`Tapeworm`] — the simulator with the Table 1 primitives
+//!   (`tw_set_trap`, `tw_clear_trap`, `tw_register_page`,
+//!   `tw_remove_page`, `tw_replace`) and the optimized miss handler.
+//! * [`CacheConfig`] — simulated cache geometry: size, line size,
+//!   associativity, virtual or physical indexing, optional second
+//!   level. The simulated cache is pure software state, so it may be
+//!   larger or smaller than any host cache.
+//! * [`SetSample`] — hardware-filtered set sampling (§3.2): traps are
+//!   only set on lines mapping to sampled sets, so unsampled lines are
+//!   filtered by the host at zero cost and slowdown falls in direct
+//!   proportion to the sampling fraction.
+//! * [`CostModel`] — the Table 5 cycle budget (53-cycle kernel
+//!   trap/return, 246 cycles per miss for a direct-mapped 4-word-line
+//!   cache; ~2000 for the unoptimized C handler).
+//! * [`TlbSim`] — TLB simulation using page-valid-bit traps through the
+//!   OS VM system, with variable page sizes.
+//! * [`portability`] — the Table 12 privileged-operation matrix.
+//!
+//! # Replacement policies
+//!
+//! Because hits never reach the simulator, trap-driven simulation
+//! cannot observe per-hit recency: true LRU is impossible for
+//! associative simulated caches. [`Replacement::Fifo`] (default) and
+//! [`Replacement::Random`] are provided; the trace-driven baseline in
+//! `tapeworm-trace` supports LRU, which is one of the flexibility
+//! trade-offs the paper discusses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cache;
+mod config;
+mod cost;
+mod hierarchy;
+pub mod portability;
+mod sampling;
+mod stats;
+mod tapeworm;
+mod tlbsim;
+
+pub use cache::{CacheLine, SimCache};
+pub use config::{CacheConfig, CacheConfigError, Indexing, Replacement};
+pub use cost::CostModel;
+pub use hierarchy::TwoLevelTapeworm;
+pub use sampling::SetSample;
+pub use stats::MissStats;
+pub use tapeworm::Tapeworm;
+pub use tlbsim::{TlbSim, TlbSimConfig};

@@ -1,0 +1,170 @@
+//! The Table 12 privileged-operation support matrix.
+//!
+//! "Less than 5% of Tapeworm's code is machine-dependent, enhancing its
+//! portability to different machines provided that they support a few
+//! essential primitive operations." Table 12 surveys those operations
+//! across ten early-1990s microprocessors; this module carries that
+//! data so the `tab12_privileged_ops` experiment binary can regenerate
+//! the table and so portability queries are programmatic.
+
+use std::fmt;
+
+/// Whether a processor (or at least one system built on it) supports an
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// At least one system with this processor implements the feature.
+    Yes,
+    /// Known unsupported.
+    No,
+    /// Insufficient data (blank in the paper's table).
+    Unknown,
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Support::Yes => "Yes",
+            Support::No => "No",
+            Support::Unknown => "",
+        })
+    }
+}
+
+/// The privileged operations of Table 2 / Table 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivilegedOp {
+    /// Memory parity or ECC traps with software-writable check bits.
+    EccTraps,
+    /// Instruction breakpoint registers.
+    InstructionBreakpoint,
+    /// Data breakpoint (watchpoint) registers.
+    DataBreakpoint,
+    /// Page-valid-bit (invalid page) traps.
+    InvalidPageTraps,
+    /// Variable page sizes.
+    VariablePageSize,
+    /// On-chip instruction counters.
+    InstructionCounters,
+}
+
+impl PrivilegedOp {
+    /// All operations in table order.
+    pub const ALL: [PrivilegedOp; 6] = [
+        PrivilegedOp::EccTraps,
+        PrivilegedOp::InstructionBreakpoint,
+        PrivilegedOp::DataBreakpoint,
+        PrivilegedOp::InvalidPageTraps,
+        PrivilegedOp::VariablePageSize,
+        PrivilegedOp::InstructionCounters,
+    ];
+
+    /// The row label used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrivilegedOp::EccTraps => "Memory Parity or ECC Traps",
+            PrivilegedOp::InstructionBreakpoint => "Instruction Breakpoint",
+            PrivilegedOp::DataBreakpoint => "Data Breakpoint",
+            PrivilegedOp::InvalidPageTraps => "Invalid Page Traps",
+            PrivilegedOp::VariablePageSize => "Variable Page Size",
+            PrivilegedOp::InstructionCounters => "Instruction Counters",
+        }
+    }
+}
+
+/// One processor column of Table 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessorSupport {
+    /// Processor name as printed in the paper.
+    pub name: &'static str,
+    entries: [Support; 6],
+}
+
+impl ProcessorSupport {
+    /// Support status for one operation.
+    pub fn support(&self, op: PrivilegedOp) -> Support {
+        let i = PrivilegedOp::ALL.iter().position(|&o| o == op).expect("op in ALL");
+        self.entries[i]
+    }
+
+    /// `true` when the processor can host a Tapeworm cache simulator
+    /// (needs ECC traps or abundant breakpoints) and a TLB simulator
+    /// (invalid-page traps).
+    pub fn can_host_tapeworm(&self) -> bool {
+        self.support(PrivilegedOp::InvalidPageTraps) == Support::Yes
+            && (self.support(PrivilegedOp::EccTraps) == Support::Yes
+                || self.support(PrivilegedOp::DataBreakpoint) == Support::Yes)
+    }
+}
+
+use Support::{No, Unknown, Yes};
+
+/// Table 12, transcribed. Rows per processor:
+/// `[ECC, I-bkpt, D-bkpt, invalid-page, var-page-size, instr-counters]`.
+pub const TABLE12: [ProcessorSupport; 10] = [
+    ProcessorSupport { name: "MIPS R3000", entries: [Yes, Yes, No, Yes, No, No] },
+    ProcessorSupport { name: "MIPS R4000", entries: [Yes, Yes, No, Yes, Yes, No] },
+    ProcessorSupport { name: "SPARC", entries: [Yes, Yes, No, Yes, No, No] },
+    ProcessorSupport { name: "DEC Alpha", entries: [Yes, Yes, No, Yes, Yes, Yes] },
+    ProcessorSupport { name: "Tera", entries: [Yes, Yes, Yes, Yes, Unknown, Unknown] },
+    ProcessorSupport { name: "Intel i486", entries: [Unknown, Yes, No, Yes, No, No] },
+    ProcessorSupport { name: "Intel Pentium", entries: [Yes, Yes, No, Yes, Yes, Yes] },
+    ProcessorSupport { name: "AMD 29050", entries: [Unknown, Yes, No, Yes, Yes, No] },
+    ProcessorSupport { name: "HP PA-RISC", entries: [Unknown, Yes, No, Yes, Yes, Unknown] },
+    ProcessorSupport { name: "PowerPC", entries: [Unknown, Yes, No, Yes, Yes, No] },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_processors_six_ops() {
+        assert_eq!(TABLE12.len(), 10);
+        assert_eq!(PrivilegedOp::ALL.len(), 6);
+        for p in &TABLE12 {
+            assert!(!p.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_processor_supports_invalid_page_traps() {
+        // The paper's row: invalid page traps are universal — which is
+        // why TLB simulation ports everywhere.
+        for p in &TABLE12 {
+            assert_eq!(p.support(PrivilegedOp::InvalidPageTraps), Yes, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn only_tera_has_data_breakpoints() {
+        for p in &TABLE12 {
+            let expect = if p.name == "Tera" { Yes } else { No };
+            assert_eq!(p.support(PrivilegedOp::DataBreakpoint), expect, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn r3000_matches_the_implementation_platform() {
+        let r3000 = &TABLE12[0];
+        assert_eq!(r3000.support(PrivilegedOp::EccTraps), Yes);
+        assert_eq!(r3000.support(PrivilegedOp::VariablePageSize), No);
+        assert!(r3000.can_host_tapeworm());
+    }
+
+    #[test]
+    fn i486_hosts_tlb_tapeworm_only_via_page_traps() {
+        // The 486 port did TLB simulation (page traps) — its ECC
+        // support is blank in the table.
+        let i486 = TABLE12.iter().find(|p| p.name == "Intel i486").unwrap();
+        assert_eq!(i486.support(PrivilegedOp::EccTraps), Unknown);
+        assert!(!i486.can_host_tapeworm());
+    }
+
+    #[test]
+    fn support_displays_like_the_paper() {
+        assert_eq!(Yes.to_string(), "Yes");
+        assert_eq!(No.to_string(), "No");
+        assert_eq!(Unknown.to_string(), "");
+    }
+}

@@ -1,0 +1,149 @@
+//! Hardware-filtered cache set sampling.
+//!
+//! §3.2: "Rather than filter addresses in software to obtain a sample,
+//! Tapeworm exploits its trapping framework to make the host hardware
+//! perform this function at a much lower cost … by modifying
+//! `tw_register_page()` to only set traps on memory locations that map
+//! to specific cache sets for a given sample. Memory locations that are
+//! not part of the sample never cause miss traps and are effectively
+//! filtered from the simulation with no overhead." Slowdowns drop in
+//! direct proportion to the sampling fraction; variance rises
+//! (Table 8). "Different samples can be obtained simply by changing
+//! the pattern of traps" — here, by re-drawing the sample offset from
+//! the trial seed.
+
+use rand::Rng;
+
+use tapeworm_stats::SeedSeq;
+
+/// A 1-in-`denominator` sample of cache sets.
+///
+/// Sets with `set % denominator == offset` are sampled; `offset` is
+/// drawn per trial so repeated experiments measure different samples
+/// (the paper's source of sampling variance).
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_core::SetSample;
+/// use tapeworm_stats::SeedSeq;
+///
+/// let s = SetSample::new(8, SeedSeq::new(3));
+/// let sampled = (0..256).filter(|&set| s.is_sampled(set)).count();
+/// assert_eq!(sampled, 32); // exactly 1/8 of 256 sets
+/// assert_eq!(s.expansion_factor(), 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetSample {
+    denominator: u64,
+    offset: u64,
+}
+
+impl SetSample {
+    /// Creates a 1/`denominator` sample with a seed-derived offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `denominator` is a power of two (so it divides
+    /// any power-of-two set count evenly).
+    pub fn new(denominator: u64, seed: SeedSeq) -> Self {
+        assert!(
+            denominator.is_power_of_two(),
+            "sampling denominator must be a power of two"
+        );
+        let offset = if denominator == 1 {
+            0
+        } else {
+            seed.derive("set-sample", denominator).rng().gen_range(0..denominator)
+        };
+        SetSample {
+            denominator,
+            offset,
+        }
+    }
+
+    /// The full (non-)sample: every set measured.
+    pub fn full() -> Self {
+        SetSample {
+            denominator: 1,
+            offset: 0,
+        }
+    }
+
+    /// 1/denominator of the sets are sampled.
+    pub fn denominator(&self) -> u64 {
+        self.denominator
+    }
+
+    /// `true` when `set` belongs to the sample.
+    #[inline]
+    pub fn is_sampled(&self, set: u64) -> bool {
+        set % self.denominator == self.offset
+    }
+
+    /// Fraction of sets sampled.
+    pub fn fraction(&self) -> f64 {
+        1.0 / self.denominator as f64
+    }
+
+    /// The factor by which sampled miss counts are scaled to estimate
+    /// the full-cache count.
+    pub fn expansion_factor(&self) -> f64 {
+        self.denominator as f64
+    }
+}
+
+impl Default for SetSample {
+    fn default() -> Self {
+        SetSample::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sample_includes_everything() {
+        let s = SetSample::full();
+        assert!((0..1000).all(|set| s.is_sampled(set)));
+        assert_eq!(s.expansion_factor(), 1.0);
+        assert_eq!(s.fraction(), 1.0);
+    }
+
+    #[test]
+    fn fraction_is_exact_for_power_of_two_sets() {
+        for den in [2u64, 4, 8, 16] {
+            let s = SetSample::new(den, SeedSeq::new(1));
+            let hits = (0..256).filter(|&set| s.is_sampled(set)).count() as u64;
+            assert_eq!(hits, 256 / den, "denominator {den}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_draw_different_samples() {
+        let offsets: Vec<u64> = (0..32)
+            .map(|i| {
+                let s = SetSample::new(16, SeedSeq::new(i));
+                (0..16).find(|&set| s.is_sampled(set)).unwrap()
+            })
+            .collect();
+        let mut uniq = offsets.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > 1, "offsets never vary: {offsets:?}");
+    }
+
+    #[test]
+    fn same_seed_same_sample() {
+        let a = SetSample::new(8, SeedSeq::new(5));
+        let b = SetSample::new(8, SeedSeq::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_denominator_panics() {
+        let _ = SetSample::new(3, SeedSeq::new(0));
+    }
+}

@@ -1,0 +1,493 @@
+//! The Tapeworm simulator: Table 1 primitives and the miss handler.
+
+use std::collections::HashMap;
+
+use tapeworm_machine::Component;
+use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+use tapeworm_os::{Tid, VmEvent};
+use tapeworm_stats::SeedSeq;
+
+use crate::cache::{CacheLine, SimCache};
+use crate::config::{CacheConfig, Indexing};
+use crate::cost::CostModel;
+use crate::sampling::SetSample;
+use crate::stats::MissStats;
+
+/// The trap-driven cache simulator.
+///
+/// A `Tapeworm` owns the simulated cache (software state), the set
+/// sample and the cost model; the host trap map is passed in by the
+/// caller because it belongs to the machine, exactly as the real
+/// Tapeworm manipulated the DECstation's ECC bits rather than owning
+/// them.
+///
+/// The invariant maintained for registered pages: **a line is trapped
+/// if and only if it is in a sampled set and not resident in the
+/// simulated cache.** Hits therefore never trap, and every trap is a
+/// simulated miss — the core idea of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_core::{CacheConfig, Tapeworm};
+/// use tapeworm_machine::Component;
+/// use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+/// use tapeworm_os::Tid;
+/// use tapeworm_stats::SeedSeq;
+///
+/// let cfg = CacheConfig::new(1024, 16, 1)?;
+/// let mut traps = TrapMap::new(64 * 1024, 16);
+/// let mut tw = Tapeworm::new(cfg, 4096, SeedSeq::new(1));
+///
+/// // The VM system registers a freshly mapped page:
+/// let tid = Tid::new(1);
+/// tw.tw_register_page(&mut traps, tid, Pfn::new(3), 0);
+/// let pa = Pfn::new(3).base(4096);
+/// assert!(traps.is_trapped(pa)); // not yet "cached" -> trapped
+///
+/// // First reference traps; the handler caches the line:
+/// let cycles = tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(0), pa);
+/// assert_eq!(cycles, 246);
+/// assert!(!traps.is_trapped(pa)); // subsequent hits run at full speed
+/// # Ok::<(), tapeworm_core::CacheConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Tapeworm {
+    cfg: CacheConfig,
+    cache: SimCache,
+    sample: SetSample,
+    cost: CostModel,
+    stats: MissStats,
+    page_bytes: u64,
+    page_refs: HashMap<Pfn, u32>,
+    overhead_cycles: u64,
+    pages_registered: u64,
+}
+
+impl Tapeworm {
+    /// Creates a simulator for the given cache geometry over pages of
+    /// `page_bytes`, with no sampling and the optimized cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a multiple of the line size (a
+    /// page must hold whole lines).
+    pub fn new(cfg: CacheConfig, page_bytes: u64, seed: SeedSeq) -> Self {
+        assert!(
+            page_bytes % cfg.line_bytes() == 0,
+            "page size must be a whole number of cache lines"
+        );
+        Tapeworm {
+            cache: SimCache::new(cfg, seed),
+            sample: SetSample::full(),
+            cost: CostModel::optimized(),
+            stats: MissStats::new(1.0),
+            page_bytes,
+            page_refs: HashMap::new(),
+            overhead_cycles: 0,
+            pages_registered: 0,
+            cfg,
+        }
+    }
+
+    /// Enables set sampling (must be set before any pages are
+    /// registered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if pages have already been registered.
+    pub fn with_sampling(mut self, sample: SetSample) -> Self {
+        assert!(
+            self.page_refs.is_empty(),
+            "sampling must be configured before registration"
+        );
+        self.sample = sample;
+        self.stats = MissStats::new(sample.expansion_factor());
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The simulated cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The active set sample.
+    pub fn sample(&self) -> &SetSample {
+        &self.sample
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Miss statistics.
+    pub fn stats(&self) -> &MissStats {
+        &self.stats
+    }
+
+    /// Total simulator overhead charged so far, in cycles.
+    pub fn overhead_cycles(&self) -> u64 {
+        self.overhead_cycles
+    }
+
+    /// Pages currently registered (live refcounts).
+    pub fn registered_pages(&self) -> usize {
+        self.page_refs.len()
+    }
+
+    /// `tw_set_trap(pa, size)` — arm traps over a physical range.
+    pub fn tw_set_trap(&mut self, traps: &mut TrapMap, pa: PhysAddr, size: u64) {
+        traps.set_range(pa, size);
+    }
+
+    /// `tw_clear_trap(pa, size)` — disarm traps over a physical range.
+    pub fn tw_clear_trap(&mut self, traps: &mut TrapMap, pa: PhysAddr, size: u64) {
+        traps.clear_range(pa, size);
+    }
+
+    /// `tw_register_page(tid, p, v)` — bring a page into the Tapeworm
+    /// domain. The first registration of a physical page sets traps on
+    /// its (sampled) lines; additional registrations of a shared page
+    /// only bump the reference count so sharers "benefit from shared
+    /// entries brought into the cache by another task" (§3.2).
+    ///
+    /// Returns the cycles charged for trap setting.
+    pub fn tw_register_page(
+        &mut self,
+        traps: &mut TrapMap,
+        tid: Tid,
+        pfn: Pfn,
+        vpn: u64,
+    ) -> u64 {
+        let refs = self.page_refs.entry(pfn).or_insert(0);
+        *refs += 1;
+        if *refs > 1 {
+            return 0;
+        }
+        self.pages_registered += 1;
+        let base_pa = pfn.base(self.page_bytes);
+        let line = self.cfg.line_bytes();
+        let lines = self.page_bytes / line;
+        // Which set a line maps to depends on the indexing mode; under
+        // virtual indexing use the registering task's virtual lines.
+        let first_pa_line = base_pa.line_index(line);
+        let first_va_line = vpn * (self.page_bytes / line);
+        let sample = self.sample;
+        let cfg = self.cfg;
+        let mut set_count = 0u64;
+        for i in 0..lines {
+            let set = match cfg.indexing() {
+                Indexing::Physical => cfg.set_of_line(first_pa_line + i),
+                Indexing::Virtual => cfg.set_of_line(first_va_line + i),
+            };
+            if sample.is_sampled(set) {
+                traps.set_range(PhysAddr::new((first_pa_line + i) * line), line);
+                set_count += 1;
+            }
+        }
+        let _ = tid;
+        let fraction = if lines == 0 {
+            0.0
+        } else {
+            set_count as f64 / lines as f64
+        };
+        let cycles = self.cost.cycles_per_register(self.page_bytes, fraction);
+        self.overhead_cycles += cycles;
+        cycles
+    }
+
+    /// `tw_remove_page(tid, p, v)` — remove a page from the Tapeworm
+    /// domain. Only the last unmapping flushes the page from the
+    /// simulated cache and clears its traps (shared-page reference
+    /// counting, §3.2). Returns the cycles charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never registered (a VM bookkeeping bug).
+    pub fn tw_remove_page(&mut self, traps: &mut TrapMap, tid: Tid, pfn: Pfn, vpn: u64) -> u64 {
+        let refs = self
+            .page_refs
+            .get_mut(&pfn)
+            .unwrap_or_else(|| panic!("removing unregistered page {pfn}"));
+        *refs -= 1;
+        if *refs > 0 {
+            return 0;
+        }
+        self.page_refs.remove(&pfn);
+        let base_pa = pfn.base(self.page_bytes);
+        self.cache.flush_physical_page(base_pa, self.page_bytes);
+        traps.clear_range(base_pa, self.page_bytes);
+        let _ = (tid, vpn);
+        let cycles = self
+            .cost
+            .cycles_per_register(self.page_bytes, self.sample.fraction());
+        self.overhead_cycles += cycles;
+        cycles
+    }
+
+    /// `tw_replace(tid, pa, va)` — insert a missing line into the
+    /// simulated cache and return the displaced line, if any.
+    pub fn tw_replace(&mut self, tid: Tid, va: VirtAddr, pa: PhysAddr) -> Option<CacheLine> {
+        self.cache.insert(tid, va, pa)
+    }
+
+    /// The optimized miss handler (Figure 1, right side): count the
+    /// miss, clear the trap on the missing line, insert it, re-trap the
+    /// displaced line. Returns the cycles charged.
+    pub fn handle_miss(
+        &mut self,
+        traps: &mut TrapMap,
+        component: Component,
+        tid: Tid,
+        va: VirtAddr,
+        pa: PhysAddr,
+    ) -> u64 {
+        self.stats.count_miss(component);
+        let line = self.cfg.line_bytes();
+        traps.clear_range(pa.line_base(line), line);
+        if let Some(displaced) = self.tw_replace(tid, va, pa) {
+            // Re-arm the trap only while the displaced page is still
+            // registered (it always is — removal flushes — but shared
+            // teardown ordering makes the check cheap insurance).
+            if self.page_refs.contains_key(&Pfn::new(
+                displaced.pa.raw() / self.page_bytes,
+            )) {
+                traps.set_range(displaced.pa, line);
+            }
+        }
+        let cycles = self.cost.cycles_per_miss(&self.cfg);
+        self.overhead_cycles += cycles;
+        cycles
+    }
+
+    /// Records a miss that was lost because interrupts were masked.
+    pub fn note_masked_miss(&mut self) {
+        self.stats.count_masked();
+    }
+
+    /// Dispatches a VM-system event to the matching primitive,
+    /// returning the cycles charged.
+    pub fn on_vm_event(&mut self, traps: &mut TrapMap, event: VmEvent) -> u64 {
+        match event {
+            VmEvent::PageRegistered { tid, pfn, vpn } => {
+                self.tw_register_page(traps, tid, pfn, vpn)
+            }
+            VmEvent::PageRemoved { tid, pfn, vpn } => self.tw_remove_page(traps, tid, pfn, vpn),
+        }
+    }
+
+    /// Verifies the core invariant for every registered page under
+    /// physical indexing: each line is trapped iff sampled and not
+    /// resident. Test/diagnostic aid (O(pages × lines)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated line.
+    pub fn validate_invariant(&self, traps: &TrapMap) -> Result<(), String> {
+        if self.cfg.indexing() != Indexing::Physical {
+            return Ok(()); // virtual aliasing makes the pa-level check inapplicable
+        }
+        let line = self.cfg.line_bytes();
+        for &pfn in self.page_refs.keys() {
+            let base = pfn.base(self.page_bytes);
+            for i in 0..self.page_bytes / line {
+                let pa = PhysAddr::new(base.raw() + i * line);
+                let sampled = self.sample.is_sampled(self.cfg.set_of_line(pa.line_index(line)));
+                let trapped = traps.is_trapped(pa);
+                let resident = self.cache.contains_physical(pa);
+                let expect_trap = sampled && !resident;
+                if trapped != expect_trap {
+                    return Err(format!(
+                        "line {pa}: trapped={trapped} but sampled={sampled}, resident={resident}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets the counters and simulated cache, keeping geometry,
+    /// sampling and registrations (between measurement windows).
+    pub fn reset_counters(&mut self) {
+        self.stats.reset();
+        self.overhead_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: u64 = 4096;
+
+    fn setup(cache_bytes: u64) -> (Tapeworm, TrapMap) {
+        let cfg = CacheConfig::new(cache_bytes, 16, 1).unwrap();
+        (
+            Tapeworm::new(cfg, PAGE, SeedSeq::new(1)),
+            TrapMap::new(1 << 20, 16),
+        )
+    }
+
+    #[test]
+    fn register_sets_traps_on_whole_page() {
+        let (mut tw, mut traps) = setup(1024);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(2), 0);
+        assert_eq!(traps.count(), PAGE / 16);
+        assert!(traps.is_trapped(PhysAddr::new(2 * PAGE)));
+        assert!(traps.is_trapped(PhysAddr::new(3 * PAGE - 1)));
+        assert!(!traps.is_trapped(PhysAddr::new(PAGE)));
+        tw.validate_invariant(&traps).unwrap();
+    }
+
+    #[test]
+    fn miss_clears_trap_and_retraps_displaced() {
+        let (mut tw, mut traps) = setup(1024); // 64 lines
+        let tid = Tid::new(1);
+        tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
+        let a = PhysAddr::new(0);
+        tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(0), a);
+        assert!(!traps.is_trapped(a), "cached line must not trap");
+        // Line 64 lines later conflicts with line 0 in a 1K DM cache.
+        let b = PhysAddr::new(1024);
+        tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(1024), b);
+        assert!(!traps.is_trapped(b));
+        assert!(traps.is_trapped(a), "displaced line must trap again");
+        assert_eq!(tw.stats().raw_total(), 2);
+        tw.validate_invariant(&traps).unwrap();
+    }
+
+    #[test]
+    fn shared_page_registration_refcounts() {
+        let (mut tw, mut traps) = setup(1024);
+        let pfn = Pfn::new(5);
+        tw.tw_register_page(&mut traps, Tid::new(1), pfn, 0);
+        let before = traps.count();
+        // Second sharer: no new traps ("benefit from shared entries").
+        let cycles = tw.tw_register_page(&mut traps, Tid::new(2), pfn, 7);
+        assert_eq!(cycles, 0);
+        assert_eq!(traps.count(), before);
+        // First removal keeps traps; second clears.
+        tw.tw_remove_page(&mut traps, Tid::new(1), pfn, 0);
+        assert_eq!(traps.count(), before);
+        tw.tw_remove_page(&mut traps, Tid::new(2), pfn, 7);
+        assert_eq!(traps.count(), 0);
+        assert_eq!(tw.registered_pages(), 0);
+    }
+
+    #[test]
+    fn remove_page_flushes_simulated_cache() {
+        let (mut tw, mut traps) = setup(64 * 1024); // big cache: no displacement
+        let tid = Tid::new(1);
+        tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
+        tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(0), PhysAddr::new(0));
+        tw.tw_remove_page(&mut traps, tid, Pfn::new(0), 0);
+        // Re-register: the page returns fully trapped (it was flushed).
+        tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
+        assert!(traps.is_trapped(PhysAddr::new(0)));
+        tw.validate_invariant(&traps).unwrap();
+    }
+
+    #[test]
+    fn sampling_registers_only_sampled_sets() {
+        let cfg = CacheConfig::new(1024, 16, 1).unwrap(); // 64 sets
+        let sample = SetSample::new(8, SeedSeq::new(2));
+        let mut tw = Tapeworm::new(cfg, PAGE, SeedSeq::new(1)).with_sampling(sample);
+        let mut traps = TrapMap::new(1 << 20, 16);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        // 256 lines per page, 1/8 sampled -> exactly 32 traps.
+        assert_eq!(traps.count(), 32);
+        assert_eq!(tw.stats().expansion(), 8.0);
+        tw.validate_invariant(&traps).unwrap();
+    }
+
+    #[test]
+    fn sampled_misses_expand_in_estimates() {
+        let cfg = CacheConfig::new(1024, 16, 1).unwrap();
+        let mut tw = Tapeworm::new(cfg, PAGE, SeedSeq::new(1))
+            .with_sampling(SetSample::new(4, SeedSeq::new(0)));
+        let mut traps = TrapMap::new(1 << 20, 16);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        // Miss on the first trapped line we can find.
+        let g = traps.iter_trapped().next().unwrap();
+        let pa = PhysAddr::new(g * 16);
+        tw.handle_miss(&mut traps, Component::User, Tid::new(1), VirtAddr::new(pa.raw()), pa);
+        assert_eq!(tw.stats().raw_total(), 1);
+        assert_eq!(tw.stats().estimated_total(), 4.0);
+    }
+
+    #[test]
+    fn overhead_accumulates_per_table5() {
+        let (mut tw, mut traps) = setup(1024);
+        let tid = Tid::new(1);
+        let reg = tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
+        let miss =
+            tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(0), PhysAddr::new(0));
+        assert_eq!(miss, 246);
+        assert_eq!(tw.overhead_cycles(), reg + miss);
+    }
+
+    #[test]
+    fn vm_event_dispatch_matches_primitives() {
+        let (mut tw, mut traps) = setup(1024);
+        let ev = VmEvent::PageRegistered {
+            tid: Tid::new(1),
+            pfn: Pfn::new(3),
+            vpn: 9,
+        };
+        tw.on_vm_event(&mut traps, ev);
+        assert_eq!(tw.registered_pages(), 1);
+        let ev = VmEvent::PageRemoved {
+            tid: Tid::new(1),
+            pfn: Pfn::new(3),
+            vpn: 9,
+        };
+        tw.on_vm_event(&mut traps, ev);
+        assert_eq!(tw.registered_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered page")]
+    fn removing_unregistered_page_panics() {
+        let (mut tw, mut traps) = setup(1024);
+        tw.tw_remove_page(&mut traps, Tid::new(1), Pfn::new(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before registration")]
+    fn late_sampling_configuration_panics() {
+        let (mut tw, mut traps) = setup(1024);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        let _ = tw.with_sampling(SetSample::new(2, SeedSeq::new(0)));
+    }
+
+    #[test]
+    fn masked_misses_recorded() {
+        let (mut tw, _) = setup(1024);
+        tw.note_masked_miss();
+        assert_eq!(tw.stats().masked(), 1);
+    }
+
+    #[test]
+    fn reset_counters_keeps_registrations() {
+        let (mut tw, mut traps) = setup(1024);
+        tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(0), 0);
+        tw.handle_miss(
+            &mut traps,
+            Component::User,
+            Tid::new(1),
+            VirtAddr::new(0),
+            PhysAddr::new(0),
+        );
+        tw.reset_counters();
+        assert_eq!(tw.stats().raw_total(), 0);
+        assert_eq!(tw.overhead_cycles(), 0);
+        assert_eq!(tw.registered_pages(), 1);
+    }
+}

@@ -1,0 +1,450 @@
+//! TLB simulation via page-valid-bit traps.
+//!
+//! "For TLB simulation, where the granularity is large, page valid bits
+//! are most effective, particularly if the machine supports variable
+//! page sizes" (§3.2). The simulated TLB is pure software state; the
+//! trap mechanism is the hardware valid bit in each PTE, cleared
+//! through the OS VM system. The PTE's software `resident` shadow bit
+//! (paper footnote 2) is what lets the fault handler tell a Tapeworm
+//! trap from a genuine page fault.
+//!
+//! Variable page sizes are supported: the simulated TLB may map pages
+//! larger than the OS page, in which case one simulated entry covers a
+//! whole group of OS pages and a miss validates (and a displacement
+//! invalidates) all currently mapped pages of the group.
+
+use std::collections::HashMap;
+
+use tapeworm_machine::Component;
+use tapeworm_mem::PageSize;
+use tapeworm_os::{Tid, Vm, VmEvent};
+use tapeworm_stats::SeedSeq;
+
+use crate::stats::MissStats;
+
+/// Geometry of the simulated TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbSimConfig {
+    /// Total entries.
+    pub entries: u32,
+    /// Ways per set (1 = direct-mapped, `entries` = fully associative).
+    pub associativity: u32,
+    /// Simulated page size (≥ the OS page size; a multiple of it).
+    pub page_size: PageSize,
+    /// Handler cost charged per simulated *user* TLB miss, in cycles.
+    ///
+    /// On a software-managed TLB, miss classes have very different
+    /// handler costs — the design-tradeoff axis of the companion
+    /// \[Nagle93\] study: user refills run through the fast uTLB
+    /// handler; kernel misses take the generic exception path.
+    pub miss_cycles: u64,
+    /// Handler cost per *kernel* TLB miss (the slow generic path).
+    pub kernel_miss_cycles: u64,
+}
+
+impl TlbSimConfig {
+    /// A 64-entry fully associative TLB of 4 KiB pages — the R3000
+    /// shape the paper's first-generation Tapeworm simulated. The
+    /// Nagle93-style cost split: ~20-cycle uTLB user refill (plus the
+    /// simulation trap around it), ~300-cycle kernel miss path.
+    pub fn r3000() -> Self {
+        TlbSimConfig {
+            entries: 64,
+            associativity: 64,
+            page_size: PageSize::DEFAULT,
+            miss_cycles: 250,
+            kernel_miss_cycles: 550,
+        }
+    }
+
+    fn sets(&self) -> u64 {
+        u64::from(self.entries / self.associativity)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlbLine {
+    tid: Tid,
+    sim_vpn: u64,
+}
+
+/// The trap-driven TLB simulator.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_core::{TlbSim, TlbSimConfig};
+/// use tapeworm_machine::Component;
+/// use tapeworm_mem::{PageSize, SequentialAllocator, VirtAddr};
+/// use tapeworm_os::{Tid, Vm};
+/// use tapeworm_stats::SeedSeq;
+///
+/// let mut vm = Vm::new(PageSize::DEFAULT, Box::new(SequentialAllocator::new(64)));
+/// let mut sim = TlbSim::new(TlbSimConfig::r3000(), PageSize::DEFAULT, SeedSeq::new(1));
+/// let tid = Tid::new(1);
+/// let (_, ev) = vm.map_new(tid, 0)?;
+/// sim.on_vm_event(&mut vm, ev);
+/// // The fresh page is invalid -> the first reference raises a page
+/// // trap, which the handler resolves:
+/// let cycles = sim.handle_page_trap(&mut vm, Component::User, tid, 0);
+/// assert_eq!(cycles, 250);
+/// assert_eq!(sim.stats().raw_total(), 1);
+/// # Ok::<(), tapeworm_os::OutOfMemoryError>(())
+/// ```
+#[derive(Debug)]
+pub struct TlbSim {
+    cfg: TlbSimConfig,
+    os_page: PageSize,
+    /// OS pages per simulated page.
+    ratio: u64,
+    /// sets × ways simulated TLB entries.
+    slots: Vec<Option<TlbLine>>,
+    cursors: Vec<u32>,
+    /// Mapped OS vpns per (tid, sim_vpn) group, maintained from VM
+    /// events so displacement can invalidate exactly the mapped pages.
+    groups: HashMap<(Tid, u64), Vec<u64>>,
+    stats: MissStats,
+    overhead_cycles: u64,
+    _seed: SeedSeq,
+}
+
+impl TlbSim {
+    /// Creates a simulator. `os_page` is the VM system's page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated page is smaller than the OS page, if
+    /// the sizes do not divide evenly, or if associativity does not
+    /// divide the entry count.
+    pub fn new(cfg: TlbSimConfig, os_page: PageSize, seed: SeedSeq) -> Self {
+        assert!(
+            cfg.page_size.bytes() >= os_page.bytes(),
+            "simulated page must be at least the OS page"
+        );
+        assert!(
+            cfg.entries % cfg.associativity == 0,
+            "associativity must divide entry count"
+        );
+        let ratio = cfg.page_size.bytes() / os_page.bytes();
+        TlbSim {
+            slots: vec![None; cfg.entries as usize],
+            cursors: vec![0; (cfg.entries / cfg.associativity) as usize],
+            groups: HashMap::new(),
+            stats: MissStats::new(1.0),
+            overhead_cycles: 0,
+            _seed: seed,
+            cfg,
+            os_page,
+            ratio,
+        }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &TlbSimConfig {
+        &self.cfg
+    }
+
+    /// Miss statistics.
+    pub fn stats(&self) -> &MissStats {
+        &self.stats
+    }
+
+    /// Total handler overhead charged, in cycles.
+    pub fn overhead_cycles(&self) -> u64 {
+        self.overhead_cycles
+    }
+
+    /// Simulated entries currently valid.
+    pub fn resident(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    fn sim_vpn(&self, os_vpn: u64) -> u64 {
+        os_vpn / self.ratio
+    }
+
+    fn set_of(&self, line: TlbLine) -> u64 {
+        (line.sim_vpn ^ u64::from(line.tid.raw()) << 13) % self.cfg.sets()
+    }
+
+    fn set_group_valid(&self, vm: &mut Vm, tid: Tid, sim_vpn: u64, valid: bool) {
+        if let Some(vpns) = self.groups.get(&(tid, sim_vpn)) {
+            for &vpn in vpns {
+                vm.set_valid(tid, vpn, valid);
+            }
+        }
+    }
+
+    /// Routes a VM registration event: freshly mapped pages start
+    /// *invalid* (trapped) unless their simulated-page group is already
+    /// in the simulated TLB; removals drop bookkeeping and any
+    /// simulated entry for a now-empty group.
+    pub fn on_vm_event(&mut self, vm: &mut Vm, event: VmEvent) {
+        match event {
+            VmEvent::PageRegistered { tid, vpn, .. } => {
+                let sim_vpn = self.sim_vpn(vpn);
+                self.groups.entry((tid, sim_vpn)).or_default().push(vpn);
+                let line = TlbLine { tid, sim_vpn };
+                let in_tlb = self.contains(line);
+                vm.set_valid(tid, vpn, in_tlb);
+            }
+            VmEvent::PageRemoved { tid, vpn, .. } => {
+                let sim_vpn = self.sim_vpn(vpn);
+                if let Some(vpns) = self.groups.get_mut(&(tid, sim_vpn)) {
+                    vpns.retain(|&v| v != vpn);
+                    if vpns.is_empty() {
+                        self.groups.remove(&(tid, sim_vpn));
+                        self.evict_exact(TlbLine { tid, sim_vpn });
+                    }
+                }
+            }
+        }
+    }
+
+    fn contains(&self, line: TlbLine) -> bool {
+        let set = self.set_of(line);
+        let ways = self.cfg.associativity as usize;
+        let start = set as usize * ways;
+        self.slots[start..start + ways].contains(&Some(line))
+    }
+
+    fn evict_exact(&mut self, line: TlbLine) {
+        let set = self.set_of(line);
+        let ways = self.cfg.associativity as usize;
+        let start = set as usize * ways;
+        for slot in &mut self.slots[start..start + ways] {
+            if *slot == Some(line) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// The TLB-simulation trap handler: a reference faulted on a
+    /// Tapeworm-invalidated page. Counts the miss, validates the
+    /// page's group, inserts the simulated entry and invalidates any
+    /// displaced group. Returns cycles charged.
+    pub fn handle_page_trap(
+        &mut self,
+        vm: &mut Vm,
+        component: Component,
+        tid: Tid,
+        os_vpn: u64,
+    ) -> u64 {
+        self.stats.count_miss(component);
+        let line = TlbLine {
+            tid,
+            sim_vpn: self.sim_vpn(os_vpn),
+        };
+        self.set_group_valid(vm, tid, line.sim_vpn, true);
+        // Insert with per-set FIFO replacement.
+        let set = self.set_of(line);
+        let ways = self.cfg.associativity as usize;
+        let start = set as usize * ways;
+        let displaced = {
+            let slots = &mut self.slots[start..start + ways];
+            if slots.contains(&Some(line)) {
+                None
+            } else if let Some(empty) = slots.iter_mut().find(|s| s.is_none()) {
+                *empty = Some(line);
+                None
+            } else {
+                let c = &mut self.cursors[set as usize];
+                let way = *c as usize;
+                *c = (*c + 1) % self.cfg.associativity;
+                slots[way].replace(line)
+            }
+        };
+        if let Some(victim) = displaced {
+            self.set_group_valid(vm, victim.tid, victim.sim_vpn, false);
+        }
+        let cycles = if tid.is_kernel() {
+            self.cfg.kernel_miss_cycles
+        } else {
+            self.cfg.miss_cycles
+        };
+        self.overhead_cycles += cycles;
+        cycles
+    }
+
+    /// The OS page size this simulator was built against.
+    pub fn os_page(&self) -> PageSize {
+        self.os_page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeworm_mem::SequentialAllocator;
+
+    fn vm() -> Vm {
+        Vm::new(PageSize::DEFAULT, Box::new(SequentialAllocator::new(256)))
+    }
+
+    fn sim(entries: u32, assoc: u32) -> TlbSim {
+        TlbSim::new(
+            TlbSimConfig {
+                entries,
+                associativity: assoc,
+                page_size: PageSize::DEFAULT,
+                miss_cycles: 250,
+                kernel_miss_cycles: 550,
+            },
+            PageSize::DEFAULT,
+            SeedSeq::new(1),
+        )
+    }
+
+    fn map_and_register(vm: &mut Vm, sim: &mut TlbSim, tid: Tid, vpn: u64) {
+        let (_, ev) = vm.map_new(tid, vpn).unwrap();
+        sim.on_vm_event(vm, ev);
+    }
+
+    #[test]
+    fn fresh_pages_trap_until_first_miss() {
+        let mut vm = vm();
+        let mut sim = sim(8, 8);
+        let tid = Tid::new(1);
+        map_and_register(&mut vm, &mut sim, tid, 0);
+        assert!(vm.pte(tid, 0).unwrap().faults_as_tapeworm_trap());
+        sim.handle_page_trap(&mut vm, Component::User, tid, 0);
+        assert!(vm.pte(tid, 0).unwrap().valid);
+        assert_eq!(sim.stats().raw_total(), 1);
+        assert_eq!(sim.resident(), 1);
+    }
+
+    #[test]
+    fn capacity_displacement_invalidates_victim() {
+        let mut vm = vm();
+        let mut sim = sim(2, 2); // 2-entry fully associative
+        let tid = Tid::new(1);
+        for vpn in 0..3 {
+            map_and_register(&mut vm, &mut sim, tid, vpn);
+        }
+        sim.handle_page_trap(&mut vm, Component::User, tid, 0);
+        sim.handle_page_trap(&mut vm, Component::User, tid, 1);
+        assert!(vm.pte(tid, 0).unwrap().valid);
+        assert!(vm.pte(tid, 1).unwrap().valid);
+        // Third entry displaces FIFO victim (vpn 0).
+        sim.handle_page_trap(&mut vm, Component::User, tid, 2);
+        assert!(!vm.pte(tid, 0).unwrap().valid, "victim must be re-trapped");
+        assert!(vm.pte(tid, 0).unwrap().faults_as_tapeworm_trap());
+        assert!(vm.pte(tid, 2).unwrap().valid);
+        assert_eq!(sim.resident(), 2);
+    }
+
+    #[test]
+    fn superpages_group_os_pages() {
+        let mut vm = vm();
+        let mut sim = TlbSim::new(
+            TlbSimConfig {
+                entries: 4,
+                associativity: 4,
+                page_size: PageSize::new(16 * 1024).unwrap(), // 4 OS pages
+                miss_cycles: 250,
+                kernel_miss_cycles: 550,
+            },
+            PageSize::DEFAULT,
+            SeedSeq::new(1),
+        );
+        let tid = Tid::new(1);
+        for vpn in 0..4 {
+            map_and_register(&mut vm, &mut sim, tid, vpn);
+        }
+        // One miss on any page of the group validates all four.
+        sim.handle_page_trap(&mut vm, Component::User, tid, 2);
+        for vpn in 0..4 {
+            assert!(vm.pte(tid, vpn).unwrap().valid, "vpn {vpn}");
+        }
+        assert_eq!(sim.stats().raw_total(), 1);
+        assert_eq!(sim.resident(), 1);
+    }
+
+    #[test]
+    fn late_mapped_page_of_resident_group_is_valid_immediately() {
+        let mut vm = vm();
+        let mut sim = TlbSim::new(
+            TlbSimConfig {
+                entries: 4,
+                associativity: 4,
+                page_size: PageSize::new(8 * 1024).unwrap(),
+                miss_cycles: 250,
+                kernel_miss_cycles: 550,
+            },
+            PageSize::DEFAULT,
+            SeedSeq::new(1),
+        );
+        let tid = Tid::new(1);
+        map_and_register(&mut vm, &mut sim, tid, 0);
+        sim.handle_page_trap(&mut vm, Component::User, tid, 0);
+        // vpn 1 belongs to the same 8K simulated page; mapping it now
+        // must not trap (the group is already in the simulated TLB).
+        map_and_register(&mut vm, &mut sim, tid, 1);
+        assert!(vm.pte(tid, 1).unwrap().valid);
+    }
+
+    #[test]
+    fn removal_drops_simulated_entry() {
+        let mut vm = vm();
+        let mut sim = sim(4, 4);
+        let tid = Tid::new(1);
+        map_and_register(&mut vm, &mut sim, tid, 0);
+        sim.handle_page_trap(&mut vm, Component::User, tid, 0);
+        assert_eq!(sim.resident(), 1);
+        let ev = vm.unmap(tid, 0);
+        sim.on_vm_event(&mut vm, ev);
+        assert_eq!(sim.resident(), 0);
+    }
+
+    #[test]
+    fn tasks_do_not_share_tlb_entries() {
+        let mut vm = vm();
+        let mut sim = sim(8, 8);
+        map_and_register(&mut vm, &mut sim, Tid::new(1), 0);
+        map_and_register(&mut vm, &mut sim, Tid::new(2), 0);
+        sim.handle_page_trap(&mut vm, Component::User, Tid::new(1), 0);
+        assert!(vm.pte(Tid::new(1), 0).unwrap().valid);
+        assert!(!vm.pte(Tid::new(2), 0).unwrap().valid);
+    }
+
+    #[test]
+    fn overhead_counts_cycles() {
+        let mut vm = vm();
+        let mut sim = sim(8, 8);
+        let tid = Tid::new(1);
+        map_and_register(&mut vm, &mut sim, tid, 0);
+        sim.handle_page_trap(&mut vm, Component::User, tid, 0);
+        assert_eq!(sim.overhead_cycles(), 250);
+    }
+
+    #[test]
+    fn kernel_misses_take_the_slow_path() {
+        // Nagle93's cost taxonomy: kernel TLB misses cost more than
+        // the fast user refill.
+        let mut vm = vm();
+        let mut sim = sim(8, 8);
+        map_and_register(&mut vm, &mut sim, Tid::KERNEL, 0x80025);
+        let cycles = sim.handle_page_trap(&mut vm, Component::Kernel, Tid::KERNEL, 0x80025);
+        assert_eq!(cycles, 550);
+        map_and_register(&mut vm, &mut sim, Tid::new(1), 0);
+        let cycles = sim.handle_page_trap(&mut vm, Component::User, Tid::new(1), 0);
+        assert_eq!(cycles, 250);
+        assert_eq!(sim.overhead_cycles(), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the OS page")]
+    fn sim_page_smaller_than_os_page_panics() {
+        let _ = TlbSim::new(
+            TlbSimConfig {
+                entries: 4,
+                associativity: 4,
+                page_size: PageSize::new(128).unwrap(),
+                miss_cycles: 1,
+                kernel_miss_cycles: 1,
+            },
+            PageSize::DEFAULT,
+            SeedSeq::new(0),
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Instruction and data breakpoint registers.
+//!
+//! Table 2 lists breakpoints as an alternative trap-setting mechanism
+//! ("perhaps set in clusters of more than one" for cache-line
+//! granularity). They are modelled as a bounded register file, because
+//! the scarcity of breakpoint registers is exactly why ECC traps scale
+//! better for cache simulation.
+
+use std::collections::BTreeSet;
+
+use tapeworm_mem::VirtAddr;
+
+/// A bounded file of breakpoint registers.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_machine::Breakpoints;
+/// use tapeworm_mem::VirtAddr;
+///
+/// let mut bp = Breakpoints::new(4);
+/// assert!(bp.set(VirtAddr::new(0x100)));
+/// assert!(bp.check(VirtAddr::new(0x100)));
+/// assert!(!bp.check(VirtAddr::new(0x104)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breakpoints {
+    set: BTreeSet<u64>,
+    capacity: usize,
+}
+
+impl Breakpoints {
+    /// Creates a file with `capacity` registers.
+    pub fn new(capacity: usize) -> Self {
+        Breakpoints {
+            set: BTreeSet::new(),
+            capacity,
+        }
+    }
+
+    /// Number of registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of breakpoints currently armed.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when no breakpoints are armed.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Arms a breakpoint on `va`. Returns `false` when all registers
+    /// are busy (and the breakpoint is *not* set) — the scarcity that
+    /// makes this mechanism unsuitable for whole-cache simulation.
+    pub fn set(&mut self, va: VirtAddr) -> bool {
+        if self.set.contains(&va.raw()) {
+            return true;
+        }
+        if self.set.len() >= self.capacity {
+            return false;
+        }
+        self.set.insert(va.raw());
+        true
+    }
+
+    /// Disarms the breakpoint on `va`; returns whether one was armed.
+    pub fn clear(&mut self, va: VirtAddr) -> bool {
+        self.set.remove(&va.raw())
+    }
+
+    /// `true` when an access to `va` should trap.
+    pub fn check(&self, va: VirtAddr) -> bool {
+        self.set.contains(&va.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_check_clear() {
+        let mut bp = Breakpoints::new(2);
+        let va = VirtAddr::new(0x40);
+        assert!(bp.set(va));
+        assert!(bp.check(va));
+        assert!(bp.clear(va));
+        assert!(!bp.check(va));
+        assert!(!bp.clear(va));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut bp = Breakpoints::new(2);
+        assert!(bp.set(VirtAddr::new(0)));
+        assert!(bp.set(VirtAddr::new(4)));
+        assert!(!bp.set(VirtAddr::new(8)), "third breakpoint must be refused");
+        assert_eq!(bp.len(), 2);
+        // Re-arming an existing one succeeds even when full.
+        assert!(bp.set(VirtAddr::new(0)));
+    }
+
+    #[test]
+    fn empty_state() {
+        let bp = Breakpoints::new(1);
+        assert!(bp.is_empty());
+        assert_eq!(bp.capacity(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The interval clock.
+//!
+//! Clock interrupts are central to two results in the paper: they drive
+//! scheduling quanta, and — because they fire on *wall-clock* (dilated)
+//! time — simulator overhead increases the number of interrupts a
+//! workload experiences, which in turn increases cache conflict misses
+//! (Figure 4's time-dilation bias).
+
+/// A periodic interval timer.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_machine::IntervalClock;
+///
+/// let mut clock = IntervalClock::new(1000);
+/// assert_eq!(clock.advance(999), 0);
+/// assert_eq!(clock.advance(1), 1);   // fires at cycle 1000
+/// assert_eq!(clock.advance(2500), 2); // fires at 2000 and 3000
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalClock {
+    period: u64,
+    now: u64,
+    next_fire: u64,
+    fired: u64,
+}
+
+impl IntervalClock {
+    /// Creates a clock firing every `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0, "clock period must be positive");
+        IntervalClock {
+            period,
+            now: 0,
+            next_fire: period,
+            fired: 0,
+        }
+    }
+
+    /// The configured period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Current time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total interrupts fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Advances time by `cycles` and returns how many interrupts fired
+    /// during that span.
+    pub fn advance(&mut self, cycles: u64) -> u64 {
+        self.now += cycles;
+        let mut n = 0;
+        while self.now >= self.next_fire {
+            self.next_fire += self.period;
+            n += 1;
+        }
+        self.fired += n;
+        n
+    }
+
+    /// Resets time to zero (between experiment trials).
+    pub fn reset(&mut self) {
+        self.now = 0;
+        self.next_fire = self.period;
+        self.fired = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_exact_boundary() {
+        let mut c = IntervalClock::new(100);
+        assert_eq!(c.advance(99), 0);
+        assert_eq!(c.advance(1), 1);
+        assert_eq!(c.fired(), 1);
+    }
+
+    #[test]
+    fn big_jump_fires_multiple() {
+        let mut c = IntervalClock::new(10);
+        assert_eq!(c.advance(35), 3);
+        assert_eq!(c.advance(5), 1); // now 40
+        assert_eq!(c.fired(), 4);
+    }
+
+    #[test]
+    fn dilation_increases_interrupts_for_same_work() {
+        // Same "useful work" (1000 cycles) with and without overhead.
+        let mut undilated = IntervalClock::new(100);
+        let mut dilated = IntervalClock::new(100);
+        let mut without = 0;
+        let mut with = 0;
+        for _ in 0..10 {
+            without += undilated.advance(100);
+            with += dilated.advance(100);
+            with += dilated.advance(150); // simulator overhead
+        }
+        assert!(with > without);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = IntervalClock::new(50);
+        c.advance(500);
+        c.reset();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.fired(), 0);
+        assert_eq!(c.advance(49), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = IntervalClock::new(0);
+    }
+}

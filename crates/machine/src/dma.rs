@@ -1,0 +1,76 @@
+//! A DMA engine that bypasses the CPU's trap check.
+//!
+//! The paper reports that the Tapeworm port from the DECstation
+//! 5000/200 to the 5000/240 "was hindered due to differences between
+//! the way that DMA is implemented on the two machines" (§4.3). The
+//! hazard: a device writing memory regenerates ECC without consulting
+//! the CPU, silently destroying any traps in the transferred range, so
+//! the simulated cache silently diverges. This model makes the hazard
+//! observable and countable so the OS layer can re-arm traps after I/O
+//! completions.
+
+use tapeworm_mem::{PhysAddr, TrapMap};
+
+/// A device-side memory writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DmaEngine {
+    transfers: u64,
+    traps_destroyed: u64,
+}
+
+impl DmaEngine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        DmaEngine::default()
+    }
+
+    /// Performs a device write of `size` bytes at `pa`, clearing any
+    /// traps in the range *without* raising ECC traps (the hardware
+    /// hazard). Returns how many trapped granules were destroyed.
+    pub fn transfer(&mut self, traps: &mut TrapMap, pa: PhysAddr, size: u64) -> u64 {
+        let before = traps.count();
+        traps.clear_range(pa, size);
+        let destroyed = before - traps.count();
+        self.transfers += 1;
+        self.traps_destroyed += destroyed;
+        destroyed
+    }
+
+    /// Total transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total trapped granules silently destroyed — the port-hazard
+    /// metric.
+    pub fn traps_destroyed(&self) -> u64 {
+        self.traps_destroyed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_destroys_traps_silently() {
+        let mut traps = TrapMap::new(1024, 16);
+        traps.set_range(PhysAddr::new(0), 256);
+        let mut dma = DmaEngine::new();
+        let destroyed = dma.transfer(&mut traps, PhysAddr::new(64), 64);
+        assert_eq!(destroyed, 4);
+        assert_eq!(traps.count(), 12);
+        assert!(!traps.is_trapped(PhysAddr::new(64)));
+        assert!(traps.is_trapped(PhysAddr::new(0)));
+        assert_eq!(dma.traps_destroyed(), 4);
+        assert_eq!(dma.transfers(), 1);
+    }
+
+    #[test]
+    fn transfer_over_untrapped_range_destroys_nothing() {
+        let mut traps = TrapMap::new(1024, 16);
+        let mut dma = DmaEngine::new();
+        assert_eq!(dma.transfer(&mut traps, PhysAddr::new(0), 512), 0);
+        assert_eq!(dma.traps_destroyed(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The Monster hardware monitor.
+//!
+//! The paper validates Tapeworm against "a hardware monitoring system,
+//! called Monster, based on a DAS 9200 logic analyzer" that can
+//! "unobtrusively count total instructions and stall cycles" \[Nagle92\].
+//! Here Monster is a passive observer fed by the experiment loop: it
+//! counts instructions and cycles per workload component without
+//! perturbing the simulated system, and produces the Table 4 style
+//! breakdown (instructions, run time, fraction of time per component).
+
+use std::fmt;
+
+/// The workload components the paper accounts separately (Table 4,
+/// Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// The OS kernel itself (`tid == 0` in Tapeworm attribute calls).
+    Kernel,
+    /// The user-level BSD UNIX server.
+    BsdServer,
+    /// The X display server.
+    XServer,
+    /// Any task descended from the workload shell ("user tasks" are
+    /// lumped together via the inheritance attribute).
+    User,
+}
+
+impl Component {
+    /// All components in display order.
+    pub const ALL: [Component; 4] = [
+        Component::Kernel,
+        Component::BsdServer,
+        Component::XServer,
+        Component::User,
+    ];
+
+    /// Stable index for array-backed per-component counters.
+    pub fn index(self) -> usize {
+        match self {
+            Component::Kernel => 0,
+            Component::BsdServer => 1,
+            Component::XServer => 2,
+            Component::User => 3,
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Component::Kernel => "Kernel",
+            Component::BsdServer => "BSD Server",
+            Component::XServer => "X Server",
+            Component::User => "User Tasks",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Passive per-component instruction and cycle counters.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_machine::{Component, Monster};
+///
+/// let mut m = Monster::new();
+/// m.record(Component::User, 10, 10);
+/// m.record(Component::Kernel, 5, 8);
+/// assert_eq!(m.total_instructions(), 15);
+/// assert!((m.time_fraction(Component::Kernel) - 8.0 / 18.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Monster {
+    instructions: [u64; 4],
+    cycles: [u64; 4],
+}
+
+impl Monster {
+    /// Creates a monitor with zeroed counters.
+    pub fn new() -> Self {
+        Monster::default()
+    }
+
+    /// Records `instructions` instructions and `cycles` cycles executed
+    /// by `component`.
+    pub fn record(&mut self, component: Component, instructions: u64, cycles: u64) {
+        self.instructions[component.index()] += instructions;
+        self.cycles[component.index()] += cycles;
+    }
+
+    /// Instructions executed by one component.
+    pub fn instructions(&self, component: Component) -> u64 {
+        self.instructions[component.index()]
+    }
+
+    /// Cycles spent in one component.
+    pub fn cycles(&self, component: Component) -> u64 {
+        self.cycles[component.index()]
+    }
+
+    /// Total instructions across all components (Table 4 "Instr").
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.iter().sum()
+    }
+
+    /// Total cycles across all components (the uninstrumented run
+    /// time).
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Fraction of total time spent in `component` (Table 4's
+    /// percentage columns). Zero when nothing has run.
+    pub fn time_fraction(&self, component: Component) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles[component.index()] as f64 / total as f64
+        }
+    }
+
+    /// Merges another monitor's counts into this one.
+    pub fn merge(&mut self, other: &Monster) {
+        for i in 0..4 {
+            self.instructions[i] += other.instructions[i];
+            self.cycles[i] += other.cycles[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut m = Monster::new();
+        m.record(Component::Kernel, 100, 240);
+        m.record(Component::BsdServer, 50, 160);
+        m.record(Component::XServer, 25, 40);
+        m.record(Component::User, 300, 560);
+        let total: f64 = Component::ALL.iter().map(|&c| m.time_fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(m.total_instructions(), 475);
+        assert_eq!(m.total_cycles(), 1000);
+    }
+
+    #[test]
+    fn empty_monitor_has_zero_fractions() {
+        let m = Monster::new();
+        assert_eq!(m.time_fraction(Component::User), 0.0);
+        assert_eq!(m.total_cycles(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Monster::new();
+        a.record(Component::User, 1, 2);
+        let mut b = Monster::new();
+        b.record(Component::User, 3, 4);
+        b.record(Component::Kernel, 5, 6);
+        a.merge(&b);
+        assert_eq!(a.instructions(Component::User), 4);
+        assert_eq!(a.cycles(Component::Kernel), 6);
+    }
+
+    #[test]
+    fn component_indices_are_stable_and_distinct() {
+        let mut seen = [false; 4];
+        for c in Component::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! An R3000-style software-managed hardware TLB.
+//!
+//! The host TLB is part of the substrate (the paper's first-generation
+//! Tapeworm intercepted exactly these software refill traps to drive TLB
+//! simulation \[Nagle93\]). It is fully associative with uniform random
+//! replacement and a handful of *wired* entries the kernel pins, like
+//! the real R3000.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tapeworm_mem::{Pfn, VirtAddr};
+use tapeworm_stats::SeedSeq;
+
+/// One TLB entry: a (task, virtual page) → physical frame mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Address-space identifier (task id).
+    pub asid: u16,
+    /// Virtual page number.
+    pub vpn: u64,
+    /// Mapped physical frame.
+    pub pfn: Pfn,
+}
+
+/// Result of a TLB probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit; translation proceeded at full speed.
+    Hit(Pfn),
+    /// Miss; the software refill handler must run.
+    Miss,
+}
+
+/// A fully associative, software-managed TLB with random replacement.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_machine::{Tlb, TlbOutcome};
+/// use tapeworm_mem::{Pfn, VirtAddr};
+/// use tapeworm_stats::SeedSeq;
+///
+/// let mut tlb = Tlb::new(64, 8, 4096, SeedSeq::new(1));
+/// let va = VirtAddr::new(0x4000);
+/// assert_eq!(tlb.probe(1, va), TlbOutcome::Miss);
+/// tlb.refill(1, va, Pfn::new(9));
+/// assert_eq!(tlb.probe(1, va), TlbOutcome::Hit(Pfn::new(9)));
+/// ```
+#[derive(Debug)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    wired: usize,
+    page_bytes: u64,
+    rng: StdRng,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots, the first `wired` of which
+    /// are reserved for kernel pins, translating `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wired >= entries`, `entries == 0`, or `page_bytes` is
+    /// not a power of two.
+    pub fn new(entries: usize, wired: usize, page_bytes: u64, seed: SeedSeq) -> Self {
+        assert!(entries > 0, "tlb must have at least one entry");
+        assert!(wired < entries, "wired entries must leave room for refills");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries: vec![None; entries],
+            wired,
+            page_bytes,
+            rng: seed.derive("tlb", 0).rng(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of entry slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Probes the TLB for `(asid, va)`, updating hit/miss counters.
+    pub fn probe(&mut self, asid: u16, va: VirtAddr) -> TlbOutcome {
+        let vpn = va.page_number(self.page_bytes);
+        for e in self.entries.iter().flatten() {
+            if e.asid == asid && e.vpn == vpn {
+                self.hits += 1;
+                return TlbOutcome::Hit(e.pfn);
+            }
+        }
+        self.misses += 1;
+        TlbOutcome::Miss
+    }
+
+    /// Installs a translation after a miss, evicting a random
+    /// non-wired entry if full (the R3000's `tlbwr` behaviour).
+    pub fn refill(&mut self, asid: u16, va: VirtAddr, pfn: Pfn) {
+        let vpn = va.page_number(self.page_bytes);
+        let entry = TlbEntry { asid, vpn, pfn };
+        // Prefer an empty non-wired slot.
+        for slot in self.entries.iter_mut().skip(self.wired) {
+            if slot.is_none() {
+                *slot = Some(entry);
+                return;
+            }
+        }
+        let victim = self.rng.gen_range(self.wired..self.entries.len());
+        self.entries[victim] = Some(entry);
+    }
+
+    /// Pins a translation into a wired slot (round-robin over wired
+    /// slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no wired slots.
+    pub fn wire(&mut self, asid: u16, va: VirtAddr, pfn: Pfn) {
+        assert!(self.wired > 0, "tlb has no wired slots");
+        let vpn = va.page_number(self.page_bytes);
+        // Reuse an existing wired mapping for the same page if present.
+        for slot in self.entries.iter_mut().take(self.wired) {
+            match slot {
+                Some(e) if e.asid == asid && e.vpn == vpn => {
+                    e.pfn = pfn;
+                    return;
+                }
+                None => {
+                    *slot = Some(TlbEntry { asid, vpn, pfn });
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // All wired slots busy: replace the first.
+        self.entries[0] = Some(TlbEntry { asid, vpn, pfn });
+    }
+
+    /// Drops every entry belonging to `asid` (task exit / address-space
+    /// teardown).
+    pub fn flush_asid(&mut self, asid: u16) {
+        for slot in &mut self.entries {
+            if matches!(slot, Some(e) if e.asid == asid) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Drops every entry (context-switch on a TLB without ASIDs; also
+    /// used between experiment trials).
+    pub fn flush_all(&mut self) {
+        self.entries.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(entries: usize) -> Tlb {
+        Tlb::new(entries, 2, 4096, SeedSeq::new(7))
+    }
+
+    #[test]
+    fn miss_then_refill_then_hit() {
+        let mut t = tlb(8);
+        let va = VirtAddr::new(0x1_2000);
+        assert_eq!(t.probe(3, va), TlbOutcome::Miss);
+        t.refill(3, va, Pfn::new(5));
+        assert_eq!(t.probe(3, va), TlbOutcome::Hit(Pfn::new(5)));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn asids_keep_tasks_separate() {
+        let mut t = tlb(8);
+        let va = VirtAddr::new(0x3000);
+        t.refill(1, va, Pfn::new(1));
+        assert_eq!(t.probe(2, va), TlbOutcome::Miss);
+        assert_eq!(t.probe(1, va), TlbOutcome::Hit(Pfn::new(1)));
+    }
+
+    #[test]
+    fn same_page_different_offset_hits() {
+        let mut t = tlb(8);
+        t.refill(1, VirtAddr::new(0x4000), Pfn::new(2));
+        assert_eq!(t.probe(1, VirtAddr::new(0x4FFC)), TlbOutcome::Hit(Pfn::new(2)));
+    }
+
+    #[test]
+    fn replacement_never_evicts_wired_entries() {
+        let mut t = Tlb::new(4, 1, 4096, SeedSeq::new(1));
+        t.wire(0, VirtAddr::new(0), Pfn::new(100));
+        // Fill far beyond capacity to force many evictions.
+        for i in 1..100u64 {
+            t.refill(1, VirtAddr::new(i * 4096), Pfn::new(i));
+        }
+        assert_eq!(t.probe(0, VirtAddr::new(0)), TlbOutcome::Hit(Pfn::new(100)));
+    }
+
+    #[test]
+    fn flush_asid_only_affects_that_task() {
+        let mut t = tlb(8);
+        t.refill(1, VirtAddr::new(0x1000), Pfn::new(1));
+        t.refill(2, VirtAddr::new(0x1000), Pfn::new(2));
+        t.flush_asid(1);
+        assert_eq!(t.probe(1, VirtAddr::new(0x1000)), TlbOutcome::Miss);
+        assert_eq!(t.probe(2, VirtAddr::new(0x1000)), TlbOutcome::Hit(Pfn::new(2)));
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut t = tlb(8);
+        t.refill(1, VirtAddr::new(0x1000), Pfn::new(1));
+        t.flush_all();
+        assert_eq!(t.probe(1, VirtAddr::new(0x1000)), TlbOutcome::Miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "wired entries")]
+    fn all_wired_is_rejected() {
+        let _ = Tlb::new(4, 4, 4096, SeedSeq::new(0));
+    }
+}

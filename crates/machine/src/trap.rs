@@ -1,0 +1,106 @@
+//! Trap kinds and vectoring.
+
+use std::fmt;
+
+use tapeworm_mem::{PhysAddr, VirtAddr};
+
+/// A kernel trap raised by the simulated hardware.
+///
+/// Maskability matters: on the DECstation, single-bit ECC errors raise
+/// an *interrupt* line, so they are lost while the kernel runs with
+/// interrupts disabled — the masked-trap measurement bias of §4.2. TLB
+/// misses and page faults are synchronous exceptions and cannot be
+/// masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// An ECC / memory-parity trap: the Tapeworm cache-miss signal.
+    Ecc {
+        /// Physical address of the trapped line.
+        pa: PhysAddr,
+        /// Virtual address of the access that tripped it.
+        va: VirtAddr,
+    },
+    /// A genuine (corrected) single-bit memory error.
+    TrueEccError {
+        /// Physical address of the erroneous word.
+        pa: PhysAddr,
+    },
+    /// An uncorrectable memory error.
+    FatalEccError {
+        /// Physical address of the erroneous word.
+        pa: PhysAddr,
+    },
+    /// Software-managed TLB refill exception.
+    TlbMiss {
+        /// Faulting virtual address.
+        va: VirtAddr,
+    },
+    /// Page-valid-bit fault: either a real page fault or a Tapeworm
+    /// TLB-simulation trap (disambiguated by the PTE's shadow bit).
+    PageFault {
+        /// Faulting virtual address.
+        va: VirtAddr,
+    },
+    /// An instruction or data breakpoint fired.
+    Breakpoint {
+        /// Virtual address of the breakpointed location.
+        va: VirtAddr,
+    },
+    /// The interval clock fired.
+    ClockInterrupt,
+}
+
+impl Trap {
+    /// `true` when this trap is delivered via the interrupt mechanism
+    /// and therefore suppressed while interrupts are masked.
+    pub fn is_maskable(self) -> bool {
+        matches!(
+            self,
+            Trap::Ecc { .. }
+                | Trap::TrueEccError { .. }
+                | Trap::ClockInterrupt
+        )
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Ecc { pa, va } => write!(f, "ecc trap at pa {pa} (va {va})"),
+            Trap::TrueEccError { pa } => write!(f, "corrected memory error at {pa}"),
+            Trap::FatalEccError { pa } => write!(f, "uncorrectable memory error at {pa}"),
+            Trap::TlbMiss { va } => write!(f, "tlb miss at {va}"),
+            Trap::PageFault { va } => write!(f, "page fault at {va}"),
+            Trap::Breakpoint { va } => write!(f, "breakpoint at {va}"),
+            Trap::ClockInterrupt => f.write_str("clock interrupt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maskability_matches_hardware() {
+        let pa = PhysAddr::new(0);
+        let va = VirtAddr::new(0);
+        assert!(Trap::Ecc { pa, va }.is_maskable());
+        assert!(Trap::ClockInterrupt.is_maskable());
+        assert!(Trap::TrueEccError { pa }.is_maskable());
+        assert!(!Trap::TlbMiss { va }.is_maskable());
+        assert!(!Trap::PageFault { va }.is_maskable());
+        assert!(!Trap::Breakpoint { va }.is_maskable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::Ecc {
+            pa: PhysAddr::new(0x40),
+            va: VirtAddr::new(0x1040),
+        };
+        let s = t.to_string();
+        assert!(s.contains("0x00000040"));
+        assert!(s.contains("0x00001040"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the machine crate.
+
+use proptest::prelude::*;
+use tapeworm_machine::{AccessKind, FetchOutcome, IntervalClock, Machine, MachineConfig, Tlb, TlbOutcome};
+use tapeworm_mem::{Pfn, PhysAddr, VirtAddr, WritePolicy};
+use tapeworm_stats::SeedSeq;
+
+proptest! {
+    /// The clock fires exactly floor(total / period) interrupts no
+    /// matter how the advance is chunked.
+    #[test]
+    fn clock_firing_is_chunking_invariant(
+        period in 1u64..10_000,
+        chunks in proptest::collection::vec(0u64..5_000, 1..50),
+    ) {
+        let total: u64 = chunks.iter().sum();
+        let mut chunked = IntervalClock::new(period);
+        let mut n = 0;
+        for c in &chunks {
+            n += chunked.advance(*c);
+        }
+        let mut whole = IntervalClock::new(period);
+        let m = whole.advance(total);
+        prop_assert_eq!(n, m);
+        prop_assert_eq!(n, total / period);
+    }
+
+    /// A TLB with n entries holds at most n translations: after probing
+    /// k <= wired-free entries inserted, all are hits.
+    #[test]
+    fn tlb_holds_working_set_up_to_capacity(cap in 2usize..32, pages in 1usize..31) {
+        prop_assume!(pages < cap); // leave the one wired slot out
+        let mut tlb = Tlb::new(cap, 1, 4096, SeedSeq::new(1));
+        for p in 0..pages as u64 {
+            let va = VirtAddr::new(p * 4096);
+            prop_assert_eq!(tlb.probe(1, va), TlbOutcome::Miss);
+            tlb.refill(1, va, Pfn::new(p));
+        }
+        for p in 0..pages as u64 {
+            let va = VirtAddr::new(p * 4096);
+            prop_assert_eq!(tlb.probe(1, va), TlbOutcome::Hit(Pfn::new(p)));
+        }
+    }
+
+    /// Machine access outcomes are a pure function of trap state,
+    /// access kind, write policy and interrupt mask.
+    #[test]
+    fn access_outcome_table(
+        trapped in any::<bool>(),
+        enabled in any::<bool>(),
+        kind_ix in 0u8..3,
+        no_alloc in any::<bool>(),
+    ) {
+        let kind = [AccessKind::IFetch, AccessKind::Load, AccessKind::Store][kind_ix as usize];
+        let policy = if no_alloc {
+            WritePolicy::NoAllocateOnWrite
+        } else {
+            WritePolicy::AllocateOnWrite
+        };
+        let mut m = Machine::new(MachineConfig {
+            mem_bytes: 1 << 16,
+            trap_granule: 16,
+            clock_period: 1000,
+            breakpoint_registers: 0,
+            write_policy: policy,
+        });
+        let pa = PhysAddr::new(0x400);
+        let va = VirtAddr::new(0x400);
+        if trapped {
+            m.traps_mut().set_range(pa, 16);
+        }
+        m.set_interrupts_enabled(enabled);
+        let out = m.access(kind, va, pa);
+        let expect = match (trapped, kind, policy, enabled) {
+            (false, ..) => FetchOutcome::Run,
+            (true, AccessKind::Store, WritePolicy::NoAllocateOnWrite, _) => {
+                FetchOutcome::WriteTrapDestroyed
+            }
+            (true, _, _, true) => FetchOutcome::EccTrap,
+            (true, _, _, false) => FetchOutcome::MaskedEccSkipped,
+        };
+        prop_assert_eq!(out, expect);
+    }
+}

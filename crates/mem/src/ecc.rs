@@ -1,0 +1,330 @@
+//! A (39,32) SECDED Hamming code: 7 check bits per 32-bit word.
+//!
+//! The DECstation 5000/200 protects each 32-bit memory word with a
+//! single-error-correcting, double-error-detecting code of 7 check bits
+//! (paper footnote 1). Tapeworm sets a memory trap by flipping **one
+//! specific check bit** through the memory controller's diagnostic mode;
+//! any later read of the word raises an ECC trap whose syndrome points at
+//! exactly that check bit, which is how Tapeworm traps are told apart
+//! from genuine memory errors:
+//!
+//! * single-bit error at the designated check bit → a Tapeworm trap;
+//! * single-bit error anywhere else (38 other positions) → a true error,
+//!   still *corrected*;
+//! * double-bit error (e.g. a true error landing on a word that already
+//!   carries a trap) → detected as a true error.
+//!
+//! The code here is a textbook Hamming(38,32) extended with an overall
+//! parity bit: check bits occupy codeword positions 1, 2, 4, 8, 16 and
+//! 32; data bits fill the 32 remaining positions in 3..=38; position 0
+//! holds the overall parity.
+
+/// Index (0-based, within the 7-bit check field) of the check bit that
+/// Tapeworm flips to set a trap. It sits at codeword position 1.
+pub const TRAP_CHECK_INDEX: u8 = 0;
+
+/// Number of check bits per word.
+pub const CHECK_BITS: u32 = 7;
+
+const HAMMING_BITS: usize = 6;
+const CODE_POSITIONS: u32 = 38;
+
+/// Outcome of decoding a stored word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// Word is intact.
+    Clean,
+    /// A single data bit was flipped; `data` is the corrected word and
+    /// `bit` the flipped data-bit index.
+    CorrectedData {
+        /// The corrected 32-bit word.
+        data: u32,
+        /// Which data bit (0–31) was flipped.
+        bit: u8,
+    },
+    /// A single Hamming check bit was flipped. When `index` equals
+    /// [`TRAP_CHECK_INDEX`] this is a Tapeworm trap, otherwise a true
+    /// (correctable) check-bit error.
+    CorrectedCheck {
+        /// Which check bit (0–5) was flipped.
+        index: u8,
+    },
+    /// The overall parity bit itself was flipped (a true, correctable
+    /// error).
+    CorrectedOverall,
+    /// An uncorrectable multi-bit error was detected.
+    Double,
+}
+
+impl Decoded {
+    /// `true` when this outcome is the signature of a Tapeworm trap.
+    pub fn is_tapeworm_trap(self) -> bool {
+        matches!(
+            self,
+            Decoded::CorrectedCheck {
+                index: TRAP_CHECK_INDEX
+            }
+        )
+    }
+
+    /// `true` when this outcome represents a genuine memory error (any
+    /// single-bit error other than the trap bit, or a double error).
+    pub fn is_true_error(self) -> bool {
+        match self {
+            Decoded::Clean => false,
+            Decoded::CorrectedCheck { index } => index != TRAP_CHECK_INDEX,
+            Decoded::CorrectedData { .. } | Decoded::CorrectedOverall | Decoded::Double => true,
+        }
+    }
+}
+
+/// The SECDED encoder/decoder with precomputed parity masks.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_mem::{Codec, Decoded};
+///
+/// let codec = Codec::new();
+/// let check = codec.encode(0xDEAD_BEEF);
+/// assert_eq!(codec.decode(0xDEAD_BEEF, check), Decoded::Clean);
+///
+/// // Tapeworm sets a trap by flipping the designated check bit:
+/// let trapped = codec.set_trap(check);
+/// let outcome = codec.decode(0xDEAD_BEEF, trapped);
+/// assert!(outcome.is_tapeworm_trap());
+/// assert!(!outcome.is_true_error());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Codec {
+    /// `mask[j]` has bit `i` set when data bit `i` participates in
+    /// Hamming check `j`.
+    masks: [u32; HAMMING_BITS],
+    /// `data_pos[i]` is the codeword position of data bit `i`.
+    data_pos: [u32; 32],
+    /// `pos_to_data[p]` is `Some(i)` when codeword position `p` holds
+    /// data bit `i`.
+    pos_to_data: [Option<u8>; CODE_POSITIONS as usize + 1],
+}
+
+impl Default for Codec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Codec {
+    /// Builds the codec (cheap; tables are computed once).
+    pub fn new() -> Self {
+        let mut data_pos = [0u32; 32];
+        let mut pos_to_data = [None; CODE_POSITIONS as usize + 1];
+        let mut i = 0usize;
+        for p in 1..=CODE_POSITIONS {
+            if p.is_power_of_two() {
+                continue; // check-bit position
+            }
+            data_pos[i] = p;
+            pos_to_data[p as usize] = Some(i as u8);
+            i += 1;
+        }
+        debug_assert_eq!(i, 32);
+        let mut masks = [0u32; HAMMING_BITS];
+        for (j, mask) in masks.iter_mut().enumerate() {
+            for (i, &p) in data_pos.iter().enumerate() {
+                if p & (1 << j) != 0 {
+                    *mask |= 1 << i;
+                }
+            }
+        }
+        Codec {
+            masks,
+            data_pos,
+            pos_to_data,
+        }
+    }
+
+    /// Computes the 7 check bits for a data word. Bits 0–5 are the
+    /// Hamming checks; bit 6 is the overall parity.
+    pub fn encode(&self, data: u32) -> u8 {
+        let mut check = 0u8;
+        for (j, &mask) in self.masks.iter().enumerate() {
+            check |= (parity32(data & mask) as u8) << j;
+        }
+        let overall = parity32(data) ^ parity8(check & 0x3F);
+        check | ((overall as u8) << 6)
+    }
+
+    /// Flips the designated trap check bit, arming an ECC trap on the
+    /// word. Idempotent only in pairs: trapping twice restores the
+    /// original check bits.
+    pub fn set_trap(&self, check: u8) -> u8 {
+        check ^ (1 << TRAP_CHECK_INDEX)
+    }
+
+    /// Clears a previously set trap (the inverse flip).
+    pub fn clear_trap(&self, check: u8) -> u8 {
+        check ^ (1 << TRAP_CHECK_INDEX)
+    }
+
+    /// Decodes a stored `(data, check)` pair, classifying any error.
+    pub fn decode(&self, data: u32, check: u8) -> Decoded {
+        let mut syndrome = 0u32;
+        for (j, &mask) in self.masks.iter().enumerate() {
+            let expected = parity32(data & mask);
+            let stored = (check >> j) & 1 == 1;
+            if expected != stored {
+                syndrome |= 1 << j;
+            }
+        }
+        let overall_expected = parity32(data) ^ parity8(check & 0x3F);
+        let overall_stored = (check >> 6) & 1 == 1;
+        let overall_err = overall_expected != overall_stored;
+
+        match (syndrome, overall_err) {
+            (0, false) => Decoded::Clean,
+            (0, true) => Decoded::CorrectedOverall,
+            (s, true) => {
+                if s > CODE_POSITIONS {
+                    return Decoded::Double;
+                }
+                if s.is_power_of_two() {
+                    Decoded::CorrectedCheck {
+                        index: s.trailing_zeros() as u8,
+                    }
+                } else {
+                    match self.pos_to_data[s as usize] {
+                        Some(bit) => Decoded::CorrectedData {
+                            data: data ^ (1 << bit),
+                            bit,
+                        },
+                        None => Decoded::Double,
+                    }
+                }
+            }
+            (_, false) => Decoded::Double,
+        }
+    }
+
+    /// Codeword position of data bit `i` (exposed for fault-injection
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn data_position(&self, i: usize) -> u32 {
+        self.data_pos[i]
+    }
+}
+
+fn parity32(x: u32) -> bool {
+    x.count_ones() % 2 == 1
+}
+
+fn parity8(x: u8) -> bool {
+    x.count_ones() % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        let c = Codec::new();
+        for data in [0u32, u32::MAX, 0xDEAD_BEEF, 1, 0x8000_0000] {
+            assert_eq!(c.decode(data, c.encode(data)), Decoded::Clean);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_error() {
+        let c = Codec::new();
+        let data = 0xA5A5_5A5A;
+        let check = c.encode(data);
+        for bit in 0..32 {
+            let corrupted = data ^ (1 << bit);
+            match c.decode(corrupted, check) {
+                Decoded::CorrectedData { data: fixed, bit: b } => {
+                    assert_eq!(fixed, data);
+                    assert_eq!(b, bit as u8);
+                }
+                other => panic!("bit {bit}: expected corrected data, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit_error() {
+        let c = Codec::new();
+        let data = 0x1357_9BDF;
+        let check = c.encode(data);
+        for j in 0..6u8 {
+            let corrupted = check ^ (1 << j);
+            assert_eq!(
+                c.decode(data, corrupted),
+                Decoded::CorrectedCheck { index: j },
+                "check bit {j}"
+            );
+        }
+        // Overall parity bit (bit 6).
+        assert_eq!(c.decode(data, check ^ 0x40), Decoded::CorrectedOverall);
+    }
+
+    #[test]
+    fn trap_flip_is_distinguishable() {
+        let c = Codec::new();
+        let data = 42;
+        let trapped = c.set_trap(c.encode(data));
+        let out = c.decode(data, trapped);
+        assert!(out.is_tapeworm_trap());
+        assert!(!out.is_true_error());
+        // Clearing restores a clean word.
+        assert_eq!(c.decode(data, c.clear_trap(trapped)), Decoded::Clean);
+    }
+
+    #[test]
+    fn true_error_on_trapped_word_detected_as_double() {
+        // The paper: "Even when Tapeworm is active, it correctly detects
+        // true memory errors with high probability." A single-bit true
+        // error on a trapped word makes two total flips -> double.
+        let c = Codec::new();
+        let data = 0x0F0F_F0F0;
+        let trapped = c.set_trap(c.encode(data));
+        for bit in 0..32 {
+            let out = c.decode(data ^ (1 << bit), trapped);
+            assert_eq!(out, Decoded::Double, "data bit {bit}");
+            assert!(out.is_true_error());
+        }
+    }
+
+    #[test]
+    fn double_data_errors_detected() {
+        let c = Codec::new();
+        let data = 0xCAFE_BABE;
+        let check = c.encode(data);
+        for (a, b) in [(0u32, 1u32), (5, 17), (30, 31), (2, 29)] {
+            let corrupted = data ^ (1 << a) ^ (1 << b);
+            assert_eq!(c.decode(corrupted, check), Decoded::Double, "bits {a},{b}");
+        }
+    }
+
+    #[test]
+    fn single_true_errors_classified_as_true() {
+        let c = Codec::new();
+        let data = 7;
+        let check = c.encode(data);
+        assert!(c.decode(data ^ 1, check).is_true_error());
+        assert!(c.decode(data, check ^ 0x02).is_true_error()); // check bit 1
+        assert!(!c.decode(data, check).is_true_error());
+    }
+
+    #[test]
+    fn data_positions_skip_powers_of_two() {
+        let c = Codec::new();
+        for i in 0..32 {
+            let p = c.data_position(i);
+            assert!(!p.is_power_of_two());
+            assert!((3..=38).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Physical frame allocation policies.
+//!
+//! The paper attributes a large share of run-to-run measurement variance
+//! to "the distributions of physical page frames allocated to a task,
+//! which change from run to run" (§4.2, Table 9). The allocator is
+//! therefore a first-class, pluggable policy here:
+//!
+//! * [`RandomAllocator`] — hands out free frames in random order, the
+//!   behaviour of the paper's OS and the source of physically-indexed
+//!   cache variance.
+//! * [`SequentialAllocator`] — lowest free frame first; deterministic.
+//! * [`ColoringAllocator`] — page colouring (Kessler & Hill, cited as
+//!   \[Kessler92\]); matches frame colour to virtual colour, an ablation
+//!   that suppresses allocation variance.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+use tapeworm_stats::SeedSeq;
+
+/// A physical frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(u64);
+
+impl Pfn {
+    /// Wraps a raw frame number.
+    pub const fn new(raw: u64) -> Self {
+        Pfn(raw)
+    }
+
+    /// The raw frame number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Base physical address of this frame for a given page size.
+    pub fn base(self, page_bytes: u64) -> crate::PhysAddr {
+        crate::PhysAddr::new(self.0 * page_bytes)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn{}", self.0)
+    }
+}
+
+/// A physical frame allocation policy.
+///
+/// `vpn` (the virtual page number being mapped) is passed to every
+/// allocation so colour-aware policies can use it; others ignore it.
+pub trait FrameAllocator: fmt::Debug {
+    /// Allocates a frame for virtual page `vpn`, or `None` when memory
+    /// is exhausted.
+    fn allocate(&mut self, vpn: u64) -> Option<Pfn>;
+
+    /// Returns a frame to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on double-free.
+    fn free(&mut self, pfn: Pfn);
+
+    /// Number of free frames remaining.
+    fn available(&self) -> usize;
+
+    /// Total frames managed.
+    fn capacity(&self) -> usize;
+}
+
+fn assert_not_free(free: &[Pfn], pfn: Pfn) {
+    assert!(
+        !free.contains(&pfn),
+        "double free of physical frame {pfn}"
+    );
+}
+
+/// Random-order frame allocation (the paper's OS behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_mem::{FrameAllocator, RandomAllocator};
+/// use tapeworm_stats::SeedSeq;
+///
+/// let mut a = RandomAllocator::new(16, SeedSeq::new(1));
+/// let f = a.allocate(0).unwrap();
+/// a.free(f);
+/// assert_eq!(a.available(), 16);
+/// ```
+#[derive(Debug)]
+pub struct RandomAllocator {
+    free: Vec<Pfn>,
+    capacity: usize,
+    rng: StdRng,
+}
+
+impl RandomAllocator {
+    /// Creates an allocator over frames `0..frames`, randomized by
+    /// `seed`. Different trial seeds produce different allocation
+    /// orders — the Table 9 effect.
+    pub fn new(frames: usize, seed: SeedSeq) -> Self {
+        RandomAllocator {
+            free: (0..frames as u64).map(Pfn::new).collect(),
+            capacity: frames,
+            rng: seed.derive("frame-alloc", 0).rng(),
+        }
+    }
+}
+
+impl FrameAllocator for RandomAllocator {
+    fn allocate(&mut self, _vpn: u64) -> Option<Pfn> {
+        if self.free.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.free.len());
+        Some(self.free.swap_remove(i))
+    }
+
+    fn free(&mut self, pfn: Pfn) {
+        assert_not_free(&self.free, pfn);
+        self.free.push(pfn);
+    }
+
+    fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Lowest-numbered-frame-first allocation; fully deterministic.
+#[derive(Debug)]
+pub struct SequentialAllocator {
+    /// Free frames kept sorted descending so `pop` yields the lowest.
+    free: Vec<Pfn>,
+    capacity: usize,
+}
+
+impl SequentialAllocator {
+    /// Creates an allocator over frames `0..frames`.
+    pub fn new(frames: usize) -> Self {
+        SequentialAllocator {
+            free: (0..frames as u64).rev().map(Pfn::new).collect(),
+            capacity: frames,
+        }
+    }
+}
+
+impl FrameAllocator for SequentialAllocator {
+    fn allocate(&mut self, _vpn: u64) -> Option<Pfn> {
+        self.free.pop()
+    }
+
+    fn free(&mut self, pfn: Pfn) {
+        assert_not_free(&self.free, pfn);
+        self.free.push(pfn);
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Page-colouring allocation: prefer a frame whose colour (frame number
+/// modulo `colors`) matches the virtual page's colour, falling back to
+/// random. With enough frames per colour this makes physically-indexed
+/// caches behave like virtually-indexed ones — the ablation for
+/// Table 9.
+#[derive(Debug)]
+pub struct ColoringAllocator {
+    buckets: Vec<Vec<Pfn>>,
+    colors: u64,
+    capacity: usize,
+    rng: StdRng,
+}
+
+impl ColoringAllocator {
+    /// Creates an allocator over frames `0..frames` with `colors`
+    /// colour classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors` is zero.
+    pub fn new(frames: usize, colors: u64, seed: SeedSeq) -> Self {
+        assert!(colors > 0, "at least one colour class is required");
+        let mut buckets = vec![Vec::new(); colors as usize];
+        for f in 0..frames as u64 {
+            buckets[(f % colors) as usize].push(Pfn::new(f));
+        }
+        ColoringAllocator {
+            buckets,
+            colors,
+            capacity: frames,
+            rng: seed.derive("frame-alloc-color", 0).rng(),
+        }
+    }
+}
+
+impl FrameAllocator for ColoringAllocator {
+    fn allocate(&mut self, vpn: u64) -> Option<Pfn> {
+        let want = (vpn % self.colors) as usize;
+        if let Some(pfn) = self.buckets[want].pop() {
+            return Some(pfn);
+        }
+        // Fall back to a random non-empty bucket.
+        let nonempty: Vec<usize> = (0..self.buckets.len())
+            .filter(|&i| !self.buckets[i].is_empty())
+            .collect();
+        if nonempty.is_empty() {
+            return None;
+        }
+        let i = nonempty[self.rng.gen_range(0..nonempty.len())];
+        self.buckets[i].pop()
+    }
+
+    fn free(&mut self, pfn: Pfn) {
+        let bucket = &mut self.buckets[(pfn.raw() % self.colors) as usize];
+        assert!(
+            !bucket.contains(&pfn),
+            "double free of physical frame {pfn}"
+        );
+        bucket.push(pfn);
+    }
+
+    fn available(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(a: &mut dyn FrameAllocator) -> Vec<Pfn> {
+        let mut got = Vec::new();
+        while let Some(f) = a.allocate(got.len() as u64) {
+            got.push(f);
+        }
+        got
+    }
+
+    #[test]
+    fn random_allocator_hands_out_every_frame_once() {
+        let mut a = RandomAllocator::new(32, SeedSeq::new(9));
+        let mut got = drain(&mut a);
+        assert_eq!(got.len(), 32);
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), 32);
+        assert_eq!(a.available(), 0);
+        assert_eq!(a.capacity(), 32);
+    }
+
+    #[test]
+    fn random_order_differs_across_seeds_but_not_within() {
+        let order = |seed| {
+            let mut a = RandomAllocator::new(64, SeedSeq::new(seed));
+            drain(&mut a)
+        };
+        assert_eq!(order(1), order(1));
+        assert_ne!(order(1), order(2));
+    }
+
+    #[test]
+    fn sequential_allocator_is_lowest_first() {
+        let mut a = SequentialAllocator::new(4);
+        let got = drain(&mut a);
+        assert_eq!(got, vec![Pfn::new(0), Pfn::new(1), Pfn::new(2), Pfn::new(3)]);
+        a.free(Pfn::new(2));
+        a.free(Pfn::new(0));
+        assert_eq!(a.allocate(0), Some(Pfn::new(0)));
+        assert_eq!(a.allocate(0), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    fn coloring_allocator_matches_colors_when_possible() {
+        let mut a = ColoringAllocator::new(64, 8, SeedSeq::new(3));
+        for vpn in 0..32u64 {
+            let f = a.allocate(vpn).unwrap();
+            assert_eq!(f.raw() % 8, vpn % 8, "vpn {vpn} got {f}");
+        }
+    }
+
+    #[test]
+    fn coloring_allocator_falls_back_when_color_exhausted() {
+        // 8 frames, 8 colours: one frame per colour.
+        let mut a = ColoringAllocator::new(8, 8, SeedSeq::new(3));
+        let first = a.allocate(0).unwrap();
+        assert_eq!(first.raw() % 8, 0);
+        // Colour 0 exhausted; next vpn with colour 0 must still succeed.
+        let second = a.allocate(8).unwrap();
+        assert_ne!(second, first);
+        assert_eq!(a.available(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = SequentialAllocator::new(2);
+        let f = a.allocate(0).unwrap();
+        a.free(f);
+        a.free(f);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = RandomAllocator::new(1, SeedSeq::new(0));
+        assert!(a.allocate(0).is_some());
+        assert_eq!(a.allocate(1), None);
+    }
+
+    #[test]
+    fn pfn_base_address() {
+        assert_eq!(Pfn::new(3).base(4096).raw(), 3 * 4096);
+        assert_eq!(Pfn::new(5).to_string(), "pfn5");
+    }
+}

@@ -1,0 +1,172 @@
+//! Page sizes and page-table entries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::frame::Pfn;
+
+/// A requested page size was invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageSizeError {
+    /// The rejected byte count.
+    pub bytes: u64,
+}
+
+impl fmt::Display for PageSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page size must be a power of two in {}..={} bytes, got {}",
+            PageSize::MIN_BYTES,
+            PageSize::MAX_BYTES,
+            self.bytes
+        )
+    }
+}
+
+impl Error for PageSizeError {}
+
+/// A validated page size.
+///
+/// Table 2 of the paper lists "variable page size" support with typical
+/// sizes from 128 bytes to 1 Mbyte; TLB simulation uses page-valid-bit
+/// traps at exactly this granularity.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_mem::PageSize;
+///
+/// let p = PageSize::new(4096)?;
+/// assert_eq!(p.bytes(), 4096);
+/// assert_eq!(PageSize::DEFAULT.bytes(), 4096);
+/// assert!(PageSize::new(3000).is_err());
+/// # Ok::<(), tapeworm_mem::PageSizeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageSize(u64);
+
+impl PageSize {
+    /// Smallest supported page (128 bytes, per Table 2).
+    pub const MIN_BYTES: u64 = 128;
+    /// Largest supported page (1 MiB, per Table 2).
+    pub const MAX_BYTES: u64 = 1 << 20;
+    /// The DECstation's 4 KiB page — the size at and below which
+    /// physically-indexed caches show zero allocation variance
+    /// (Table 9).
+    pub const DEFAULT: PageSize = PageSize(4096);
+
+    /// Validates a page size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageSizeError`] unless `bytes` is a power of two within
+    /// `[128, 1 MiB]`.
+    pub fn new(bytes: u64) -> Result<Self, PageSizeError> {
+        if bytes.is_power_of_two() && (Self::MIN_BYTES..=Self::MAX_BYTES).contains(&bytes) {
+            Ok(PageSize(bytes))
+        } else {
+            Err(PageSizeError { bytes })
+        }
+    }
+
+    /// The size in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// log2 of the size — the page shift.
+    pub const fn shift(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 {
+            write!(f, "{}K", self.0 / 1024)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A page-table entry.
+///
+/// `valid` is the *hardware* valid bit — the TLB-simulation trap
+/// mechanism clears it so the next reference faults to the kernel.
+/// `resident` is the extra software bit the paper describes in footnote
+/// 2: it records whether the page is truly present in physical memory,
+/// so a Tapeworm-cleared valid bit is distinguishable from a genuinely
+/// non-resident page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Physical frame holding the page.
+    pub pfn: Pfn,
+    /// Hardware valid bit (cleared by Tapeworm to arm a TLB-sim trap).
+    pub valid: bool,
+    /// Software shadow bit: the page really is resident.
+    pub resident: bool,
+    /// The page is writable.
+    pub writable: bool,
+}
+
+impl Pte {
+    /// A freshly mapped, resident, valid entry.
+    pub fn mapped(pfn: Pfn) -> Self {
+        Pte {
+            pfn,
+            valid: true,
+            resident: true,
+            writable: true,
+        }
+    }
+
+    /// `true` when a hardware access through this entry faults while
+    /// the page is actually resident — i.e. a Tapeworm page trap rather
+    /// than a real page fault.
+    pub fn faults_as_tapeworm_trap(&self) -> bool {
+        !self.valid && self.resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_table2_range() {
+        for bytes in [128u64, 256, 4096, 65_536, 1 << 20] {
+            let p = PageSize::new(bytes).unwrap();
+            assert_eq!(p.bytes(), bytes);
+            assert_eq!(1u64 << p.shift(), bytes);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_non_powers() {
+        assert!(PageSize::new(64).is_err());
+        assert!(PageSize::new(3000).is_err());
+        assert!(PageSize::new(2 << 20).is_err());
+        assert!(PageSize::new(0).is_err());
+        let msg = PageSize::new(0).unwrap_err().to_string();
+        assert!(msg.contains("power of two"));
+    }
+
+    #[test]
+    fn display_uses_k_suffix() {
+        assert_eq!(PageSize::new(4096).unwrap().to_string(), "4K");
+        assert_eq!(PageSize::new(128).unwrap().to_string(), "128B");
+        assert_eq!(PageSize::new(1 << 20).unwrap().to_string(), "1024K");
+    }
+
+    #[test]
+    fn pte_trap_vs_real_fault() {
+        let mut pte = Pte::mapped(Pfn::new(3));
+        assert!(!pte.faults_as_tapeworm_trap());
+        pte.valid = false; // Tapeworm arms a trap
+        assert!(pte.faults_as_tapeworm_trap());
+        pte.resident = false; // genuinely paged out
+        assert!(!pte.faults_as_tapeworm_trap());
+    }
+}

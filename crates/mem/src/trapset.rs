@@ -1,0 +1,281 @@
+//! Fast trap bitmap — the simulator's hot-path view of which memory
+//! granules carry traps.
+//!
+//! Semantically a [`TrapMap`] is the projection of
+//! [`EccMemory`](crate::EccMemory) trap state down to one bit per
+//! *granule* (a cache line for cache simulation, a page for TLB
+//! simulation). Integration tests assert the two models agree; the
+//! simulator uses this one so that the hit path costs a couple of shifts
+//! and a load, mirroring how the real hardware filters hits at full
+//! speed.
+
+use crate::addr::PhysAddr;
+
+/// A bitmap of trapped granules over a physical memory.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_mem::{PhysAddr, TrapMap};
+///
+/// let mut traps = TrapMap::new(4096, 16);
+/// traps.set_range(PhysAddr::new(0), 64);
+/// assert_eq!(traps.count(), 4);
+/// // Only granules selected by a predicate (set sampling):
+/// traps.clear_range(PhysAddr::new(0), 64);
+/// traps.set_range_filtered(PhysAddr::new(0), 64, |line| line % 2 == 0);
+/// assert_eq!(traps.count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapMap {
+    bits: Vec<u64>,
+    granule: u64,
+    granules: u64,
+    count: u64,
+}
+
+impl TrapMap {
+    /// Creates an all-clear map over `mem_bytes` of memory at `granule`
+    /// byte granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule` is zero or not a power of two, or if
+    /// `mem_bytes` is not a multiple of `granule`.
+    pub fn new(mem_bytes: u64, granule: u64) -> Self {
+        assert!(
+            granule.is_power_of_two(),
+            "trap granule must be a power of two"
+        );
+        assert!(
+            mem_bytes % granule == 0,
+            "memory size must be a whole number of granules"
+        );
+        let granules = mem_bytes / granule;
+        let words = granules.div_ceil(64) as usize;
+        TrapMap {
+            bits: vec![0; words],
+            granule,
+            granules,
+            count: 0,
+        }
+    }
+
+    /// Trap granule in bytes.
+    pub fn granule(&self) -> u64 {
+        self.granule
+    }
+
+    /// Total number of granules covered.
+    pub fn granules(&self) -> u64 {
+        self.granules
+    }
+
+    /// Number of granules currently trapped.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when the granule containing `pa` is trapped.
+    ///
+    /// Out-of-range addresses are never trapped.
+    #[inline]
+    pub fn is_trapped(&self, pa: PhysAddr) -> bool {
+        let g = pa.raw() / self.granule;
+        if g >= self.granules {
+            return false;
+        }
+        self.bits[(g / 64) as usize] & (1 << (g % 64)) != 0
+    }
+
+    /// Index of the granule containing `pa`.
+    pub fn granule_index(&self, pa: PhysAddr) -> u64 {
+        pa.raw() / self.granule
+    }
+
+    /// Sets the trap on one granule by index. Returns `true` if it was
+    /// previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn set_granule(&mut self, g: u64) -> bool {
+        assert!(g < self.granules, "granule index out of range");
+        let (w, b) = ((g / 64) as usize, g % 64);
+        let was_clear = self.bits[w] & (1 << b) == 0;
+        if was_clear {
+            self.bits[w] |= 1 << b;
+            self.count += 1;
+        }
+        was_clear
+    }
+
+    /// Clears the trap on one granule by index. Returns `true` if it was
+    /// previously set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn clear_granule(&mut self, g: u64) -> bool {
+        assert!(g < self.granules, "granule index out of range");
+        let (w, b) = ((g / 64) as usize, g % 64);
+        let was_set = self.bits[w] & (1 << b) != 0;
+        if was_set {
+            self.bits[w] &= !(1 << b);
+            self.count -= 1;
+        }
+        was_set
+    }
+
+    /// Sets traps on every granule overlapping `[pa, pa + size)`
+    /// (`tw_set_trap` in Table 1). Idempotent. Out-of-range granules are
+    /// ignored.
+    pub fn set_range(&mut self, pa: PhysAddr, size: u64) {
+        self.set_range_filtered(pa, size, |_| true);
+    }
+
+    /// Sets traps only on granules in the range whose index satisfies
+    /// `pred` — the mechanism behind hardware-filtered set sampling
+    /// (paper §3.2): unsampled granules never trap and are filtered from
+    /// the simulation at zero cost.
+    pub fn set_range_filtered<F>(&mut self, pa: PhysAddr, size: u64, mut pred: F)
+    where
+        F: FnMut(u64) -> bool,
+    {
+        for g in self.range_granules(pa, size) {
+            if pred(g) {
+                self.set_granule(g);
+            }
+        }
+    }
+
+    /// Clears traps on every granule overlapping `[pa, pa + size)`
+    /// (`tw_clear_trap` in Table 1). Idempotent.
+    pub fn clear_range(&mut self, pa: PhysAddr, size: u64) {
+        for g in self.range_granules(pa, size) {
+            self.clear_granule(g);
+        }
+    }
+
+    fn range_granules(&self, pa: PhysAddr, size: u64) -> std::ops::Range<u64> {
+        if size == 0 {
+            return 0..0;
+        }
+        let first = pa.raw() / self.granule;
+        let last = (pa.raw() + size - 1) / self.granule;
+        first.min(self.granules)..(last + 1).min(self.granules)
+    }
+
+    /// Iterates over the indices of all trapped granules (ascending).
+    pub fn iter_trapped(&self) -> impl Iterator<Item = u64> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(w, &bits)| {
+            let mut rest = bits;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    None
+                } else {
+                    let b = rest.trailing_zeros() as u64;
+                    rest &= rest - 1;
+                    Some(w as u64 * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Clears every trap.
+    pub fn clear_all(&mut self) {
+        self.bits.fill(0);
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_clear_single_granule() {
+        let mut t = TrapMap::new(1024, 16);
+        assert!(!t.is_trapped(PhysAddr::new(32)));
+        t.set_range(PhysAddr::new(32), 16);
+        assert!(t.is_trapped(PhysAddr::new(32)));
+        assert!(t.is_trapped(PhysAddr::new(47)));
+        assert!(!t.is_trapped(PhysAddr::new(48)));
+        assert_eq!(t.count(), 1);
+        t.clear_range(PhysAddr::new(32), 16);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn unaligned_range_covers_partial_granules() {
+        let mut t = TrapMap::new(1024, 16);
+        // Bytes 20..52 touch granules 1, 2 and 3.
+        t.set_range(PhysAddr::new(20), 32);
+        assert_eq!(t.count(), 3);
+        assert!(t.is_trapped(PhysAddr::new(16)));
+        assert!(t.is_trapped(PhysAddr::new(48)));
+        assert!(!t.is_trapped(PhysAddr::new(0)));
+        assert!(!t.is_trapped(PhysAddr::new(64)));
+    }
+
+    #[test]
+    fn idempotent_set_and_clear_keep_count_consistent() {
+        let mut t = TrapMap::new(256, 16);
+        t.set_range(PhysAddr::new(0), 64);
+        t.set_range(PhysAddr::new(0), 64);
+        assert_eq!(t.count(), 4);
+        t.clear_range(PhysAddr::new(0), 32);
+        t.clear_range(PhysAddr::new(0), 32);
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn filtered_set_implements_sampling() {
+        let mut t = TrapMap::new(1024, 16);
+        t.set_range_filtered(PhysAddr::new(0), 1024, |g| g % 8 == 0);
+        assert_eq!(t.count(), 8);
+        assert!(t.is_trapped(PhysAddr::new(0)));
+        assert!(!t.is_trapped(PhysAddr::new(16)));
+        assert!(t.is_trapped(PhysAddr::new(128)));
+    }
+
+    #[test]
+    fn out_of_range_access_is_untrapped_and_range_is_clamped() {
+        let mut t = TrapMap::new(128, 16);
+        t.set_range(PhysAddr::new(96), 512); // extends past the end
+        assert_eq!(t.count(), 2); // granules 6 and 7 only
+        assert!(!t.is_trapped(PhysAddr::new(4096)));
+    }
+
+    #[test]
+    fn iter_trapped_yields_sorted_indices() {
+        let mut t = TrapMap::new(4096, 16);
+        for g in [3u64, 77, 200, 255] {
+            t.set_granule(g);
+        }
+        let got: Vec<u64> = t.iter_trapped().collect();
+        assert_eq!(got, vec![3, 77, 200, 255]);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut t = TrapMap::new(256, 16);
+        t.set_range(PhysAddr::new(0), 256);
+        t.clear_all();
+        assert_eq!(t.count(), 0);
+        assert!(!t.is_trapped(PhysAddr::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_granule_panics() {
+        let _ = TrapMap::new(100, 10);
+    }
+
+    #[test]
+    fn zero_size_range_is_noop() {
+        let mut t = TrapMap::new(256, 16);
+        t.set_range(PhysAddr::new(0), 0);
+        assert_eq!(t.count(), 0);
+    }
+}

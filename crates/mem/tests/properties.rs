@@ -1,0 +1,98 @@
+//! Property-based tests for the memory substrate.
+
+use proptest::prelude::*;
+use tapeworm_mem::{Codec, Decoded, EccMemory, PhysAddr, TrapMap};
+
+proptest! {
+    #[test]
+    fn ecc_clean_roundtrip(data in any::<u32>()) {
+        let c = Codec::new();
+        prop_assert_eq!(c.decode(data, c.encode(data)), Decoded::Clean);
+    }
+
+    #[test]
+    fn ecc_corrects_any_single_data_bit(data in any::<u32>(), bit in 0u8..32) {
+        let c = Codec::new();
+        let check = c.encode(data);
+        match c.decode(data ^ (1u32 << bit), check) {
+            Decoded::CorrectedData { data: fixed, bit: b } => {
+                prop_assert_eq!(fixed, data);
+                prop_assert_eq!(b, bit);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn ecc_detects_any_double_data_error(data in any::<u32>(), a in 0u8..32, b in 0u8..32) {
+        prop_assume!(a != b);
+        let c = Codec::new();
+        let check = c.encode(data);
+        prop_assert_eq!(c.decode(data ^ (1u32 << a) ^ (1u32 << b), check), Decoded::Double);
+    }
+
+    #[test]
+    fn ecc_trap_never_mistaken_for_true_error(data in any::<u32>()) {
+        let c = Codec::new();
+        let trapped = c.set_trap(c.encode(data));
+        let out = c.decode(data, trapped);
+        prop_assert!(out.is_tapeworm_trap());
+        prop_assert!(!out.is_true_error());
+    }
+
+    #[test]
+    fn ecc_trap_plus_any_data_error_is_true_error(data in any::<u32>(), bit in 0u8..32) {
+        let c = Codec::new();
+        let trapped = c.set_trap(c.encode(data));
+        let out = c.decode(data ^ (1u32 << bit), trapped);
+        prop_assert!(out.is_true_error());
+        prop_assert!(!out.is_tapeworm_trap());
+    }
+
+    /// TrapMap and EccMemory implement the same trap semantics: apply a
+    /// random sequence of set/clear range operations to both and compare
+    /// the trapped state of every word.
+    #[test]
+    fn trapmap_equivalent_to_ecc_memory(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..64, 0u64..64), 0..40),
+        probes in proptest::collection::vec(0u64..64, 1..20),
+    ) {
+        const MEM: u64 = 1024; // 64 granules of 16 bytes
+        const GRANULE: u64 = 16;
+        let mut fast = TrapMap::new(MEM, GRANULE);
+        let mut exact = EccMemory::new(MEM);
+        for (set, granule, len_g) in ops {
+            let pa = PhysAddr::new(granule.min(63) * GRANULE);
+            let size = ((len_g % 8) + 1) * GRANULE;
+            let size = size.min(MEM - pa.raw());
+            if set {
+                fast.set_range(pa, size);
+                exact.set_trap(pa, size).unwrap();
+            } else {
+                fast.clear_range(pa, size);
+                exact.clear_trap(pa, size).unwrap();
+            }
+        }
+        for g in probes {
+            let pa = PhysAddr::new((g % 64) * GRANULE + 4);
+            prop_assert_eq!(
+                fast.is_trapped(pa),
+                exact.is_trapped(pa).unwrap(),
+                "granule {} disagrees", g % 64
+            );
+        }
+    }
+
+    #[test]
+    fn trapmap_count_matches_iter(ops in proptest::collection::vec((any::<bool>(), 0u64..128), 0..60)) {
+        let mut t = TrapMap::new(2048, 16);
+        for (set, g) in ops {
+            if set {
+                t.set_granule(g);
+            } else {
+                t.clear_granule(g);
+            }
+        }
+        prop_assert_eq!(t.count() as usize, t.iter_trapped().count());
+    }
+}

@@ -1,0 +1,196 @@
+//! A smooth weighted round-robin scheduler.
+//!
+//! The experiment loop interleaves the kernel, the BSD and X servers
+//! and the user tasks in the time proportions measured by Monster
+//! (Table 4). Smooth WRR gives a deterministic interleaving whose
+//! long-run shares converge to the weights while avoiding long bursts
+//! of a single component — much like a quantum-based scheduler under
+//! frequent syscall/server traffic.
+
+use crate::task::Tid;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    tid: Tid,
+    weight: i64,
+    current: i64,
+    runnable: bool,
+}
+
+/// Smooth weighted round-robin over task ids.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_os::{Tid, WrrScheduler};
+///
+/// let mut s = WrrScheduler::new();
+/// s.add(Tid::new(1), 3);
+/// s.add(Tid::new(2), 1);
+/// let picks: Vec<_> = (0..4).map(|_| s.next().unwrap()).collect();
+/// // Task 1 gets 3 of every 4 quanta.
+/// assert_eq!(picks.iter().filter(|t| t.raw() == 1).count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WrrScheduler {
+    entries: Vec<Entry>,
+}
+
+impl WrrScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        WrrScheduler::default()
+    }
+
+    /// Adds a runnable task with a positive weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is zero or the task is already present.
+    pub fn add(&mut self, tid: Tid, weight: u32) {
+        assert!(weight > 0, "scheduler weight must be positive");
+        assert!(
+            !self.entries.iter().any(|e| e.tid == tid),
+            "{tid} is already scheduled"
+        );
+        self.entries.push(Entry {
+            tid,
+            weight: i64::from(weight),
+            current: 0,
+            runnable: true,
+        });
+    }
+
+    /// Removes a task entirely (exit).
+    pub fn remove(&mut self, tid: Tid) {
+        self.entries.retain(|e| e.tid != tid);
+    }
+
+    /// Marks a task blocked (skipped by [`WrrScheduler::next`]) or
+    /// runnable again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not scheduled.
+    pub fn set_runnable(&mut self, tid: Tid, runnable: bool) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.tid == tid)
+            .unwrap_or_else(|| panic!("{tid} is not scheduled"));
+        e.runnable = runnable;
+    }
+
+    /// Picks the next task to run (smooth WRR), or `None` when nothing
+    /// is runnable.
+    pub fn next(&mut self) -> Option<Tid> {
+        let total: i64 = self
+            .entries
+            .iter()
+            .filter(|e| e.runnable)
+            .map(|e| e.weight)
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        for e in self.entries.iter_mut().filter(|e| e.runnable) {
+            e.current += e.weight;
+        }
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.runnable)
+            .max_by_key(|(_, e)| e.current)
+            .map(|(i, _)| i)?;
+        self.entries[best].current -= total;
+        Some(self.entries[best].tid)
+    }
+
+    /// Number of scheduled (runnable or blocked) tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no tasks are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_converge_to_weights() {
+        let mut s = WrrScheduler::new();
+        s.add(Tid::new(1), 446); // mpeg_play user share
+        s.add(Tid::new(2), 241); // kernel
+        s.add(Tid::new(3), 273); // BSD server
+        s.add(Tid::new(4), 40); // X server
+        let mut counts = [0u64; 5];
+        const N: u64 = 100_000;
+        for _ in 0..N {
+            counts[s.next().unwrap().raw() as usize] += 1;
+        }
+        let share = |i: usize| counts[i] as f64 / N as f64;
+        assert!((share(1) - 0.446).abs() < 0.01);
+        assert!((share(2) - 0.241).abs() < 0.01);
+        assert!((share(3) - 0.273).abs() < 0.01);
+        assert!((share(4) - 0.040).abs() < 0.01);
+    }
+
+    #[test]
+    fn smoothness_no_long_bursts() {
+        let mut s = WrrScheduler::new();
+        s.add(Tid::new(1), 1);
+        s.add(Tid::new(2), 1);
+        let picks: Vec<Tid> = (0..10).map(|_| s.next().unwrap()).collect();
+        // Equal weights alternate strictly.
+        for w in picks.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn blocked_tasks_are_skipped() {
+        let mut s = WrrScheduler::new();
+        s.add(Tid::new(1), 1);
+        s.add(Tid::new(2), 1);
+        s.set_runnable(Tid::new(1), false);
+        for _ in 0..5 {
+            assert_eq!(s.next(), Some(Tid::new(2)));
+        }
+        s.set_runnable(Tid::new(1), true);
+        let picks: Vec<Tid> = (0..4).map(|_| s.next().unwrap()).collect();
+        assert!(picks.contains(&Tid::new(1)));
+    }
+
+    #[test]
+    fn empty_or_all_blocked_returns_none() {
+        let mut s = WrrScheduler::new();
+        assert_eq!(s.next(), None);
+        assert!(s.is_empty());
+        s.add(Tid::new(1), 1);
+        s.set_runnable(Tid::new(1), false);
+        assert_eq!(s.next(), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_deletes_task() {
+        let mut s = WrrScheduler::new();
+        s.add(Tid::new(1), 1);
+        s.remove(Tid::new(1));
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already scheduled")]
+    fn double_add_panics() {
+        let mut s = WrrScheduler::new();
+        s.add(Tid::new(1), 1);
+        s.add(Tid::new(1), 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! The virtual memory system.
+//!
+//! Tapeworm "requires assistance from the OS virtual memory system":
+//! when a task first faults on a page the VM maps it and registers it
+//! with Tapeworm; when a page is unmapped (task exit, pageout) it is
+//! removed from the Tapeworm domain (paper §3.2). The VM here emits
+//! those registration events as values — [`VmEvent`] — which the
+//! experiment loop forwards to the simulator, keeping this crate
+//! independent of the simulator implementation.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use tapeworm_mem::{FrameAllocator, PageSize, Pfn, PhysAddr, Pte, VirtAddr};
+
+use crate::task::Tid;
+
+/// A page was needed but physical memory is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemoryError {
+    /// The task that faulted.
+    pub tid: Tid,
+    /// The virtual page that could not be mapped.
+    pub vpn: u64,
+}
+
+impl fmt::Display for OutOfMemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of physical memory mapping vpn {:#x} for {}",
+            self.vpn, self.tid
+        )
+    }
+}
+
+impl Error for OutOfMemoryError {}
+
+/// Result of a hardware address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translation {
+    /// Valid mapping; the access proceeds at `PhysAddr`.
+    Mapped(PhysAddr),
+    /// The PTE is invalid but the page is resident — a Tapeworm
+    /// page-valid-bit trap (TLB simulation), not a real fault.
+    TapewormPageTrap(PhysAddr),
+    /// No (resident) mapping: a genuine page fault.
+    NotMapped,
+}
+
+/// A VM-system event corresponding to a Tapeworm registration call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmEvent {
+    /// The VM mapped `(tid, vpn) → pfn`; Tapeworm's
+    /// `tw_register_page(tid, p, v)` should run.
+    PageRegistered {
+        /// Owning task.
+        tid: Tid,
+        /// Physical frame.
+        pfn: Pfn,
+        /// Virtual page number.
+        vpn: u64,
+    },
+    /// The VM unmapped `(tid, vpn)`; Tapeworm's
+    /// `tw_remove_page(tid, p, v)` should run.
+    PageRemoved {
+        /// Owning task.
+        tid: Tid,
+        /// Physical frame.
+        pfn: Pfn,
+        /// Virtual page number.
+        vpn: u64,
+    },
+}
+
+/// Per-task page tables over a pluggable frame allocator.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_mem::{PageSize, RandomAllocator};
+/// use tapeworm_os::{Tid, Translation, Vm};
+/// use tapeworm_mem::VirtAddr;
+/// use tapeworm_stats::SeedSeq;
+///
+/// let alloc = Box::new(RandomAllocator::new(256, SeedSeq::new(1)));
+/// let mut vm = Vm::new(PageSize::DEFAULT, alloc);
+/// let tid = Tid::new(1);
+/// let va = VirtAddr::new(0x4_2000);
+/// assert_eq!(vm.translate(tid, va), Translation::NotMapped);
+/// let (_pfn, _ev) = vm.map_new(tid, va.page_number(4096))?;
+/// assert!(matches!(vm.translate(tid, va), Translation::Mapped(_)));
+/// # Ok::<(), tapeworm_os::OutOfMemoryError>(())
+/// ```
+#[derive(Debug)]
+pub struct Vm {
+    page_size: PageSize,
+    allocator: Box<dyn FrameAllocator>,
+    tables: HashMap<Tid, HashMap<u64, Pte>>,
+    frame_refs: HashMap<Pfn, u32>,
+    faults: u64,
+}
+
+impl Vm {
+    /// Creates a VM with the given page size and frame allocator.
+    pub fn new(page_size: PageSize, allocator: Box<dyn FrameAllocator>) -> Self {
+        Vm {
+            page_size,
+            allocator,
+            tables: HashMap::new(),
+            frame_refs: HashMap::new(),
+            faults: 0,
+        }
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Real page faults handled so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Free physical frames remaining.
+    pub fn free_frames(&self) -> usize {
+        self.allocator.available()
+    }
+
+    /// Hardware translation of `(tid, va)`.
+    pub fn translate(&self, tid: Tid, va: VirtAddr) -> Translation {
+        let vpn = va.page_number(self.page_size.bytes());
+        match self.pte(tid, vpn) {
+            Some(pte) if pte.valid => Translation::Mapped(self.frame_addr(pte.pfn, va)),
+            Some(pte) if pte.faults_as_tapeworm_trap() => {
+                Translation::TapewormPageTrap(self.frame_addr(pte.pfn, va))
+            }
+            _ => Translation::NotMapped,
+        }
+    }
+
+    fn frame_addr(&self, pfn: Pfn, va: VirtAddr) -> PhysAddr {
+        pfn.base(self.page_size.bytes()) + va.page_offset(self.page_size.bytes())
+    }
+
+    /// The PTE for `(tid, vpn)`, if any.
+    pub fn pte(&self, tid: Tid, vpn: u64) -> Option<Pte> {
+        self.tables.get(&tid).and_then(|t| t.get(&vpn)).copied()
+    }
+
+    /// Maps a fresh physical frame at `(tid, vpn)` (the page-fault
+    /// path). Returns the frame and the registration event.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfMemoryError`] when no frame is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped (the kernel must not
+    /// double-fault a mapping).
+    pub fn map_new(&mut self, tid: Tid, vpn: u64) -> Result<(Pfn, VmEvent), OutOfMemoryError> {
+        assert!(
+            self.pte(tid, vpn).is_none(),
+            "page {vpn:#x} already mapped for {tid}"
+        );
+        let pfn = self
+            .allocator
+            .allocate(vpn)
+            .ok_or(OutOfMemoryError { tid, vpn })?;
+        self.tables
+            .entry(tid)
+            .or_default()
+            .insert(vpn, Pte::mapped(pfn));
+        *self.frame_refs.entry(pfn).or_insert(0) += 1;
+        self.faults += 1;
+        Ok((pfn, VmEvent::PageRegistered { tid, pfn, vpn }))
+    }
+
+    /// Maps an *existing* frame at `(tid, vpn)` — a shared mapping.
+    /// "If the VM system maps more than one virtual page to a given
+    /// physical page, it must still register the mapping with Tapeworm"
+    /// (§3.2); Tapeworm reference-counts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped or the frame is not live.
+    pub fn map_shared(&mut self, tid: Tid, vpn: u64, pfn: Pfn) -> VmEvent {
+        assert!(
+            self.pte(tid, vpn).is_none(),
+            "page {vpn:#x} already mapped for {tid}"
+        );
+        let refs = self
+            .frame_refs
+            .get_mut(&pfn)
+            .unwrap_or_else(|| panic!("sharing an unmapped frame {pfn}"));
+        *refs += 1;
+        self.tables
+            .entry(tid)
+            .or_default()
+            .insert(vpn, Pte::mapped(pfn));
+        VmEvent::PageRegistered { tid, pfn, vpn }
+    }
+
+    /// Unmaps `(tid, vpn)` (task exit or pageout), freeing the frame
+    /// when its last mapping disappears. Returns the removal event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not mapped.
+    pub fn unmap(&mut self, tid: Tid, vpn: u64) -> VmEvent {
+        let pte = self
+            .tables
+            .get_mut(&tid)
+            .and_then(|t| t.remove(&vpn))
+            .unwrap_or_else(|| panic!("unmapping absent page {vpn:#x} of {tid}"));
+        let refs = self
+            .frame_refs
+            .get_mut(&pte.pfn)
+            .expect("mapped frame must be ref-counted");
+        *refs -= 1;
+        if *refs == 0 {
+            self.frame_refs.remove(&pte.pfn);
+            self.allocator.free(pte.pfn);
+        }
+        VmEvent::PageRemoved {
+            tid,
+            pfn: pte.pfn,
+            vpn,
+        }
+    }
+
+    /// Unmaps every page of a task (exit path), returning the removal
+    /// events.
+    pub fn unmap_all(&mut self, tid: Tid) -> Vec<VmEvent> {
+        let vpns: Vec<u64> = self
+            .tables
+            .get(&tid)
+            .map(|t| t.keys().copied().collect())
+            .unwrap_or_default();
+        vpns.into_iter().map(|vpn| self.unmap(tid, vpn)).collect()
+    }
+
+    /// Sets the hardware valid bit of a mapped page — the TLB-simulation
+    /// trap mechanism (`tw_set_trap`/`tw_clear_trap` at page
+    /// granularity). The software `resident` bit is untouched, which is
+    /// what lets [`Translation::TapewormPageTrap`] be told apart from a
+    /// real fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not mapped.
+    pub fn set_valid(&mut self, tid: Tid, vpn: u64, valid: bool) {
+        let pte = self
+            .tables
+            .get_mut(&tid)
+            .and_then(|t| t.get_mut(&vpn))
+            .unwrap_or_else(|| panic!("setting valid bit of absent page {vpn:#x} of {tid}"));
+        pte.valid = valid;
+    }
+
+    /// Number of pages currently mapped for `tid`.
+    pub fn resident_pages(&self, tid: Tid) -> usize {
+        self.tables.get(&tid).map(HashMap::len).unwrap_or(0)
+    }
+
+    /// Iterates over `(vpn, pte)` for a task.
+    pub fn pages(&self, tid: Tid) -> impl Iterator<Item = (u64, Pte)> + '_ {
+        self.tables
+            .get(&tid)
+            .into_iter()
+            .flat_map(|t| t.iter().map(|(&vpn, &pte)| (vpn, pte)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeworm_mem::SequentialAllocator;
+
+    fn vm(frames: usize) -> Vm {
+        Vm::new(
+            PageSize::DEFAULT,
+            Box::new(SequentialAllocator::new(frames)),
+        )
+    }
+
+    const T1: Tid = Tid::new(1);
+    const T2: Tid = Tid::new(2);
+
+    #[test]
+    fn fault_map_translate_roundtrip() {
+        let mut vm = vm(8);
+        let va = VirtAddr::new(0x5432);
+        assert_eq!(vm.translate(T1, va), Translation::NotMapped);
+        let (pfn, ev) = vm.map_new(T1, va.page_number(4096)).unwrap();
+        assert_eq!(
+            ev,
+            VmEvent::PageRegistered {
+                tid: T1,
+                pfn,
+                vpn: 5
+            }
+        );
+        match vm.translate(T1, va) {
+            Translation::Mapped(pa) => {
+                assert_eq!(pa.page_offset(4096), 0x432);
+                assert_eq!(pa.page_number(4096), pfn.raw());
+            }
+            other => panic!("expected mapping, got {other:?}"),
+        }
+        assert_eq!(vm.faults(), 1);
+    }
+
+    #[test]
+    fn tasks_have_independent_address_spaces() {
+        let mut vm = vm(8);
+        let (pfn1, _) = vm.map_new(T1, 5).unwrap();
+        let (pfn2, _) = vm.map_new(T2, 5).unwrap();
+        assert_ne!(pfn1, pfn2);
+        assert_eq!(vm.resident_pages(T1), 1);
+        assert_eq!(vm.resident_pages(T2), 1);
+    }
+
+    #[test]
+    fn shared_mapping_keeps_frame_alive_until_last_unmap() {
+        let mut vm = vm(8);
+        let (pfn, _) = vm.map_new(T1, 0).unwrap();
+        let free_before = vm.free_frames();
+        vm.map_shared(T2, 9, pfn);
+        vm.unmap(T1, 0);
+        // Frame still referenced by T2; not freed.
+        assert_eq!(vm.free_frames(), free_before);
+        vm.unmap(T2, 9);
+        assert_eq!(vm.free_frames(), free_before + 1);
+    }
+
+    #[test]
+    fn valid_bit_trap_is_distinguished_from_real_fault() {
+        let mut vm = vm(8);
+        let va = VirtAddr::new(0x2000);
+        vm.map_new(T1, va.page_number(4096)).unwrap();
+        vm.set_valid(T1, va.page_number(4096), false);
+        assert!(matches!(
+            vm.translate(T1, va),
+            Translation::TapewormPageTrap(_)
+        ));
+        vm.set_valid(T1, va.page_number(4096), true);
+        assert!(matches!(vm.translate(T1, va), Translation::Mapped(_)));
+        // An unmapped address is a *real* fault, not a trap.
+        assert_eq!(vm.translate(T1, VirtAddr::new(0x9_0000)), Translation::NotMapped);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut vm = vm(1);
+        vm.map_new(T1, 0).unwrap();
+        let err = vm.map_new(T1, 1).unwrap_err();
+        assert_eq!(err, OutOfMemoryError { tid: T1, vpn: 1 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn unmap_all_emits_every_removal() {
+        let mut vm = vm(8);
+        for vpn in 0..3 {
+            vm.map_new(T1, vpn).unwrap();
+        }
+        let events = vm.unmap_all(T1);
+        assert_eq!(events.len(), 3);
+        assert_eq!(vm.resident_pages(T1), 0);
+        assert_eq!(vm.free_frames(), 8);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, VmEvent::PageRemoved { tid, .. } if *tid == T1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_map_panics() {
+        let mut vm = vm(4);
+        vm.map_new(T1, 0).unwrap();
+        vm.map_new(T1, 0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "absent page")]
+    fn unmap_absent_panics() {
+        let mut vm = vm(4);
+        vm.unmap(T1, 7);
+    }
+
+    #[test]
+    fn pages_iterator_reports_mappings() {
+        let mut vm = vm(4);
+        vm.map_new(T1, 3).unwrap();
+        vm.map_new(T1, 9).unwrap();
+        let mut vpns: Vec<u64> = vm.pages(T1).map(|(v, _)| v).collect();
+        vpns.sort_unstable();
+        assert_eq!(vpns, vec![3, 9]);
+    }
+}

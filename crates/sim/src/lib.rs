@@ -1,0 +1,40 @@
+//! Full-system experiment layer for the Tapeworm II reproduction.
+//!
+//! This crate assembles the substrates — simulated machine
+//! (`tapeworm-machine`), microkernel OS (`tapeworm-os`), synthetic
+//! workloads (`tapeworm-workload`) — around the Tapeworm simulator
+//! (`tapeworm-core`) and runs complete measurement trials, exactly the
+//! shape of the paper's experiments:
+//!
+//! * [`SystemConfig`] selects a workload, a simulated cache or TLB, the
+//!   measured component set (user / servers / kernel / all — the
+//!   Table 6 axes), set sampling, frame-allocation policy, cost model
+//!   and the dilation/interrupt parameters.
+//! * [`run_trial`] executes one trial and returns a [`TrialResult`]
+//!   with per-component miss counts, instruction/cycle accounting and
+//!   the paper's *Slowdown* metric (overhead ÷ uninstrumented run
+//!   time).
+//! * [`compare`] runs the Pixie + Cache2000 trace-driven pipeline over
+//!   the same deterministic user stream for the Figure 2 speed
+//!   comparison and the Table 6 "From Traces" validation column.
+//!
+//! Determinism contract: workload reference streams derive from the
+//! experiment's *base* seed and are identical across trials; only the
+//! effects the paper identifies as run-to-run variance — physical page
+//! allocation and the set-sample choice — derive from the *trial*
+//! seed. Virtual indexing without sampling is therefore exactly
+//! reproducible (Table 10), while physical indexing (Table 9) and
+//! sampling (Table 8) vary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod compare;
+mod config;
+pub mod kessler;
+mod result;
+mod system;
+
+pub use config::{AllocPolicy, ComponentSet, CostKind, SimModel, SystemConfig};
+pub use result::TrialResult;
+pub use system::{run_trial, run_trial_windowed, WindowSample};

@@ -1,0 +1,178 @@
+//! Trial measurement results.
+
+use tapeworm_machine::Component;
+
+/// The measurements produced by one experiment trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// Sampling-expanded miss estimates per component (L1 misses for
+    /// two-level simulations).
+    misses: [f64; 4],
+    /// Raw (unexpanded) observed misses per component.
+    raw_misses: [u64; 4],
+    /// Second-level miss estimates for two-level simulations.
+    l2_misses: Option<[f64; 4]>,
+    /// Data-cache miss estimates for split I/D simulations.
+    data_misses: Option<[f64; 4]>,
+    /// Traps destroyed by stores under no-allocate-on-write — the §4.4
+    /// hazard counter (each is a data-cache miss silently lost).
+    pub write_traps_destroyed: u64,
+    /// Total instructions executed (Monster count).
+    pub instructions: u64,
+    /// Uninstrumented run time in cycles (Monster count).
+    pub workload_cycles: u64,
+    /// Simulator overhead in cycles (handler + registration).
+    pub overhead_cycles: u64,
+    /// Clock interrupts delivered.
+    pub clock_interrupts: u64,
+    /// ECC traps lost to interrupt masking.
+    pub masked_misses: u64,
+    /// Genuine page faults handled by the VM system.
+    pub page_faults: u64,
+    /// Total user tasks created.
+    pub tasks_created: u64,
+}
+
+impl TrialResult {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        misses: [f64; 4],
+        raw_misses: [u64; 4],
+        l2_misses: Option<[f64; 4]>,
+        data_misses: Option<[f64; 4]>,
+        write_traps_destroyed: u64,
+        instructions: u64,
+        workload_cycles: u64,
+        overhead_cycles: u64,
+        clock_interrupts: u64,
+        masked_misses: u64,
+        page_faults: u64,
+        tasks_created: u64,
+    ) -> Self {
+        TrialResult {
+            misses,
+            raw_misses,
+            l2_misses,
+            data_misses,
+            write_traps_destroyed,
+            instructions,
+            workload_cycles,
+            overhead_cycles,
+            clock_interrupts,
+            masked_misses,
+            page_faults,
+            tasks_created,
+        }
+    }
+
+    /// Sampling-expanded miss estimate for one component.
+    pub fn misses(&self, c: Component) -> f64 {
+        self.misses[c.index()]
+    }
+
+    /// Raw observed misses for one component (no sampling expansion).
+    pub fn raw_misses(&self, c: Component) -> u64 {
+        self.raw_misses[c.index()]
+    }
+
+    /// Total estimated misses across components.
+    pub fn total_misses(&self) -> f64 {
+        self.misses.iter().sum()
+    }
+
+    /// Second-level (L2) miss estimate for one component; `None` for
+    /// single-level simulations.
+    pub fn l2_misses(&self, c: Component) -> Option<f64> {
+        self.l2_misses.map(|m| m[c.index()])
+    }
+
+    /// Total L2 misses; `None` for single-level simulations.
+    pub fn total_l2_misses(&self) -> Option<f64> {
+        self.l2_misses.map(|m| m.iter().sum())
+    }
+
+    /// Data-cache miss estimate for one component; `None` outside
+    /// split I/D simulations.
+    pub fn data_misses(&self, c: Component) -> Option<f64> {
+        self.data_misses.map(|m| m[c.index()])
+    }
+
+    /// Total data-cache misses; `None` outside split simulations.
+    pub fn total_data_misses(&self) -> Option<f64> {
+        self.data_misses.map(|m| m.iter().sum())
+    }
+
+    /// Miss ratio relative to total instructions (the Table 6
+    /// convention).
+    pub fn miss_ratio(&self, c: Component) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.misses(c) / self.instructions as f64
+        }
+    }
+
+    /// Total miss ratio.
+    pub fn total_miss_ratio(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_misses() / self.instructions as f64
+        }
+    }
+
+    /// The paper's *Slowdown*: simulator overhead over the
+    /// uninstrumented run time.
+    pub fn slowdown(&self) -> f64 {
+        if self.workload_cycles == 0 {
+            0.0
+        } else {
+            self.overhead_cycles as f64 / self.workload_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> TrialResult {
+        TrialResult::new(
+            [10.0, 20.0, 5.0, 65.0],
+            [10, 20, 5, 65],
+            None,
+            None,
+            0,
+            1000,
+            1700,
+            246 * 100,
+            3,
+            1,
+            7,
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors_and_totals() {
+        let r = result();
+        assert_eq!(r.misses(Component::Kernel), 10.0);
+        assert_eq!(r.raw_misses(Component::User), 65);
+        assert_eq!(r.total_misses(), 100.0);
+        assert!((r.total_miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((r.miss_ratio(Component::User) - 0.065).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_is_overhead_over_runtime() {
+        let r = result();
+        assert!((r.slowdown() - 24600.0 / 1700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_do_not_divide_by_zero() {
+        let r = TrialResult::new([0.0; 4], [0; 4], None, None, 0, 0, 0, 0, 0, 0, 0, 0);
+        assert_eq!(r.slowdown(), 0.0);
+        assert_eq!(r.total_miss_ratio(), 0.0);
+    }
+}

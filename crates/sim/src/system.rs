@@ -1,0 +1,813 @@
+//! The full-system trial engine.
+//!
+//! One [`run_trial`] boots the simulated machine and OS, starts the
+//! workload's task tree, and interleaves the kernel, server and user
+//! reference streams in the Table 4 proportions until each component's
+//! instruction budget is spent. Every reference goes through the VM
+//! system (demand paging, page registration) and the host trap check,
+//! so misses, slowdown, masked-trap bias and clock-interrupt pollution
+//! all emerge from the mechanism rather than from closed-form
+//! formulas.
+
+use std::collections::HashMap;
+
+use tapeworm_core::{SetSample, Tapeworm, TlbSim, TwoLevelTapeworm};
+use tapeworm_trace::{Cache2000Config, KernelTraceBuffer, KernelTraceBufferConfig};
+use tapeworm_machine::{AccessKind, Component, FetchOutcome, Machine, MachineConfig, Monster};
+use tapeworm_mem::{
+    ColoringAllocator, FrameAllocator, PhysAddr, RandomAllocator, SequentialAllocator, VirtAddr,
+};
+use tapeworm_os::{Os, OsConfig, TapewormAttrs, Tid, Translation, VmEvent};
+use tapeworm_stats::SeedSeq;
+use tapeworm_workload::{
+    DataParams, DataStream, ProcStream, RefStream, WorkloadSpec, BSD_TEXT_BASE,
+    DATA_SEGMENT_OFFSET, KERNEL_TEXT_BASE, USER_TEXT_BASE, X_TEXT_BASE,
+};
+
+use crate::config::{AllocPolicy, SimModel, SystemConfig};
+use crate::result::TrialResult;
+
+/// Runs one trial of an experiment.
+///
+/// * `base` seeds everything that must stay fixed across trials
+///   (reference streams, simulated-cache RNG).
+/// * `trial` seeds the run-to-run system effects (physical frame
+///   allocation, set-sample choice).
+///
+/// # Panics
+///
+/// Panics if the configuration is infeasible (e.g. so few frames that
+/// the workload cannot be mapped).
+pub fn run_trial(cfg: &SystemConfig, base: SeedSeq, trial: SeedSeq) -> TrialResult {
+    Engine::new(cfg, base, trial).run()
+}
+
+/// One continuous-monitoring window (§5: "the use of continuous
+/// monitoring and simulation opens up the possibility of using these
+/// results to perform real-time hardware and software tuning").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Instructions executed when the window closed.
+    pub end_instructions: u64,
+    /// Raw misses observed *within* this window.
+    pub misses: u64,
+}
+
+impl WindowSample {
+    /// Window miss ratio given the window length in instructions.
+    pub fn miss_ratio(&self, window_instructions: u64) -> f64 {
+        if window_instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 / window_instructions as f64
+        }
+    }
+}
+
+/// Like [`run_trial`], additionally sampling the raw miss count every
+/// `window_instructions` executed instructions — the paper's
+/// continuous-monitoring mode, feasible precisely because Tapeworm's
+/// slowdowns "can be made imperceptible to the user".
+///
+/// # Panics
+///
+/// Panics if `window_instructions == 0` or the configuration is
+/// infeasible.
+pub fn run_trial_windowed(
+    cfg: &SystemConfig,
+    base: SeedSeq,
+    trial: SeedSeq,
+    window_instructions: u64,
+) -> (TrialResult, Vec<WindowSample>) {
+    assert!(window_instructions > 0, "window must be positive");
+    let mut engine = Engine::new(cfg, base, trial);
+    engine.window = Some((window_instructions, Vec::new()));
+    engine.run_collect()
+}
+
+enum Sim {
+    Cache(Tapeworm),
+    TwoLevel(TwoLevelTapeworm),
+    Split { icache: Tapeworm, dcache: Tapeworm },
+    Tlb(TlbSim),
+    Buffer(KernelTraceBuffer),
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sim::Cache(_) => f.write_str("Sim::Cache"),
+            Sim::TwoLevel(_) => f.write_str("Sim::TwoLevel"),
+            Sim::Split { .. } => f.write_str("Sim::Split"),
+            Sim::Tlb(_) => f.write_str("Sim::Tlb"),
+            Sim::Buffer(_) => f.write_str("Sim::Buffer"),
+        }
+    }
+}
+
+struct UserTask {
+    tid: Tid,
+    stream: ProcStream,
+    /// Load/store generator (split-cache simulations only).
+    data: Option<DataStream>,
+    /// Instructions left before this task exits (u64::MAX = run to the
+    /// end of the workload).
+    quota: u64,
+}
+
+struct Engine<'c> {
+    cfg: &'c SystemConfig,
+    spec: &'static WorkloadSpec,
+    base: SeedSeq,
+    os: Os,
+    machine: Machine,
+    monster: Monster,
+    sim: Sim,
+    kernel_stream: ProcStream,
+    bsd_stream: ProcStream,
+    x_stream: ProcStream,
+    irq_stream: ProcStream,
+    /// Per-component data streams (split-cache simulations only),
+    /// indexed like [`Component::ALL`]; the user slot is unused (each
+    /// user task carries its own).
+    data_streams: [Option<DataStream>; 4],
+    users: Vec<UserTask>,
+    next_user: usize,
+    shell: Tid,
+    users_created: u32,
+    text_registry: HashMap<u64, tapeworm_mem::Pfn>,
+    /// Per-component instruction budgets (Component::index order).
+    budgets: [u64; 4],
+    /// Instruction share of one (non-final) user task.
+    user_quota: u64,
+    /// Fixed-point CPI accumulator (millicycles).
+    cpi_acc_milli: u64,
+    in_interrupt: bool,
+    chunk_bytes: u64,
+    /// Continuous-monitoring state: window length and collected
+    /// samples.
+    window: Option<(u64, Vec<crate::system::WindowSample>)>,
+}
+
+impl<'c> Engine<'c> {
+    fn new(cfg: &'c SystemConfig, base: SeedSeq, trial: SeedSeq) -> Self {
+        let spec = cfg.workload.spec();
+        let page = tapeworm_mem::PageSize::DEFAULT;
+
+        let allocator: Box<dyn FrameAllocator> = match cfg.alloc {
+            AllocPolicy::Random => Box::new(RandomAllocator::new(cfg.frames, trial)),
+            AllocPolicy::Sequential => Box::new(SequentialAllocator::new(cfg.frames)),
+            AllocPolicy::Coloring(colors) => {
+                Box::new(ColoringAllocator::new(cfg.frames, colors, trial))
+            }
+        };
+        let mut os = Os::boot(
+            OsConfig {
+                page_size: page,
+                frames: cfg.frames,
+            },
+            allocator,
+        );
+
+        let (trap_granule, chunk_bytes) = match cfg.model {
+            SimModel::Cache(c) => (c.line_bytes(), c.line_bytes()),
+            SimModel::TwoLevelCache(l1, _) => (l1.line_bytes(), l1.line_bytes()),
+            SimModel::SplitCache { icache, dcache } => {
+                assert_eq!(
+                    icache.line_bytes(),
+                    dcache.line_bytes(),
+                    "split caches must share a trap granule (line size)"
+                );
+                (icache.line_bytes(), icache.line_bytes())
+            }
+            SimModel::Tlb(_) => (16, page.bytes()),
+            SimModel::KernelTraceBuffer(c) => (c.line_bytes(), c.line_bytes()),
+        };
+        let machine = Machine::new(MachineConfig {
+            mem_bytes: cfg.frames as u64 * page.bytes(),
+            trap_granule,
+            clock_period: cfg.clock_period,
+            breakpoint_registers: 4,
+            write_policy: cfg.write_policy,
+        });
+
+        let sim = match cfg.model {
+            SimModel::Cache(c) => {
+                let sample = if cfg.sample_denominator > 1 {
+                    SetSample::new(cfg.sample_denominator, trial)
+                } else {
+                    SetSample::full()
+                };
+                Sim::Cache(
+                    Tapeworm::new(c, page.bytes(), base.derive("tapeworm", 0))
+                        .with_sampling(sample)
+                        .with_cost(cfg.cost.model()),
+                )
+            }
+            SimModel::TwoLevelCache(l1, l2) => Sim::TwoLevel(TwoLevelTapeworm::new(
+                l1,
+                l2,
+                page.bytes(),
+                base.derive("tapeworm2l", 0),
+            )),
+            SimModel::SplitCache { icache, dcache } => Sim::Split {
+                icache: Tapeworm::new(icache, page.bytes(), base.derive("tapeworm-i", 0))
+                    .with_cost(cfg.cost.model()),
+                dcache: Tapeworm::new(dcache, page.bytes(), base.derive("tapeworm-d", 0))
+                    .with_cost(cfg.cost.model()),
+            },
+            SimModel::Tlb(t) => Sim::Tlb(TlbSim::new(t, page, base.derive("tlbsim", 0))),
+            SimModel::KernelTraceBuffer(c) => {
+                Sim::Buffer(KernelTraceBuffer::new(KernelTraceBufferConfig::with_cache(
+                    Cache2000Config::with_geometry(
+                        c.size_bytes(),
+                        c.line_bytes(),
+                        c.associativity(),
+                    ),
+                )))
+            }
+        };
+        let split = matches!(cfg.model, SimModel::SplitCache { .. });
+
+        // Tapeworm attributes per the measured component set.
+        let on = |sim: bool| TapewormAttrs {
+            simulate: sim,
+            inherit: false,
+        };
+        os.tw_attributes(Tid::KERNEL, on(cfg.measured.contains(Component::Kernel)))
+            .expect("kernel exists");
+        let bsd = os.bsd_server();
+        let x = os.x_server();
+        os.tw_attributes(bsd, on(cfg.measured.contains(Component::BsdServer)))
+            .expect("bsd server exists");
+        os.tw_attributes(x, on(cfg.measured.contains(Component::XServer)))
+            .expect("x server exists");
+
+        // The workload shell: excluded from simulation itself, children
+        // inherit per the measured set — the paper's canonical
+        // (simulate=0, inherit=1) usage.
+        let shell = os.spawn_user().expect("room for the shell");
+        os.tw_attributes(
+            shell,
+            TapewormAttrs {
+                simulate: false,
+                inherit: cfg.measured.contains(Component::User),
+            },
+        )
+        .expect("shell exists");
+
+        // Pre-map shared text through the immortal shell so text frames
+        // are stable for the whole run.
+        let mut text_registry = HashMap::new();
+        if spec.shared_text {
+            let pages = spec.user_stream.footprint_bytes.div_ceil(page.bytes());
+            for i in 0..pages {
+                let vpn = USER_TEXT_BASE / page.bytes() + i;
+                let (pfn, _ev) = os
+                    .vm_mut()
+                    .map_new(shell, vpn)
+                    .expect("enough frames for shared text");
+                text_registry.insert(vpn, pfn);
+            }
+        }
+
+        // Component instruction budgets from the Table 4 fractions.
+        let total = spec.scaled_instructions(cfg.scale);
+        let budget = |f: f64| (total as f64 * f).round() as u64;
+        let budgets = [
+            budget(spec.frac_kernel),
+            budget(spec.frac_bsd),
+            budget(spec.frac_x),
+            budget(spec.frac_user),
+        ];
+
+        let user_quota = (budgets[Component::User.index()]
+            / u64::from(spec.user_task_count.max(1)))
+        .max(1);
+        let mut engine = Engine {
+            cfg,
+            spec,
+            base,
+            os,
+            machine,
+            monster: Monster::new(),
+            sim,
+            kernel_stream: ProcStream::new(
+                KERNEL_TEXT_BASE,
+                spec.kernel_stream,
+                base.derive("kernel-stream", 0),
+            ),
+            bsd_stream: ProcStream::new(
+                BSD_TEXT_BASE,
+                spec.bsd_stream,
+                base.derive("bsd-stream", 0),
+            ),
+            x_stream: ProcStream::new(X_TEXT_BASE, spec.x_stream, base.derive("x-stream", 0)),
+            irq_stream: ProcStream::new(
+                KERNEL_TEXT_BASE,
+                spec.kernel_stream,
+                base.derive("irq-stream", 0),
+            ),
+            data_streams: if split {
+                let mk = |text_base: u64, text: u64, label: u64| {
+                    Some(DataStream::new(
+                        text_base + DATA_SEGMENT_OFFSET,
+                        DataParams::default_for_text(text),
+                        base.derive("data-stream", label),
+                    ))
+                };
+                [
+                    mk(KERNEL_TEXT_BASE, spec.kernel_stream.footprint_bytes, 0),
+                    mk(BSD_TEXT_BASE, spec.bsd_stream.footprint_bytes, 1),
+                    mk(X_TEXT_BASE, spec.x_stream.footprint_bytes, 2),
+                    None,
+                ]
+            } else {
+                [None, None, None, None]
+            },
+            users: Vec::new(),
+            next_user: 0,
+            shell,
+            users_created: 0,
+            text_registry,
+            budgets,
+            user_quota,
+            cpi_acc_milli: 0,
+            in_interrupt: false,
+            chunk_bytes,
+            window: None,
+        };
+        let initial = spec.concurrent_tasks.min(spec.user_task_count.max(1));
+        for _ in 0..initial {
+            engine.fork_user();
+        }
+        engine
+    }
+
+    fn fork_user(&mut self) {
+        let tid = self.os.fork(self.shell).expect("task table has room");
+        let i = u64::from(self.users_created);
+        self.users_created += 1;
+        // The final concurrent batch runs to the end of the workload;
+        // earlier tasks exit after an equal share of the user budget.
+        let quota = if self.users_created >= self.spec.user_task_count {
+            u64::MAX
+        } else {
+            self.user_quota
+        };
+        let data = matches!(self.cfg.model, SimModel::SplitCache { .. }).then(|| {
+            DataStream::new(
+                USER_TEXT_BASE + DATA_SEGMENT_OFFSET,
+                DataParams::default_for_text(self.spec.user_stream.footprint_bytes),
+                self.base.derive("user-data", i),
+            )
+        });
+        self.users.push(UserTask {
+            tid,
+            stream: ProcStream::new(
+                USER_TEXT_BASE,
+                self.spec.user_stream,
+                self.base.derive("user-task", i),
+            ),
+            data,
+            quota,
+        });
+    }
+
+    fn exit_user(&mut self, index: usize) {
+        let task = self.users.remove(index);
+        let events = self.os.exit(task.tid).expect("live task exits");
+        for ev in events {
+            self.forward_event(ev);
+        }
+        if self.users_created < self.spec.user_task_count {
+            self.fork_user();
+        }
+    }
+
+    fn forward_event(&mut self, ev: VmEvent) {
+        let page = self.os.vm().page_size().bytes();
+        let is_data = match ev {
+            VmEvent::PageRegistered { vpn, .. } | VmEvent::PageRemoved { vpn, .. } => {
+                is_data_va(vpn * page)
+            }
+        };
+        let cycles = match &mut self.sim {
+            Sim::Cache(tw) => tw.on_vm_event(self.machine.traps_mut(), ev),
+            Sim::TwoLevel(tw) => tw.on_vm_event(self.machine.traps_mut(), ev),
+            Sim::Split { icache, dcache } => {
+                let side = if is_data { dcache } else { icache };
+                side.on_vm_event(self.machine.traps_mut(), ev)
+            }
+            Sim::Tlb(ts) => {
+                ts.on_vm_event(self.os.vm_mut(), ev);
+                0
+            }
+            // The trace buffer needs no page registration: it sees
+            // every reference directly.
+            Sim::Buffer(_) => 0,
+        };
+        if cycles > 0 {
+            self.advance(0, cycles);
+        }
+    }
+
+    /// Processes a batch of data references against the simulated data
+    /// cache (split mode only).
+    fn exec_data_refs(
+        &mut self,
+        component: Component,
+        tid: Tid,
+        refs: Vec<tapeworm_workload::DataRef>,
+    ) {
+        for r in refs {
+            let pa = self.touch(component, tid, r.va);
+            let kind = if r.is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let mut overhead = 0;
+            match self.machine.access(kind, r.va, pa) {
+                FetchOutcome::Run => {}
+                FetchOutcome::EccTrap => {
+                    if let Sim::Split { dcache, .. } = &mut self.sim {
+                        overhead = dcache.handle_miss(
+                            self.machine.traps_mut(),
+                            component,
+                            tid,
+                            r.va,
+                            pa,
+                        );
+                    }
+                }
+                FetchOutcome::MaskedEccSkipped => {
+                    if let Sim::Split { dcache, .. } = &mut self.sim {
+                        dcache.note_masked_miss();
+                    }
+                }
+                // The §4.4 hazard: the store destroyed the trap and the
+                // simulated data cache silently loses this miss. The
+                // machine's counter records the damage.
+                FetchOutcome::WriteTrapDestroyed => {}
+                FetchOutcome::Breakpoint => unreachable!("no breakpoints armed"),
+            }
+            if overhead > 0 {
+                self.advance(0, overhead);
+            }
+        }
+    }
+
+    /// Translates (and demand-maps) one chunk-aligned address.
+    fn touch(&mut self, component: Component, tid: Tid, va: VirtAddr) -> PhysAddr {
+        let page = self.os.vm().page_size().bytes();
+        loop {
+            match self.os.vm().translate(tid, va) {
+                Translation::Mapped(pa) => return pa,
+                Translation::TapewormPageTrap(_) => {
+                    let vpn = va.page_number(page);
+                    let cycles = match &mut self.sim {
+                        Sim::Tlb(ts) => {
+                            ts.handle_page_trap(self.os.vm_mut(), component, tid, vpn)
+                        }
+                        _ => unreachable!("valid bits are only cleared in TLB mode"),
+                    };
+                    self.advance(0, cycles);
+                }
+                Translation::NotMapped => {
+                    let vpn = va.page_number(page);
+                    let shared = component == Component::User
+                        && self.spec.shared_text
+                        && self.text_registry.contains_key(&vpn);
+                    let ev = if shared {
+                        let pfn = self.text_registry[&vpn];
+                        self.os.vm_mut().map_shared(tid, vpn, pfn)
+                    } else {
+                        let (_pfn, ev) = self
+                            .os
+                            .vm_mut()
+                            .map_new(tid, vpn)
+                            .expect("out of physical frames: raise SystemConfig::frames");
+                        ev
+                    };
+                    if self.os.is_simulated(tid) {
+                        self.forward_event(ev);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes `words` sequential fetches starting at `va` for a
+    /// component, charging workload time and handling traps.
+    fn exec_words(&mut self, component: Component, tid: Tid, va: VirtAddr, words: u32) {
+        let mut remaining = u64::from(words);
+        let mut va = va;
+        while remaining > 0 {
+            let chunk_end = va.line_base(self.chunk_bytes) + self.chunk_bytes;
+            let words_to_end = (chunk_end - va) / tapeworm_mem::WORD_BYTES;
+            let w = remaining.min(words_to_end);
+            let pa = self.touch(component, tid, va);
+
+            let mut overhead = 0u64;
+            if let Sim::Buffer(kt) = &mut self.sim {
+                // The annotated system records every fetch (all
+                // components), paying per reference.
+                for i in 0..w {
+                    kt.reference(component, va + i * tapeworm_mem::WORD_BYTES);
+                }
+            } else if !matches!(self.sim, Sim::Tlb(_)) {
+                match self.machine.access(AccessKind::IFetch, va, pa) {
+                    FetchOutcome::Run => {}
+                    FetchOutcome::EccTrap => {
+                        overhead = match &mut self.sim {
+                            Sim::Cache(tw) => {
+                                tw.handle_miss(self.machine.traps_mut(), component, tid, va, pa)
+                            }
+                            Sim::TwoLevel(tw) => {
+                                tw.handle_miss(self.machine.traps_mut(), component, tid, va, pa)
+                            }
+                            Sim::Split { icache, .. } => {
+                                icache.handle_miss(self.machine.traps_mut(), component, tid, va, pa)
+                            }
+                            Sim::Tlb(_) | Sim::Buffer(_) => unreachable!(),
+                        };
+                    }
+                    FetchOutcome::MaskedEccSkipped => match &mut self.sim {
+                        Sim::Cache(tw) => tw.note_masked_miss(),
+                        Sim::Split { icache, .. } => icache.note_masked_miss(),
+                        _ => {}
+                    },
+                    FetchOutcome::WriteTrapDestroyed | FetchOutcome::Breakpoint => {
+                        unreachable!("instruction fetches with no breakpoints armed")
+                    }
+                }
+            }
+
+            self.machine.retire(w);
+            self.cpi_acc_milli += w * self.cfg.base_cpi_milli;
+            let workload_cycles = self.cpi_acc_milli / 1000;
+            self.cpi_acc_milli %= 1000;
+            self.monster.record(component, w, workload_cycles);
+            self.advance(workload_cycles, overhead);
+
+            va += w * tapeworm_mem::WORD_BYTES;
+            remaining -= w;
+        }
+    }
+
+    /// Advances wall-clock time and services any clock interrupts.
+    fn advance(&mut self, workload_cycles: u64, overhead_cycles: u64) {
+        let dilated = workload_cycles
+            + if self.cfg.dilate {
+                overhead_cycles
+            } else {
+                0
+            };
+        let fired = self.machine.advance(dilated);
+        if fired > 0 && !self.in_interrupt {
+            for _ in 0..fired.min(4) {
+                self.run_interrupt_handler();
+            }
+        }
+    }
+
+    /// The clock-interrupt handler: kernel code that runs on every
+    /// tick, polluting the cache — the Figure 4 dilation mechanism.
+    /// Its prefix runs with interrupts masked, losing any ECC traps
+    /// there (the §4.2 masked-trap bias).
+    fn run_interrupt_handler(&mut self) {
+        self.in_interrupt = true;
+        let total = self.cfg.interrupt_handler_words;
+        let masked = self.cfg.masked_prefix_words.min(total);
+        let mut executed = 0u32;
+        self.machine.set_interrupts_enabled(false);
+        while executed < total {
+            let run = self.irq_stream.next_run();
+            let w = run.words.min(total - executed);
+            if executed < masked && executed + w > masked {
+                // Split the run at the unmask boundary.
+                let head = masked - executed;
+                self.exec_words(Component::Kernel, Tid::KERNEL, run.va, head);
+                self.machine.set_interrupts_enabled(true);
+                self.exec_words(
+                    Component::Kernel,
+                    Tid::KERNEL,
+                    run.va + u64::from(head) * tapeworm_mem::WORD_BYTES,
+                    w - head,
+                );
+            } else {
+                self.exec_words(Component::Kernel, Tid::KERNEL, run.va, w);
+                if executed + w >= masked {
+                    self.machine.set_interrupts_enabled(true);
+                }
+            }
+            executed += w;
+        }
+        self.machine.set_interrupts_enabled(true);
+        self.in_interrupt = false;
+    }
+
+    /// Runs one scheduling quantum of a component. Returns the number
+    /// of instructions executed (0 when the component has nothing to
+    /// run).
+    fn run_quantum(&mut self, component: Component) -> u64 {
+        let budget = self.budgets[component.index()];
+        if budget == 0 {
+            return 0;
+        }
+        match component {
+            Component::User => {
+                if self.users.is_empty() {
+                    return 0;
+                }
+                self.next_user %= self.users.len();
+                let idx = self.next_user;
+                let run = self.users[idx].stream.next_run();
+                let tid = self.users[idx].tid;
+                let quota = self.users[idx].quota;
+                let w = u64::from(run.words).min(budget).min(quota);
+                self.exec_words(component, tid, run.va, w as u32);
+                if let Some(data) = self.users[idx].data.as_mut() {
+                    let refs = data.refs_for(w);
+                    self.exec_data_refs(component, tid, refs);
+                }
+                self.budgets[component.index()] -= w;
+                let task = &mut self.users[idx];
+                task.quota = task.quota.saturating_sub(w);
+                if task.quota == 0 {
+                    self.exit_user(idx);
+                } else {
+                    self.next_user += 1;
+                }
+                w
+            }
+            _ => {
+                let stream = match component {
+                    Component::Kernel => &mut self.kernel_stream,
+                    Component::BsdServer => &mut self.bsd_stream,
+                    Component::XServer => &mut self.x_stream,
+                    Component::User => unreachable!(),
+                };
+                let run = stream.next_run();
+                let w = u64::from(run.words).min(budget);
+                let tid = match component {
+                    Component::Kernel => Tid::KERNEL,
+                    Component::BsdServer => self.os.bsd_server(),
+                    Component::XServer => self.os.x_server(),
+                    Component::User => unreachable!(),
+                };
+                self.exec_words(component, tid, run.va, w as u32);
+                if let Some(data) = self.data_streams[component.index()].as_mut() {
+                    let refs = data.refs_for(w);
+                    self.exec_data_refs(component, tid, refs);
+                }
+                self.budgets[component.index()] -= w;
+                w
+            }
+        }
+    }
+
+    fn run(self) -> TrialResult {
+        self.run_collect().0
+    }
+
+    fn current_raw_misses(&self) -> u64 {
+        match &self.sim {
+            Sim::Buffer(kt) => kt.total_misses(),
+            Sim::Cache(tw) => tw.stats().raw_total(),
+            Sim::TwoLevel(tw) => tw.l1_stats().raw_total(),
+            Sim::Split { icache, dcache } => {
+                icache.stats().raw_total() + dcache.stats().raw_total()
+            }
+            Sim::Tlb(ts) => ts.stats().raw_total(),
+        }
+    }
+
+    fn sample_windows(&mut self) {
+        let misses_now = self.current_raw_misses();
+        let instr_now = self.monster.total_instructions();
+        if let Some((period, samples)) = &mut self.window {
+            let boundary = (samples.len() as u64 + 1) * *period;
+            if instr_now >= boundary {
+                let prev: u64 = samples.iter().map(|s| s.misses).sum();
+                samples.push(crate::system::WindowSample {
+                    end_instructions: instr_now,
+                    misses: misses_now - prev,
+                });
+            }
+        }
+    }
+
+    fn run_collect(mut self) -> (TrialResult, Vec<crate::system::WindowSample>) {
+        // Smooth weighted round-robin over the components, by the
+        // Table 4 time fractions.
+        let weights = self.spec.component_weights();
+        let mut wrr: Vec<(Component, i64, i64)> = weights
+            .iter()
+            .filter(|(c, w)| *w > 0 && self.budgets[c.index()] > 0)
+            .map(|&(c, w)| (c, i64::from(w), 0i64))
+            .collect();
+        while !wrr.is_empty() {
+            let total: i64 = wrr.iter().map(|(_, w, _)| w).sum();
+            for e in &mut wrr {
+                e.2 += e.1;
+            }
+            let best = wrr
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("non-empty wrr");
+            wrr[best].2 -= total;
+            let component = wrr[best].0;
+            let executed = self.run_quantum(component);
+            if self.window.is_some() {
+                self.sample_windows();
+            }
+            if executed == 0 || self.budgets[component.index()] == 0 {
+                wrr.retain(|(c, ..)| *c != component);
+            }
+        }
+
+        let (misses, raw, overhead, masked, l2_misses, data_misses) = match &self.sim {
+            Sim::Cache(tw) => (
+                Component::ALL.map(|c| tw.stats().estimated_misses(c)),
+                Component::ALL.map(|c| tw.stats().raw_misses(c)),
+                tw.overhead_cycles(),
+                tw.stats().masked(),
+                None,
+                None,
+            ),
+            Sim::TwoLevel(tw) => (
+                Component::ALL.map(|c| tw.l1_stats().estimated_misses(c)),
+                Component::ALL.map(|c| tw.l1_stats().raw_misses(c)),
+                tw.overhead_cycles(),
+                0,
+                Some(Component::ALL.map(|c| tw.l2_stats().estimated_misses(c))),
+                None,
+            ),
+            Sim::Split { icache, dcache } => (
+                Component::ALL.map(|c| icache.stats().estimated_misses(c)),
+                Component::ALL.map(|c| icache.stats().raw_misses(c)),
+                icache.overhead_cycles() + dcache.overhead_cycles(),
+                icache.stats().masked() + dcache.stats().masked(),
+                None,
+                Some(Component::ALL.map(|c| dcache.stats().estimated_misses(c))),
+            ),
+            Sim::Tlb(ts) => (
+                Component::ALL.map(|c| ts.stats().estimated_misses(c)),
+                Component::ALL.map(|c| ts.stats().raw_misses(c)),
+                ts.overhead_cycles(),
+                0,
+                None,
+                None,
+            ),
+            Sim::Buffer(kt) => (
+                Component::ALL.map(|c| kt.misses(c) as f64),
+                Component::ALL.map(|c| kt.misses(c)),
+                kt.overhead_cycles(),
+                0,
+                None,
+                None,
+            ),
+        };
+        let result = TrialResult::new(
+            misses,
+            raw,
+            l2_misses,
+            data_misses,
+            self.machine.write_traps_destroyed(),
+            self.monster.total_instructions(),
+            self.monster.total_cycles(),
+            overhead,
+            self.machine.clock_interrupts(),
+            masked,
+            self.os.vm().faults(),
+            u64::from(self.users_created),
+        );
+        let windows = self.window.take().map(|(_, s)| s).unwrap_or_default();
+        (result, windows)
+    }
+}
+
+/// Whether a virtual address lies in a data segment. Every component's
+/// data segment sits [`DATA_SEGMENT_OFFSET`] above its text base, and
+/// all text footprints are far smaller than that offset.
+fn is_data_va(va: u64) -> bool {
+    let off = if va >= KERNEL_TEXT_BASE {
+        va - KERNEL_TEXT_BASE
+    } else {
+        va
+    };
+    off >= DATA_SEGMENT_OFFSET
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workload", &self.spec.name)
+            .field("users", &self.users.len())
+            .finish_non_exhaustive()
+    }
+}

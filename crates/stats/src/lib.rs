@@ -1,0 +1,44 @@
+//! Statistics and deterministic-randomness utilities for the Tapeworm II
+//! reproduction.
+//!
+//! The Tapeworm paper (ASPLOS 1994) reports nearly all of its results as
+//! *multi-trial* statistics: mean miss counts, standard deviation `s`,
+//! minima, maxima and ranges expressed as percentages of the mean
+//! (Tables 7–10). This crate provides:
+//!
+//! * [`Summary`] / [`OnlineStats`] — the exact summary shape those tables
+//!   use, computed with Welford's numerically stable online algorithm.
+//! * [`Zipf`] — a Zipf-distributed sampler used by the synthetic workload
+//!   models to pick "procedures" with realistic popularity skew.
+//! * [`SeedSeq`] — deterministic per-trial/per-stream seed derivation so
+//!   every experiment is reproducible from one base seed.
+//! * [`trials`] — a small trial-runner that fans experiment trials out over
+//!   threads and folds the per-trial measurements into summaries.
+//! * [`table`] — a plain-text table builder shared by the benchmark
+//!   binaries that regenerate the paper's tables and figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use tapeworm_stats::Summary;
+//!
+//! let s = Summary::from_values([4.11e6, 4.26e6, 4.19e6]).unwrap();
+//! assert!((s.mean() - 4.1866e6).abs() < 1e3);
+//! assert!(s.min() <= s.mean() && s.mean() <= s.max());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod online;
+mod summary;
+mod zipf;
+
+pub mod seed;
+pub mod table;
+pub mod trials;
+
+pub use online::OnlineStats;
+pub use seed::SeedSeq;
+pub use summary::{EmptySampleError, Summary};
+pub use zipf::{Zipf, ZipfError};

@@ -1,0 +1,218 @@
+//! Trial-set summaries in the shape of the paper's Tables 7–10.
+
+use std::error::Error;
+use std::fmt;
+
+/// The sample of values handed to [`Summary::from_values`] was empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptySampleError;
+
+impl fmt::Display for EmptySampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("cannot summarize an empty sample")
+    }
+}
+
+impl Error for EmptySampleError {}
+
+/// Summary statistics for a set of experimental trials.
+///
+/// This mirrors the columns of the paper's measurement-variation tables:
+/// mean `x̄`, standard deviation `s`, minimum, maximum and range, plus the
+/// "percent of mean" renderings used throughout Tables 7–10.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_stats::Summary;
+///
+/// // espresso row of Table 10: tightly clustered miss counts.
+/// let s = Summary::from_values([4.21e6, 4.30e6, 4.26e6, 4.27e6]).unwrap();
+/// assert!(s.stddev_pct_of_mean() < 1.5);
+/// assert!(s.range() <= s.max());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    stddev: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty collection of values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptySampleError`] if the iterator yields no values.
+    pub fn from_values<I>(values: I) -> Result<Self, EmptySampleError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut acc = crate::OnlineStats::new();
+        for v in values {
+            acc.push(v);
+        }
+        acc.summary().ok_or(EmptySampleError)
+    }
+
+    /// Assembles a summary from already-computed parts.
+    ///
+    /// Used by [`OnlineStats::summary`](crate::OnlineStats::summary); most
+    /// callers should prefer [`Summary::from_values`].
+    pub fn from_parts(count: u64, mean: f64, stddev: f64, min: f64, max: f64) -> Self {
+        Summary {
+            count,
+            mean,
+            stddev,
+            min,
+            max,
+        }
+    }
+
+    /// Number of trials summarized.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the trial values (the paper's `x̄`).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (the paper's `s`).
+    pub fn stddev(&self) -> f64 {
+        self.stddev
+    }
+
+    /// Smallest trial value.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest trial value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `max - min`, the paper's *Range* column.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// `s` as a percentage of the mean (Table 7 prints `s (x%)`).
+    ///
+    /// Returns 0.0 when the mean is zero to keep degenerate rows printable.
+    pub fn stddev_pct_of_mean(&self) -> f64 {
+        pct(self.stddev, self.mean)
+    }
+
+    /// Percent difference of the minimum below the mean.
+    ///
+    /// Table 7 prints minima as "`(26%)`" meaning 26% *below* the mean.
+    pub fn min_pct_below_mean(&self) -> f64 {
+        pct(self.mean - self.min, self.mean)
+    }
+
+    /// Percent difference of the maximum above the mean.
+    pub fn max_pct_above_mean(&self) -> f64 {
+        pct(self.max - self.mean, self.mean)
+    }
+
+    /// Range as a percentage of the mean.
+    pub fn range_pct_of_mean(&self) -> f64 {
+        pct(self.range(), self.mean)
+    }
+
+    /// Half-width of an approximate 95% confidence interval for the mean
+    /// (normal approximation, `1.96 s / sqrt(n)`).
+    ///
+    /// The paper notes that combined variance sources "force a larger
+    /// number of trials to be performed to increase the level of confidence
+    /// in the mean value"; this quantifies that.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4e} s={:.4e} ({:.0}%) min={:.4e} max={:.4e} range={:.4e}",
+            self.count,
+            self.mean,
+            self.stddev,
+            self.stddev_pct_of_mean(),
+            self.min,
+            self.max,
+            self.range()
+        )
+    }
+}
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole == 0.0 {
+        0.0
+    } else {
+        100.0 * part / whole
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_an_error() {
+        assert_eq!(
+            Summary::from_values(std::iter::empty()),
+            Err(EmptySampleError)
+        );
+        assert!(!EmptySampleError.to_string().is_empty());
+    }
+
+    #[test]
+    fn identical_values_have_zero_spread() {
+        let s = Summary::from_values([7.0, 7.0, 7.0]).unwrap();
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.stddev_pct_of_mean(), 0.0);
+    }
+
+    #[test]
+    fn percent_columns_match_paper_convention() {
+        // A synthetic eqntott-like row: mean 4.42, min 3.25, max 13.13.
+        let s = Summary::from_parts(16, 4.42, 2.53, 3.25, 13.13);
+        assert!((s.stddev_pct_of_mean() - 57.2).abs() < 1.0);
+        assert!((s.min_pct_below_mean() - 26.5).abs() < 1.0);
+        assert!((s.max_pct_above_mean() - 197.0).abs() < 1.0);
+        assert!((s.range_pct_of_mean() - 223.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_mean_percentages_are_zero() {
+        let s = Summary::from_parts(4, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(s.stddev_pct_of_mean(), 0.0);
+        assert_eq!(s.range_pct_of_mean(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_trials() {
+        let few = Summary::from_parts(4, 10.0, 2.0, 8.0, 12.0);
+        let many = Summary::from_parts(64, 10.0, 2.0, 8.0, 12.0);
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::from_values([1.0, 2.0]).unwrap();
+        assert!(!s.to_string().is_empty());
+    }
+}

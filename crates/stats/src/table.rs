@@ -1,0 +1,269 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! Every benchmark binary regenerates one paper table or figure as an
+//! aligned plain-text table on stdout. This module is a tiny, dependency-
+//! free table builder shared by all of them.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An incrementally built plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_stats::table::{Align, Table};
+///
+/// let mut t = Table::new(vec!["Cache".into(), "Miss Ratio".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["1K".into(), "0.118".into()]);
+/// t.row(vec!["32K".into(), "0.002".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Cache"));
+/// assert!(text.contains("0.118"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets an optional title printed above the table.
+    pub fn title(&mut self, title: impl Into<String>) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Right-aligns every column except the first (the common layout for
+    /// label + numbers tables).
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        if let Some(title) = &self.title {
+            writeln!(f, "{title}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => {
+                        f.write_str(cell)?;
+                        if i + 1 < ncols {
+                            write!(f, "{:pad$}", "", pad = pad)?;
+                        }
+                    }
+                    Align::Right => {
+                        write!(f, "{:pad$}{}", "", cell, pad = pad)?;
+                    }
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders one or two data series as a rough ASCII line chart, for the
+/// experiment binaries that regenerate the paper's *figures*.
+///
+/// `series` pairs a label with y-values; all series share `x_labels`.
+/// Values are scaled to the tallest point across all series.
+///
+/// # Panics
+///
+/// Panics if a series' length differs from `x_labels`.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_stats::table::ascii_chart;
+///
+/// let chart = ascii_chart(
+///     &["1K", "4K", "16K"],
+///     &[("tapeworm", vec![6.4, 4.6, 2.4]), ("cache2000", vec![26.5, 25.2, 23.2])],
+///     20,
+/// );
+/// assert!(chart.contains("tapeworm"));
+/// ```
+pub fn ascii_chart(x_labels: &[&str], series: &[(&str, Vec<f64>)], width: usize) -> String {
+    let mut out = String::new();
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = x_labels.iter().map(|l| l.len()).max().unwrap_or(1);
+    for (name, ys) in series {
+        assert_eq!(ys.len(), x_labels.len(), "series length mismatch");
+        out.push_str(&format!("{name}\n"));
+        for (x, y) in x_labels.iter().zip(ys) {
+            let bar = "▮".repeat(((y / max) * width as f64).round() as usize);
+            out.push_str(&format!("  {x:>label_w$} |{bar} {y:.2}\n"));
+        }
+    }
+    out
+}
+
+/// Formats a count in millions with two decimals, e.g. `37.63`.
+pub fn millions(x: f64) -> String {
+    format!("{:.2}", x / 1.0e6)
+}
+
+/// Formats a ratio with three decimals in parentheses, e.g. `(0.027)`.
+pub fn ratio(x: f64) -> String {
+    format!("({x:.3})")
+}
+
+/// Formats a percentage with no decimals in parentheses, e.g. `(57%)`.
+pub fn pct(x: f64) -> String {
+    format!("({x:.0}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "value".into()]);
+        t.numeric();
+        t.row(vec!["row-one".into(), "1".into()]);
+        t.row(vec!["r2".into(), "1234".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Numbers right-aligned: both value cells end at same column.
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("1234"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn title_appears_first() {
+        let mut t = Table::new(vec!["x".into()]);
+        t.title("Figure 2");
+        t.row(vec!["1".into()]);
+        assert!(t.to_string().starts_with("Figure 2\n"));
+    }
+
+    #[test]
+    fn ascii_chart_scales_to_the_tallest_series() {
+        let chart = ascii_chart(
+            &["a", "b"],
+            &[("one", vec![1.0, 2.0]), ("two", vec![4.0, 0.0])],
+            8,
+        );
+        // The 4.0 point gets the full width; the 1.0 point a quarter.
+        assert!(chart.contains(&"▮".repeat(8)));
+        assert!(chart.contains(&format!("a |{} 1.00", "▮".repeat(2))));
+        assert!(chart.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ascii_chart_rejects_ragged_series() {
+        let _ = ascii_chart(&["a"], &[("x", vec![1.0, 2.0])], 4);
+    }
+
+    #[test]
+    fn helpers_format_like_the_paper() {
+        assert_eq!(millions(37_630_000.0), "37.63");
+        assert_eq!(ratio(0.0274), "(0.027)");
+        assert_eq!(pct(57.2), "(57%)");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Multi-trial experiment execution.
+//!
+//! The paper runs 4–16 trials per configuration and reports the spread
+//! (Tables 7–10). [`run_trials`] executes a trial function once per trial
+//! index with a derived seed, optionally in parallel, and returns the raw
+//! per-trial values plus their [`Summary`].
+
+use crate::{SeedSeq, Summary};
+
+/// The outcome of a multi-trial experiment: raw values in trial order and
+/// their summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSet {
+    values: Vec<f64>,
+    summary: Summary,
+}
+
+impl TrialSet {
+    /// Per-trial measurements, indexed by trial number.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Summary statistics over the trials.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+}
+
+/// Runs `n` trials of `f` sequentially.
+///
+/// Each trial receives a [`SeedSeq`] derived as `base.derive("trial", i)`,
+/// so trial `i` is reproducible in isolation.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn run_trials<F>(base: SeedSeq, n: usize, mut f: F) -> TrialSet
+where
+    F: FnMut(SeedSeq) -> f64,
+{
+    assert!(n > 0, "an experiment needs at least one trial");
+    let values: Vec<f64> = (0..n as u64).map(|i| f(base.derive("trial", i))).collect();
+    let summary = Summary::from_values(values.iter().copied())
+        .expect("n > 0 guarantees a non-empty sample");
+    TrialSet { values, summary }
+}
+
+/// Runs `n` trials of `f` across `threads` OS threads.
+///
+/// Results are identical to [`run_trials`] (trial `i` always gets the same
+/// derived seed); only wall-clock time changes. `threads == 0` or `1`
+/// degrades to the sequential path.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or if a trial panics.
+pub fn run_trials_parallel<F>(base: SeedSeq, n: usize, threads: usize, f: F) -> TrialSet
+where
+    F: Fn(SeedSeq) -> f64 + Sync,
+{
+    assert!(n > 0, "an experiment needs at least one trial");
+    if threads <= 1 {
+        return run_trials(base, n, |s| f(s));
+    }
+    let mut values = vec![0.0f64; n];
+    std::thread::scope(|scope| {
+        let chunk = n.div_ceil(threads);
+        for (t, slot) in values.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let i = (t * chunk + j) as u64;
+                    *out = f(base.derive("trial", i));
+                }
+            });
+        }
+    });
+    let summary = Summary::from_values(values.iter().copied())
+        .expect("n > 0 guarantees a non-empty sample");
+    TrialSet { values, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn trials_get_distinct_seeds() {
+        let set = run_trials(SeedSeq::new(5), 8, |seed| seed.value() as f64);
+        let mut vals = set.values().to_vec();
+        vals.dedup();
+        assert_eq!(vals.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let f = |seed: SeedSeq| seed.rng().gen_range(0.0..1.0);
+        let a = run_trials(SeedSeq::new(3), 16, f);
+        let b = run_trials(SeedSeq::new(3), 16, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let f = |seed: SeedSeq| seed.rng().gen_range(0.0..100.0);
+        let seq = run_trials(SeedSeq::new(11), 13, f);
+        let par = run_trials_parallel(SeedSeq::new(11), 13, 4, f);
+        assert_eq!(seq.values(), par.values());
+    }
+
+    #[test]
+    fn single_thread_parallel_degrades() {
+        let f = |seed: SeedSeq| seed.value() as f64;
+        let seq = run_trials(SeedSeq::new(2), 5, f);
+        let par = run_trials_parallel(SeedSeq::new(2), 5, 1, f);
+        assert_eq!(seq.values(), par.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = run_trials(SeedSeq::new(0), 0, |_| 0.0);
+    }
+
+    #[test]
+    fn summary_reflects_values() {
+        let set = run_trials(SeedSeq::new(1), 4, |s| (s.value() % 7) as f64);
+        let expect = Summary::from_values(set.values().iter().copied()).unwrap();
+        assert_eq!(*set.summary(), expect);
+    }
+}

@@ -1,0 +1,189 @@
+//! Zipf-distributed sampling for synthetic reference streams.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+/// Parameters for [`Zipf::new`] were invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZipfError {
+    /// The number of elements was zero.
+    EmptyDomain,
+    /// The exponent was not a finite, non-negative number.
+    BadExponent(f64),
+}
+
+impl fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZipfError::EmptyDomain => f.write_str("zipf domain must be non-empty"),
+            ZipfError::BadExponent(s) => {
+                write!(f, "zipf exponent must be finite and >= 0, got {s}")
+            }
+        }
+    }
+}
+
+impl Error for ZipfError {}
+
+/// A Zipf(`n`, `s`) sampler over ranks `0..n` using a precomputed CDF.
+///
+/// The workload models use Zipf popularity to choose which "procedure" a
+/// task executes next: a few hot procedures dominate (capturing temporal
+/// locality) while a long tail keeps the full text footprint warm — the
+/// combination that gives the miss-ratio-vs-cache-size curves their
+/// characteristic knee.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tapeworm_stats::Zipf;
+///
+/// let zipf = Zipf::new(100, 1.0)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// # Ok::<(), tapeworm_stats::ZipfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; larger `s` skews
+    /// probability toward low ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::EmptyDomain`] when `n == 0` and
+    /// [`ZipfError::BadExponent`] when `s` is negative, NaN or infinite.
+    pub fn new(n: usize, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::EmptyDomain);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::BadExponent(s));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding leaving the last entry below 1.0.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cdf })
+    }
+
+    /// Number of ranks in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the domain has exactly one rank (never zero by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..self.len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.rank_for(u)
+    }
+
+    /// Maps a uniform variate in `[0, 1)` to a rank; exposed for
+    /// deterministic replay in tests.
+    pub fn rank_for(&self, u: f64) -> usize {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a given rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.len()`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Zipf::new(0, 1.0), Err(ZipfError::EmptyDomain));
+        assert_eq!(Zipf::new(4, -1.0), Err(ZipfError::BadExponent(-1.0)));
+        assert!(Zipf::new(4, f64::NAN).is_err());
+        assert!(Zipf::new(4, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for rank in 0..4 {
+            assert!((z.pmf(rank) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate_with_positive_exponent() {
+        let z = Zipf::new(50, 1.2).unwrap();
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(49));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(128, 0.8).unwrap();
+        let total: f64 = (0..128).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_hit_hot_rank() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            counts[r] += 1;
+        }
+        // Rank 0 carries ~34% of the mass for n=10, s=1.
+        assert!(counts[0] > counts[9]);
+        assert!(counts[0] as f64 / 20_000.0 > 0.25);
+    }
+
+    #[test]
+    fn rank_for_extremes() {
+        let z = Zipf::new(5, 1.0).unwrap();
+        assert_eq!(z.rank_for(0.0), 0);
+        assert_eq!(z.rank_for(0.999_999_9), 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the statistics crate.
+
+use proptest::prelude::*;
+use tapeworm_stats::{OnlineStats, SeedSeq, Summary, Zipf};
+
+proptest! {
+    #[test]
+    fn online_matches_naive(xs in proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)) {
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((acc.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((acc.sample_variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        }
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(acc.min(), min);
+        prop_assert_eq!(acc.max(), max);
+    }
+
+    #[test]
+    fn merge_is_associative_enough(
+        a in proptest::collection::vec(-1.0e3f64..1.0e3, 1..50),
+        b in proptest::collection::vec(-1.0e3f64..1.0e3, 1..50),
+    ) {
+        let mut whole = OnlineStats::new();
+        for &x in a.iter().chain(&b) {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        for &x in &a { left.push(x); }
+        let mut right = OnlineStats::new();
+        for &x in &b { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.sample_variance() - whole.sample_variance()).abs()
+            < 1e-6 * (1.0 + whole.sample_variance().abs()));
+    }
+
+    #[test]
+    fn summary_invariants(xs in proptest::collection::vec(0.0f64..1.0e9, 1..100)) {
+        let s = Summary::from_values(xs.iter().copied()).unwrap();
+        prop_assert!(s.min() <= s.mean() + 1e-6);
+        prop_assert!(s.mean() <= s.max() + 1e-6);
+        prop_assert!(s.range() >= -1e-9);
+        prop_assert!(s.stddev() >= 0.0);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn zipf_cdf_monotone(n in 1usize..512, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let mut prev = 0.0;
+        let mut total = 0.0;
+        for r in 0..n {
+            let p = z.pmf(r);
+            prop_assert!(p >= 0.0);
+            if s > 0.0 && r > 0 {
+                // Monotone non-increasing mass in rank.
+                prop_assert!(p <= prev + 1e-12);
+            }
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zipf_rank_in_range(n in 1usize..512, s in 0.0f64..3.0, u in 0.0f64..1.0) {
+        let z = Zipf::new(n, s).unwrap();
+        prop_assert!(z.rank_for(u) < n);
+    }
+
+    #[test]
+    fn seed_streams_do_not_collide(base in any::<u64>(), i in 0u64..1000, j in 0u64..1000) {
+        prop_assume!(i != j);
+        let s = SeedSeq::new(base);
+        prop_assert_ne!(s.derive("trial", i), s.derive("trial", j));
+    }
+}

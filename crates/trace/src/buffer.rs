@@ -1,0 +1,178 @@
+//! A Mogul & Borg style in-kernel trace buffer.
+//!
+//! The paper's related work (§2) describes the strongest *trace-driven*
+//! answer to OS completeness: "each task in a multi-task workload is
+//! instrumented to make entries in a system-wide trace buffer. A
+//! modified operating system kernel interleaves the execution of the
+//! different user-level workload tasks … and invokes a memory
+//! simulator whenever the trace buffer becomes full" \[Mogul91\], later
+//! extended to annotate the kernel itself \[Chen93b\].
+//!
+//! Unlike Pixie, this tool sees every component — but it still pays
+//! per *reference*, plus a buffer-drain context switch, which is
+//! exactly the cost structure Tapeworm's per-*miss* trapping beats.
+
+use tapeworm_machine::Component;
+use tapeworm_mem::VirtAddr;
+
+use crate::cache2000::{Cache2000, Cache2000Config};
+
+/// Cost parameters of the buffer-tracing pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTraceBufferConfig {
+    /// Simulated cache geometry (virtually indexed, like the recorded
+    /// addresses).
+    pub cache: Cache2000Config,
+    /// Trace-buffer capacity in references.
+    pub buffer_refs: u64,
+    /// Cycles per reference for the inline annotation (buffer write).
+    pub annotate_cycles: u64,
+    /// Fixed cycles per buffer drain (switch to the simulator task and
+    /// back).
+    pub drain_switch_cycles: u64,
+}
+
+impl KernelTraceBufferConfig {
+    /// A configuration in the spirit of \[Mogul91\]: a 64Ki-entry buffer,
+    /// ~12-cycle inline annotation, and a costly drain switch.
+    pub fn with_cache(cache: Cache2000Config) -> Self {
+        KernelTraceBufferConfig {
+            cache,
+            buffer_refs: 64 * 1024,
+            annotate_cycles: 12,
+            drain_switch_cycles: 4_000,
+        }
+    }
+}
+
+/// The buffer-tracing simulator: complete (all components), paid per
+/// reference.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_machine::Component;
+/// use tapeworm_mem::VirtAddr;
+/// use tapeworm_trace::{Cache2000Config, KernelTraceBuffer, KernelTraceBufferConfig};
+///
+/// let cfg = KernelTraceBufferConfig::with_cache(
+///     Cache2000Config::with_geometry(4096, 16, 1),
+/// );
+/// let mut kt = KernelTraceBuffer::new(cfg);
+/// kt.reference(Component::Kernel, VirtAddr::new(0x8000_0000));
+/// kt.reference(Component::User, VirtAddr::new(0x40_0000));
+/// assert_eq!(kt.references(), 2);
+/// assert_eq!(kt.misses(Component::Kernel) + kt.misses(Component::User), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelTraceBuffer {
+    cfg: KernelTraceBufferConfig,
+    sim: Cache2000,
+    misses: [u64; 4],
+    refs: u64,
+    buffered: u64,
+    drains: u64,
+}
+
+impl KernelTraceBuffer {
+    /// Creates an empty tracer.
+    pub fn new(cfg: KernelTraceBufferConfig) -> Self {
+        KernelTraceBuffer {
+            sim: Cache2000::new(cfg.cache),
+            misses: [0; 4],
+            refs: 0,
+            buffered: 0,
+            drains: 0,
+            cfg,
+        }
+    }
+
+    /// Records (and simulates) one reference from `component`.
+    /// Returns `true` on a simulated hit.
+    pub fn reference(&mut self, component: Component, va: VirtAddr) -> bool {
+        self.refs += 1;
+        self.buffered += 1;
+        if self.buffered >= self.cfg.buffer_refs {
+            self.buffered = 0;
+            self.drains += 1;
+        }
+        let hit = self.sim.reference(va);
+        if !hit {
+            self.misses[component.index()] += 1;
+        }
+        hit
+    }
+
+    /// Total references recorded.
+    pub fn references(&self) -> u64 {
+        self.refs
+    }
+
+    /// Buffer drains performed.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Misses attributed to one component.
+    pub fn misses(&self, component: Component) -> u64 {
+        self.misses[component.index()]
+    }
+
+    /// Total misses across components.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Full pipeline overhead: inline annotation per reference, the
+    /// simulator's per-address work, and the drain switches.
+    pub fn overhead_cycles(&self) -> u64 {
+        self.refs * self.cfg.annotate_cycles
+            + self.sim.overhead_cycles()
+            + self.drains * self.cfg.drain_switch_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer(buffer_refs: u64) -> KernelTraceBuffer {
+        let mut cfg =
+            KernelTraceBufferConfig::with_cache(Cache2000Config::with_geometry(1024, 16, 1));
+        cfg.buffer_refs = buffer_refs;
+        KernelTraceBuffer::new(cfg)
+    }
+
+    #[test]
+    fn captures_every_component() {
+        let mut kt = tracer(1024);
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            // Distinct lines: all cold misses.
+            kt.reference(c, VirtAddr::new(i as u64 * 64));
+        }
+        for c in Component::ALL {
+            assert_eq!(kt.misses(c), 1, "{c}");
+        }
+        assert_eq!(kt.references(), 4);
+    }
+
+    #[test]
+    fn hits_are_not_misses_but_still_cost_cycles() {
+        let mut kt = tracer(1024);
+        kt.reference(Component::User, VirtAddr::new(0));
+        assert!(kt.reference(Component::User, VirtAddr::new(4)));
+        assert_eq!(kt.total_misses(), 1);
+        // Two references' annotation + simulation costs.
+        assert!(kt.overhead_cycles() >= 2 * (12 + 49));
+    }
+
+    #[test]
+    fn drains_fire_when_the_buffer_fills() {
+        let mut kt = tracer(8);
+        for i in 0..25u64 {
+            kt.reference(Component::User, VirtAddr::new(i * 4));
+        }
+        assert_eq!(kt.drains(), 3);
+        assert!(kt.overhead_cycles() >= 3 * 4_000);
+    }
+}

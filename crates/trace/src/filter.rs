@@ -1,0 +1,108 @@
+//! Software set-sample filtering of traces.
+//!
+//! "When implemented in a trace-driven simulator, set sampling uses a
+//! filtered trace containing exactly the addresses that map to a
+//! certain subset of cache sets … there is pre-processing overhead to
+//! construct a trace sample … With trace-driven simulation, the full
+//! trace must be re-processed to obtain a new set sample" (§3.2). This
+//! is the software counterpart to Tapeworm's free hardware filtering,
+//! and its cost is what the sampling benches contrast.
+
+use tapeworm_core::SetSample;
+
+use crate::trace::Trace;
+
+/// A software trace filter for one set sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetSampleFilter {
+    sample: SetSample,
+    line_bytes: u64,
+    sets: u64,
+    /// Cycles charged per *input* address examined during filtering.
+    pub preprocess_cycles_per_address: u64,
+}
+
+impl SetSampleFilter {
+    /// Creates a filter for a cache with `sets` sets of `line_bytes`
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` and `line_bytes` are powers of two.
+    pub fn new(sample: SetSample, sets: u64, line_bytes: u64) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        SetSampleFilter {
+            sample,
+            line_bytes,
+            sets,
+            preprocess_cycles_per_address: 6,
+        }
+    }
+
+    /// Filters a trace down to the sampled sets. Returns the filtered
+    /// trace and the pre-processing cost in cycles (paid over the
+    /// *full* input, every time a new sample is wanted).
+    pub fn filter(&self, trace: &Trace) -> (Trace, u64) {
+        let filtered: Trace = trace
+            .iter()
+            .filter(|va| {
+                let set = (va.raw() / self.line_bytes) % self.sets;
+                self.sample.is_sampled(set)
+            })
+            .collect();
+        let cost = trace.len() as u64 * self.preprocess_cycles_per_address;
+        (filtered, cost)
+    }
+
+    /// The sample in use.
+    pub fn sample(&self) -> &SetSample {
+        &self.sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeworm_mem::VirtAddr;
+    use tapeworm_stats::SeedSeq;
+
+    fn trace_covering_all_sets(sets: u64, line: u64) -> Trace {
+        (0..sets * 4).map(|i| VirtAddr::new(i * line)).collect()
+    }
+
+    #[test]
+    fn filtered_trace_contains_only_sampled_sets() {
+        let sample = SetSample::new(4, SeedSeq::new(1));
+        let f = SetSampleFilter::new(sample, 64, 16);
+        let input = trace_covering_all_sets(64, 16);
+        let (out, _) = f.filter(&input);
+        assert_eq!(out.len(), input.len() / 4);
+        for va in out.iter() {
+            assert!(sample.is_sampled((va.raw() / 16) % 64));
+        }
+    }
+
+    #[test]
+    fn preprocessing_cost_covers_full_input() {
+        let f = SetSampleFilter::new(SetSample::new(8, SeedSeq::new(0)), 64, 16);
+        let input = trace_covering_all_sets(64, 16);
+        let (_, cost) = f.filter(&input);
+        assert_eq!(cost, input.len() as u64 * 6);
+        // A different sample costs the same full re-processing pass.
+        let f2 = SetSampleFilter::new(SetSample::new(8, SeedSeq::new(9)), 64, 16);
+        let (_, cost2) = f2.filter(&input);
+        assert_eq!(cost, cost2);
+    }
+
+    #[test]
+    fn full_sample_passes_everything() {
+        let f = SetSampleFilter::new(SetSample::full(), 64, 16);
+        let input = trace_covering_all_sets(64, 16);
+        let (out, _) = f.filter(&input);
+        assert_eq!(out, input);
+    }
+}

@@ -1,0 +1,147 @@
+//! A Pixie-like workload annotator.
+//!
+//! "Note that Pixie only generates user-level address traces for a
+//! single task" (§4). This model enforces exactly that blind spot: it
+//! refuses multi-task workloads and only ever emits the user
+//! component's fetches — never kernel or server references. The
+//! annotated workload also runs slower; the per-address generation cost
+//! is folded into the Cache2000 cost model (Table 5 reports the
+//! combined ~53 cycles per address).
+
+use std::error::Error;
+use std::fmt;
+
+use tapeworm_stats::SeedSeq;
+use tapeworm_workload::{ProcStream, RefStream, Workload, USER_TEXT_BASE};
+
+use crate::trace::Trace;
+
+/// Why a workload could not be annotated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PixieError {
+    /// Pixie instruments one binary: multi-task workloads cannot be
+    /// traced.
+    MultiTaskWorkload {
+        /// The offending workload.
+        workload: Workload,
+        /// Its task count.
+        tasks: u32,
+    },
+}
+
+impl fmt::Display for PixieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PixieError::MultiTaskWorkload { workload, tasks } => write!(
+                f,
+                "pixie traces a single user task; {workload} creates {tasks} tasks"
+            ),
+        }
+    }
+}
+
+impl Error for PixieError {}
+
+/// The annotator.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_stats::SeedSeq;
+/// use tapeworm_trace::Pixie;
+/// use tapeworm_workload::Workload;
+///
+/// let trace = Pixie::annotate(Workload::Espresso, 10_000, SeedSeq::new(1))?;
+/// assert_eq!(trace.len(), 10_000);
+/// // Multi-task workloads are beyond the tool:
+/// assert!(Pixie::annotate(Workload::Sdet, 10_000, SeedSeq::new(1)).is_err());
+/// # Ok::<(), tapeworm_trace::PixieError>(())
+/// ```
+#[derive(Debug)]
+pub struct Pixie {
+    _private: (),
+}
+
+impl Pixie {
+    /// Traces `instructions` user-level fetches of a single-task
+    /// workload.
+    ///
+    /// The reference stream is the *same* deterministic user stream the
+    /// trap-driven experiments use (same seed derivation), which is
+    /// what makes Table 6's "From Traces" validation column meaningful.
+    ///
+    /// # Errors
+    ///
+    /// [`PixieError::MultiTaskWorkload`] for workloads with more than
+    /// one user task.
+    pub fn annotate(
+        workload: Workload,
+        instructions: u64,
+        seed: SeedSeq,
+    ) -> Result<Trace, PixieError> {
+        let spec = workload.spec();
+        if spec.user_task_count > 1 {
+            return Err(PixieError::MultiTaskWorkload {
+                workload,
+                tasks: spec.user_task_count,
+            });
+        }
+        let mut stream = ProcStream::new(
+            USER_TEXT_BASE,
+            *spec.stream_for(tapeworm_machine::Component::User),
+            seed.derive("user-task", 0),
+        );
+        let mut trace = Trace::new();
+        let mut emitted = 0u64;
+        while emitted < instructions {
+            let run = stream.next_run();
+            for va in run.addresses() {
+                if emitted >= instructions {
+                    break;
+                }
+                trace.push(va);
+                emitted += 1;
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_exactly_n_instructions() {
+        let t = Pixie::annotate(Workload::Eqntott, 5000, SeedSeq::new(2)).unwrap();
+        assert_eq!(t.len(), 5000);
+    }
+
+    #[test]
+    fn user_level_only_within_text_segment() {
+        let spec = Workload::Xlisp.spec();
+        let t = Pixie::annotate(Workload::Xlisp, 2000, SeedSeq::new(3)).unwrap();
+        for va in t.iter() {
+            assert!(va.raw() >= USER_TEXT_BASE);
+            assert!(va.raw() < USER_TEXT_BASE + spec.user_stream.footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn refuses_every_multitask_workload() {
+        for w in [Workload::Ousterhout, Workload::Sdet, Workload::Kenbus] {
+            let err = Pixie::annotate(w, 100, SeedSeq::new(0)).unwrap_err();
+            assert!(matches!(err, PixieError::MultiTaskWorkload { .. }));
+            assert!(err.to_string().contains("single user task"));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Pixie::annotate(Workload::MpegPlay, 1000, SeedSeq::new(7)).unwrap();
+        let b = Pixie::annotate(Workload::MpegPlay, 1000, SeedSeq::new(7)).unwrap();
+        assert_eq!(a, b);
+        let c = Pixie::annotate(Workload::MpegPlay, 1000, SeedSeq::new(8)).unwrap();
+        assert_ne!(a, c);
+    }
+}

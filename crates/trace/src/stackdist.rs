@@ -1,0 +1,197 @@
+//! Mattson stack-distance simulation.
+//!
+//! The classic single-pass trace-driven technique (\[Mattson70\],
+//! \[Thompson89\], \[Sugumar93\] in the paper's bibliography): one pass
+//! over a trace yields miss counts for **every** fully-associative LRU
+//! cache size simultaneously, because LRU has the stack inclusion
+//! property. Included as the strongest form of the trace-driven
+//! approach's flexibility — something trap-driven simulation cannot do
+//! at all (one trap pattern encodes exactly one cache configuration).
+
+use std::collections::HashMap;
+
+use tapeworm_mem::VirtAddr;
+
+/// Single-pass LRU stack simulator at line granularity.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_mem::VirtAddr;
+/// use tapeworm_trace::StackDistance;
+///
+/// let mut s = StackDistance::new(16);
+/// for a in [0u64, 16, 0, 32, 0] {
+///     s.reference(VirtAddr::new(a));
+/// }
+/// // With >= 2 lines of capacity, only the 3 cold misses remain.
+/// assert_eq!(s.misses_for_capacity(2), 3);
+/// // With 1 line, the re-references to 0 miss too.
+/// assert!(s.misses_for_capacity(1) > 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StackDistance {
+    line_bytes: u64,
+    /// LRU stack of line numbers, most recent first.
+    stack: Vec<u64>,
+    position: HashMap<u64, usize>,
+    /// `hist[d]` = references with stack distance exactly `d`.
+    hist: Vec<u64>,
+    cold: u64,
+    refs: u64,
+}
+
+impl StackDistance {
+    /// Creates a simulator for `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        StackDistance {
+            line_bytes,
+            ..StackDistance::default()
+        }
+    }
+
+    /// Processes one reference.
+    pub fn reference(&mut self, va: VirtAddr) {
+        self.refs += 1;
+        let line = va.raw() / self.line_bytes;
+        match self.position.get(&line).copied() {
+            Some(depth) => {
+                if self.hist.len() <= depth {
+                    self.hist.resize(depth + 1, 0);
+                }
+                self.hist[depth] += 1;
+                // Move to top.
+                self.stack.remove(depth);
+                self.stack.insert(0, line);
+                for (i, &l) in self.stack.iter().enumerate().take(depth + 1) {
+                    self.position.insert(l, i);
+                }
+            }
+            None => {
+                self.cold += 1;
+                self.stack.insert(0, line);
+                for (i, &l) in self.stack.iter().enumerate() {
+                    self.position.insert(l, i);
+                }
+            }
+        }
+    }
+
+    /// Runs a whole trace.
+    pub fn run<I: IntoIterator<Item = VirtAddr>>(&mut self, trace: I) {
+        for va in trace {
+            self.reference(va);
+        }
+    }
+
+    /// Total references processed.
+    pub fn references(&self) -> u64 {
+        self.refs
+    }
+
+    /// Cold (first-touch) misses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Misses in a fully-associative LRU cache of `capacity_lines`
+    /// lines: cold misses plus re-references with stack distance ≥
+    /// capacity.
+    pub fn misses_for_capacity(&self, capacity_lines: usize) -> u64 {
+        let deep: u64 = self
+            .hist
+            .iter()
+            .skip(capacity_lines)
+            .sum();
+        self.cold + deep
+    }
+
+    /// Miss-count curve for capacities `1, 2, 4, … , max_lines`
+    /// (powers of two), from one pass.
+    pub fn curve(&self, max_lines: usize) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        let mut c = 1;
+        while c <= max_lines {
+            out.push((c, self.misses_for_capacity(c)));
+            c *= 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs(addrs: &[u64]) -> StackDistance {
+        let mut s = StackDistance::new(16);
+        s.run(addrs.iter().map(|&a| VirtAddr::new(a)));
+        s
+    }
+
+    #[test]
+    fn cold_misses_counted_once_per_line() {
+        let s = refs(&[0, 4, 8, 16, 32, 0]);
+        assert_eq!(s.cold_misses(), 3); // lines 0, 1, 2
+        assert_eq!(s.references(), 6);
+    }
+
+    #[test]
+    fn inclusion_property_misses_monotone_in_capacity() {
+        let s = refs(&[0, 16, 32, 0, 48, 16, 64, 0, 32, 16]);
+        let mut prev = u64::MAX;
+        for cap in 1..=8 {
+            let m = s.misses_for_capacity(cap);
+            assert!(m <= prev, "cap {cap}: {m} > {prev}");
+            prev = m;
+        }
+        // Infinite capacity leaves only cold misses.
+        assert_eq!(s.misses_for_capacity(64), s.cold_misses());
+    }
+
+    #[test]
+    fn distance_one_hit() {
+        // 0, 0: second reference has stack distance 0 -> hits with any
+        // capacity >= 1.
+        let s = refs(&[0, 0]);
+        assert_eq!(s.misses_for_capacity(1), 1);
+    }
+
+    #[test]
+    fn matches_explicit_lru_simulation() {
+        // Cross-check one capacity against Cache2000 configured
+        // fully-associative LRU.
+        use crate::cache2000::{Cache2000, Cache2000Config};
+        let addrs: Vec<u64> = (0..400u64)
+            .map(|i| (i * 7919) % 1024) // pseudo-random in 64 lines
+            .collect();
+        let s = refs(&addrs);
+        for cap_lines in [4usize, 8, 16] {
+            let mut cfg = Cache2000Config::with_geometry(16 * cap_lines as u64, 16, cap_lines as u32);
+            cfg.policy = crate::cache2000::TracePolicy::Lru;
+            let mut c2k = Cache2000::new(cfg);
+            c2k.run(addrs.iter().map(|&a| VirtAddr::new(a)));
+            assert_eq!(
+                s.misses_for_capacity(cap_lines),
+                c2k.misses(),
+                "capacity {cap_lines} lines"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_is_powers_of_two() {
+        let s = refs(&[0, 16, 32, 48]);
+        let curve = s.curve(8);
+        let caps: Vec<usize> = curve.iter().map(|&(c, _)| c).collect();
+        assert_eq!(caps, vec![1, 2, 4, 8]);
+    }
+}

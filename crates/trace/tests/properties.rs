@@ -1,0 +1,70 @@
+//! Property-based tests for the trace-driven baseline.
+
+use proptest::prelude::*;
+use tapeworm_mem::VirtAddr;
+use tapeworm_trace::{Cache2000, Cache2000Config, StackDistance, Trace, TracePolicy};
+
+proptest! {
+    /// The delta-varint encoding round-trips arbitrary address
+    /// sequences.
+    #[test]
+    fn trace_encoding_roundtrips(addrs in proptest::collection::vec(any::<u64>(), 0..300)) {
+        let t: Trace = addrs.iter().map(|&a| VirtAddr::new(a)).collect();
+        let bytes = t.to_bytes();
+        prop_assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+    }
+
+    /// Cache2000 conservation: hits + misses == references, and the
+    /// miss count never exceeds references nor falls below distinct
+    /// lines touched when the cache is large enough.
+    #[test]
+    fn cache2000_conservation(
+        addrs in proptest::collection::vec(0u64..16_384, 1..500),
+        kb in prop_oneof![Just(1u64), Just(4), Just(32)],
+    ) {
+        let mut sim = Cache2000::new(Cache2000Config::with_geometry(kb * 1024, 16, 1));
+        sim.run(addrs.iter().map(|&a| VirtAddr::new(a)));
+        prop_assert_eq!(sim.hits() + sim.misses(), sim.references());
+        let mut lines: Vec<u64> = addrs.iter().map(|a| a / 16).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert!(sim.misses() >= lines.len() as u64);
+        if kb == 32 {
+            // 32K holds the whole 16K address range: cold misses only.
+            prop_assert_eq!(sim.misses(), lines.len() as u64);
+        }
+    }
+
+    /// Stack inclusion: miss counts are monotone non-increasing in
+    /// capacity for any reference string, and match a fully
+    /// associative LRU Cache2000 at any capacity.
+    #[test]
+    fn stack_distance_matches_lru(
+        addrs in proptest::collection::vec(0u64..4_096, 1..300),
+        cap_pow in 1u32..7,
+    ) {
+        let mut stack = StackDistance::new(16);
+        stack.run(addrs.iter().map(|&a| VirtAddr::new(a)));
+        let cap = 1usize << cap_pow;
+        let mut cfg = Cache2000Config::with_geometry(16 * cap as u64, 16, cap as u32);
+        cfg.policy = TracePolicy::Lru;
+        let mut lru = Cache2000::new(cfg);
+        lru.run(addrs.iter().map(|&a| VirtAddr::new(a)));
+        prop_assert_eq!(stack.misses_for_capacity(cap), lru.misses());
+        prop_assert!(stack.misses_for_capacity(cap * 2) <= stack.misses_for_capacity(cap));
+    }
+
+    /// LRU never does worse than FIFO... is false in general (Belady),
+    /// but both policies agree exactly on direct-mapped caches.
+    #[test]
+    fn policies_agree_when_direct_mapped(addrs in proptest::collection::vec(0u64..8_192, 1..300)) {
+        let run = |policy| {
+            let mut cfg = Cache2000Config::with_geometry(1024, 16, 1);
+            cfg.policy = policy;
+            let mut sim = Cache2000::new(cfg);
+            sim.run(addrs.iter().map(|&a| VirtAddr::new(a)));
+            sim.misses()
+        };
+        prop_assert_eq!(run(TracePolicy::Lru), run(TracePolicy::Fifo));
+    }
+}

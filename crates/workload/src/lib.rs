@@ -1,0 +1,52 @@
+//! Synthetic workload models for the Tapeworm II reproduction.
+//!
+//! The paper evaluates eight workloads (Table 3/4): three SPEC92
+//! benchmarks (`xlisp`, `espresso`, `eqntott`), two media viewers
+//! (`mpeg_play`, `jpeg_play`) and three multi-task / OS-intensive
+//! suites (`ousterhout`, `sdet`, `kenbus`). We cannot ship those 1994
+//! binaries, but the evaluation never depends on their semantics — only
+//! on the *shape* of each component's instruction-fetch stream: its
+//! footprint, its locality, its kernel/server/user time mix and its
+//! task-creation behaviour. This crate models exactly those:
+//!
+//! * [`ProcStream`] — a procedure-level reference generator: procedures
+//!   are chosen with Zipf popularity and executed as sequential runs
+//!   with short loops. This yields realistic spatial + temporal
+//!   locality and a miss-ratio-vs-cache-size curve with a knee at the
+//!   footprint, which is all the paper's experiments exercise.
+//! * [`WorkloadSpec`] — per-workload parameters transcribed from
+//!   Table 4 (instruction counts, run times, component time fractions,
+//!   task counts) plus per-component stream parameters calibrated so
+//!   miss-ratio curves land near the paper's (see EXPERIMENTS.md).
+//! * [`Workload`] — the eight workload names.
+//!
+//! Address-space layout: user text starts at [`USER_TEXT_BASE`] in each
+//! task's own address space; the servers and kernel use distinct bases
+//! so that virtually-indexed simulations see distinct tags.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod data;
+mod spec;
+mod stream;
+
+pub use data::{DataParams, DataRef, DataStream};
+pub use spec::{Workload, WorkloadSpec};
+pub use stream::{ProcStream, RefStream, Run, StreamParams};
+
+/// Byte offset from a component's text base to its data segment.
+pub const DATA_SEGMENT_OFFSET: u64 = 0x0400_0000;
+
+/// Base virtual address of user-task text segments.
+pub const USER_TEXT_BASE: u64 = 0x0040_0000;
+/// Base virtual address of the BSD server's text. The bases carry
+/// distinct page-aligned offsets (as real binaries have distinct
+/// layouts) so virtually-indexed simulations don't see the artificial
+/// total aliasing that identical power-of-two bases would cause.
+pub const BSD_TEXT_BASE: u64 = 0x0100_9000;
+/// Base virtual address of the X server's text.
+pub const X_TEXT_BASE: u64 = 0x0181_3000;
+/// Base virtual address of kernel text (Mach kernels link near the
+/// start of KSEG plus a header offset).
+pub const KERNEL_TEXT_BASE: u64 = 0x8002_5000;

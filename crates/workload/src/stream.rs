@@ -1,0 +1,400 @@
+//! Procedure-level instruction reference streams.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tapeworm_mem::{VirtAddr, WORD_BYTES};
+use tapeworm_stats::{SeedSeq, Zipf};
+
+/// A contiguous burst of instruction fetches: `words` sequential 32-bit
+/// fetches starting at `va`.
+///
+/// Streams hand out runs rather than single addresses so the simulation
+/// loop can exploit spatial locality (one trap-map probe per line
+/// instead of per instruction) the same way real hardware does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// First fetched address.
+    pub va: VirtAddr,
+    /// Number of sequential word fetches.
+    pub words: u32,
+}
+
+impl Run {
+    /// Iterates over the fetched addresses.
+    pub fn addresses(&self) -> impl Iterator<Item = VirtAddr> + '_ {
+        (0..self.words as u64).map(move |i| self.va + i * WORD_BYTES)
+    }
+}
+
+/// An endless instruction-fetch stream.
+pub trait RefStream {
+    /// Produces the next run of sequential fetches.
+    fn next_run(&mut self) -> Run;
+}
+
+/// Parameters of a [`ProcStream`].
+///
+/// Procedure popularity is a two-class mixture, matching how real
+/// programs behave: a *hot* class (inner loops — `hot_fraction` of the
+/// procedures receiving `hot_prob` of the calls) and a *cold* tail.
+/// Within each class, popularity is Zipf(`zipf_exponent`). Setting
+/// `hot_fraction = 1.0` degenerates to a single Zipf. The mixture is
+/// what gives miss-ratio-vs-size curves their sharp knee: the curve
+/// falls steeply once the cache holds the hot class, then drifts to
+/// the cold-miss floor at the full footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamParams {
+    /// Total text footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Size of one procedure in bytes.
+    pub proc_bytes: u64,
+    /// Zipf exponent for popularity within each class.
+    pub zipf_exponent: f64,
+    /// Fraction of procedures in the hot class (0, 1].
+    pub hot_fraction: f64,
+    /// Probability a call targets the hot class.
+    pub hot_prob: f64,
+    /// Minimum body repetitions per call.
+    pub loop_min: u32,
+    /// Maximum body repetitions per call.
+    pub loop_max: u32,
+}
+
+impl StreamParams {
+    /// A small, highly local stream (SPEC-like).
+    pub fn tight(footprint_bytes: u64) -> Self {
+        StreamParams {
+            footprint_bytes,
+            proc_bytes: 256,
+            zipf_exponent: 1.1,
+            hot_fraction: 0.25,
+            hot_prob: 0.85,
+            loop_min: 2,
+            loop_max: 8,
+        }
+    }
+
+    /// A sprawling, low-locality stream (OS/server-like).
+    pub fn sprawling(footprint_bytes: u64) -> Self {
+        StreamParams {
+            footprint_bytes,
+            proc_bytes: 256,
+            zipf_exponent: 0.6,
+            hot_fraction: 1.0,
+            hot_prob: 1.0,
+            loop_min: 1,
+            loop_max: 2,
+        }
+    }
+
+    /// Number of procedures in the footprint.
+    pub fn procedures(&self) -> usize {
+        (self.footprint_bytes / self.proc_bytes).max(1) as usize
+    }
+
+    /// Number of procedures in the hot class (at least 1).
+    pub fn hot_procedures(&self) -> usize {
+        ((self.procedures() as f64 * self.hot_fraction).round() as usize)
+            .clamp(1, self.procedures())
+    }
+}
+
+/// A procedure-level Markov reference generator.
+///
+/// Each step picks a procedure by Zipf rank, then emits its body
+/// (sequential word fetches) one or more times. The footprint, the
+/// popularity skew and the loop counts jointly set where the
+/// miss-ratio-vs-cache-size knee falls.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_stats::SeedSeq;
+/// use tapeworm_workload::{ProcStream, RefStream, StreamParams};
+///
+/// let mut s = ProcStream::new(0x40_0000, StreamParams::tight(8192), SeedSeq::new(1));
+/// let run = s.next_run();
+/// assert!(run.words > 0);
+/// assert!(run.va.raw() >= 0x40_0000);
+/// assert!(run.va.raw() < 0x40_0000 + 8192);
+/// ```
+#[derive(Debug)]
+pub struct ProcStream {
+    base: u64,
+    params: StreamParams,
+    hot_zipf: Zipf,
+    cold_zipf: Option<Zipf>,
+    hot_count: usize,
+    /// Permutation of procedure ranks to layout slots, so the hottest
+    /// procedures are scattered across the footprint (as a linker
+    /// would), not packed at the start.
+    layout: Vec<u32>,
+    /// Byte offset of each procedure slot within the footprint.
+    starts: Vec<u32>,
+    /// Size of each procedure slot in bytes. Sizes vary around
+    /// `proc_bytes` (real text is not uniform), which matters for set
+    /// sampling: uniform procedure sizes make every cache set carry an
+    /// identical miss share, hiding sampling variance.
+    sizes: Vec<u32>,
+    rng: StdRng,
+    pending: Option<(Run, u32)>,
+}
+
+impl ProcStream {
+    /// Creates a stream of fetches in
+    /// `[base, base + params.footprint_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are degenerate (zero-sized procedures,
+    /// empty footprint, inverted loop bounds or an invalid Zipf
+    /// exponent).
+    pub fn new(base: u64, params: StreamParams, seed: SeedSeq) -> Self {
+        assert!(params.proc_bytes >= WORD_BYTES, "procedures must hold code");
+        assert!(
+            params.footprint_bytes >= params.proc_bytes,
+            "footprint must hold at least one procedure"
+        );
+        assert!(
+            params.loop_min >= 1 && params.loop_min <= params.loop_max,
+            "loop bounds must satisfy 1 <= min <= max"
+        );
+        assert!(
+            params.hot_fraction > 0.0 && params.hot_fraction <= 1.0,
+            "hot_fraction must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&params.hot_prob),
+            "hot_prob must be a probability"
+        );
+        let mut rng = seed.derive("proc-stream", base).rng();
+        // Lay procedures of varying size end to end until the footprint
+        // is full. Sizes are line multiples between 1/4x and 7/4x the
+        // nominal procedure size, with the final procedure padded to
+        // the footprint edge.
+        let line = 16u64.max(WORD_BYTES);
+        let min_sz = (params.proc_bytes / 4).max(line);
+        let max_sz = (params.proc_bytes * 7 / 4).max(min_sz);
+        let mut starts = Vec::new();
+        let mut sizes = Vec::new();
+        let mut offset = 0u64;
+        while offset < params.footprint_bytes {
+            let remaining = params.footprint_bytes - offset;
+            let draw = rng.gen_range(min_sz..=max_sz) / line * line;
+            let size = draw.clamp(line, remaining.max(line)).min(remaining);
+            starts.push(offset as u32);
+            sizes.push(size as u32);
+            offset += size;
+        }
+        let n = starts.len();
+        let hot = ((n as f64 * params.hot_fraction).round() as usize).clamp(1, n);
+        let hot_zipf = Zipf::new(hot, params.zipf_exponent).expect("validated exponent");
+        let cold_zipf = (n > hot)
+            .then(|| Zipf::new(n - hot, params.zipf_exponent).expect("validated exponent"));
+        // Fisher-Yates shuffle for the rank -> slot layout.
+        let mut layout: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            layout.swap(i, j);
+        }
+        ProcStream {
+            base,
+            params,
+            hot_zipf,
+            cold_zipf,
+            hot_count: hot,
+            layout,
+            starts,
+            sizes,
+            rng,
+            pending: None,
+        }
+    }
+
+    /// Actual number of procedure slots laid out (varies around
+    /// [`StreamParams::procedures`] because sizes are jittered).
+    pub fn slots(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The stream's parameters.
+    pub fn params(&self) -> &StreamParams {
+        &self.params
+    }
+
+    /// The text base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+impl RefStream for ProcStream {
+    fn next_run(&mut self) -> Run {
+        if let Some((run, reps_left)) = self.pending.take() {
+            if reps_left > 0 {
+                self.pending = Some((run, reps_left - 1));
+                return run;
+            }
+        }
+        let rank = match &self.cold_zipf {
+            Some(cold) if !self.rng.gen_bool(self.params.hot_prob) => {
+                self.hot_count + cold.sample(&mut self.rng)
+            }
+            _ => self.hot_zipf.sample(&mut self.rng),
+        };
+        let slot = self.layout[rank] as usize;
+        let va = VirtAddr::new(self.base + u64::from(self.starts[slot]));
+        let words = self.sizes[slot] / WORD_BYTES as u32;
+        let reps = self
+            .rng
+            .gen_range(self.params.loop_min..=self.params.loop_max);
+        let run = Run { va, words };
+        if reps > 1 {
+            // `reps - 1` further emissions remain after this one.
+            self.pending = Some((run, reps - 1));
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn stream(params: StreamParams) -> ProcStream {
+        ProcStream::new(0x10_0000, params, SeedSeq::new(42))
+    }
+
+    #[test]
+    fn runs_stay_in_footprint() {
+        let params = StreamParams::tight(4096);
+        let mut s = stream(params);
+        for _ in 0..1000 {
+            let run = s.next_run();
+            assert!(run.va.raw() >= 0x10_0000);
+            assert!(
+                run.va.raw() + u64::from(run.words) * WORD_BYTES <= 0x10_0000 + 4096,
+                "run {run:?} escapes footprint"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_line_aligned_with_jittered_sizes() {
+        let params = StreamParams::tight(8192);
+        let mut s = stream(params);
+        let mut sizes = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let run = s.next_run();
+            // Procedures start on cache-line boundaries.
+            assert_eq!((run.va.raw() - 0x10_0000) % 16, 0);
+            let bytes = u64::from(run.words) * WORD_BYTES;
+            assert!(bytes >= 16, "procedures hold at least a line");
+            assert!(
+                bytes <= params.proc_bytes * 7 / 4,
+                "procedure of {bytes} bytes exceeds the size cap"
+            );
+            sizes.insert(bytes);
+        }
+        assert!(sizes.len() > 1, "sizes must vary (set-sampling realism)");
+    }
+
+    #[test]
+    fn loops_repeat_the_same_procedure() {
+        let params = StreamParams {
+            footprint_bytes: 65_536,
+            proc_bytes: 256,
+            zipf_exponent: 0.0, // uniform: immediate repeats are unlikely by chance
+            hot_fraction: 1.0,
+            hot_prob: 1.0,
+            loop_min: 3,
+            loop_max: 3,
+        };
+        let mut s = stream(params);
+        // Every procedure is emitted exactly 3 times in a row.
+        let mut runs = Vec::new();
+        for _ in 0..30 {
+            runs.push(s.next_run());
+        }
+        for chunk in runs.chunks(3) {
+            assert_eq!(chunk[0], chunk[1]);
+            assert_eq!(chunk[1], chunk[2]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = StreamParams::tight(16_384);
+        let mut a = ProcStream::new(0, params, SeedSeq::new(5));
+        let mut b = ProcStream::new(0, params, SeedSeq::new(5));
+        for _ in 0..100 {
+            assert_eq!(a.next_run(), b.next_run());
+        }
+        let mut c = ProcStream::new(0, params, SeedSeq::new(6));
+        let differs = (0..100).any(|_| a.next_run() != c.next_run());
+        assert!(differs);
+    }
+
+    #[test]
+    fn zipf_concentrates_references() {
+        let params = StreamParams {
+            footprint_bytes: 32_768,
+            proc_bytes: 256,
+            zipf_exponent: 1.2,
+            hot_fraction: 1.0,
+            hot_prob: 1.0,
+            loop_min: 1,
+            loop_max: 1,
+        };
+        let mut s = stream(params);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(s.next_run().va).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 10% of procedures carry most references.
+        let top: u32 = freqs.iter().take(13).sum();
+        assert!(top as f64 / 10_000.0 > 0.5, "top share {top}");
+    }
+
+    #[test]
+    fn footprint_is_eventually_covered() {
+        let params = StreamParams::sprawling(8192);
+        let mut s = stream(params);
+        let mut seen = HashSet::new();
+        for _ in 0..20_000 {
+            seen.insert(s.next_run().va);
+        }
+        assert_eq!(seen.len(), s.slots());
+        // Slot count tracks the nominal procedure count loosely.
+        let nominal = params.procedures();
+        assert!(seen.len() >= nominal / 2 && seen.len() <= nominal * 2);
+    }
+
+    #[test]
+    fn run_addresses_are_sequential_words() {
+        let run = Run {
+            va: VirtAddr::new(0x100),
+            words: 3,
+        };
+        let addrs: Vec<u64> = run.addresses().map(|a| a.raw()).collect();
+        assert_eq!(addrs, vec![0x100, 0x104, 0x108]);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint must hold")]
+    fn degenerate_footprint_panics() {
+        let _ = stream(StreamParams {
+            footprint_bytes: 64,
+            proc_bytes: 256,
+            zipf_exponent: 1.0,
+            hot_fraction: 1.0,
+            hot_prob: 1.0,
+            loop_min: 1,
+            loop_max: 1,
+        });
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the workload models.
+
+use proptest::prelude::*;
+use tapeworm_stats::SeedSeq;
+use tapeworm_workload::{
+    DataParams, DataStream, ProcStream, RefStream, StreamParams, Workload,
+};
+
+fn arb_params() -> impl Strategy<Value = StreamParams> {
+    (
+        1u64..64,                 // footprint KiB
+        prop_oneof![Just(64u64), Just(128), Just(256), Just(512)],
+        0.0f64..2.0,              // zipf
+        0.05f64..1.0,             // hot fraction
+        0.0f64..1.0,              // hot prob
+        1u32..4,
+        0u32..8,
+    )
+        .prop_map(|(kb, proc_bytes, zipf, hf, hp, lmin, lextra)| StreamParams {
+            footprint_bytes: (kb * 1024).max(proc_bytes),
+            proc_bytes,
+            zipf_exponent: zipf,
+            hot_fraction: hf,
+            hot_prob: hp,
+            loop_min: lmin,
+            loop_max: lmin + lextra,
+        })
+}
+
+proptest! {
+    /// Every run from any valid parameterization stays inside the
+    /// footprint and consists of whole words.
+    #[test]
+    fn runs_always_in_bounds(params in arb_params(), seed in any::<u64>()) {
+        let base = 0x40_0000u64;
+        let mut s = ProcStream::new(base, params, SeedSeq::new(seed));
+        for _ in 0..300 {
+            let run = s.next_run();
+            prop_assert!(run.words >= 1);
+            prop_assert!(run.va.raw() >= base);
+            prop_assert!(
+                run.va.raw() + u64::from(run.words) * 4 <= base + params.footprint_bytes
+            );
+        }
+    }
+
+    /// Streams are pure functions of (base, params, seed).
+    #[test]
+    fn streams_are_deterministic(params in arb_params(), seed in any::<u64>()) {
+        let mut a = ProcStream::new(0x1000, params, SeedSeq::new(seed));
+        let mut b = ProcStream::new(0x1000, params, SeedSeq::new(seed));
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_run(), b.next_run());
+        }
+    }
+
+    /// Data pacing is exact: over any sequence of instruction batches,
+    /// total refs equal floor densities of the total.
+    #[test]
+    fn data_pacing_is_exact(batches in proptest::collection::vec(1u64..500, 1..40)) {
+        let params = DataParams::default_for_text(16 * 1024);
+        let mut s = DataStream::new(0x2000_0000, params, SeedSeq::new(1));
+        let mut refs = 0u64;
+        let mut instr = 0u64;
+        for b in batches {
+            refs += s.refs_for(b).len() as u64;
+            instr += b;
+        }
+        let expect = instr * u64::from(params.loads_per_kinstr) / 1000
+            + instr * u64::from(params.stores_per_kinstr) / 1000;
+        // Fractional accumulators may hold back at most one load and
+        // one store.
+        prop_assert!(refs <= expect + 2);
+        prop_assert!(refs + 2 >= expect);
+    }
+
+    /// Every workload spec produces a usable stream for every
+    /// component with any seed.
+    #[test]
+    fn all_specs_stream(seed in any::<u64>(), w_ix in 0usize..8) {
+        let w = Workload::ALL[w_ix];
+        let spec = w.spec();
+        for params in [
+            spec.user_stream,
+            spec.kernel_stream,
+            spec.bsd_stream,
+            spec.x_stream,
+        ] {
+            let mut s = ProcStream::new(0x10_0000, params, SeedSeq::new(seed));
+            let run = s.next_run();
+            prop_assert!(run.words > 0);
+        }
+    }
+}

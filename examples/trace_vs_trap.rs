@@ -1,0 +1,56 @@
+//! Head-to-head: trap-driven versus trace-driven simulation of the
+//! same workload (the Figure 2 comparison, on espresso).
+//!
+//! Both simulators consume the *same* deterministic reference stream,
+//! so with matching replacement policies their user-task miss counts
+//! agree exactly — the paper's validation methodology — while their
+//! costs diverge: Tapeworm pays per miss, Pixie + Cache2000 pays per
+//! reference.
+//!
+//! Run with: `cargo run --release --example trace_vs_trap`
+
+use tapeworm::core::{CacheConfig, Indexing};
+use tapeworm::machine::Component;
+use tapeworm::sim::compare::run_trace_driven;
+use tapeworm::sim::{run_trial, ComponentSet, SystemConfig};
+use tapeworm::stats::SeedSeq;
+use tapeworm::trace::TracePolicy;
+use tapeworm::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = SeedSeq::new(1994);
+    println!("espresso, direct-mapped 4-word-line caches\n");
+    println!(
+        "{:>6}  {:>14} {:>14}  {:>10} {:>10}  {:>6}",
+        "cache", "trap misses", "trace misses", "trap slow", "trace slow", "agree"
+    );
+    for kb in [1u64, 2, 4, 8, 16, 32] {
+        // Virtual indexing on the trap side: a trace built from virtual
+        // addresses can only be compared against a virtually-indexed
+        // simulation once the cache exceeds the page size.
+        let cache = CacheConfig::new(kb * 1024, 16, 1)?.with_indexing(Indexing::Virtual);
+        let cfg = SystemConfig::cache(Workload::Espresso, cache)
+            .with_components(ComponentSet::user_only())
+            .with_scale(500);
+        let trap = run_trial(&cfg, base, SeedSeq::new(8));
+        // FIFO on the trace side to match the trap-driven replacement
+        // exactly (LRU is impossible trap-driven: hits are invisible).
+        let trace = run_trace_driven(&cfg, cache, TracePolicy::Fifo, base)?;
+        let trap_misses = trap.misses(Component::User);
+        println!(
+            "{:>5}K  {:>14.0} {:>14}  {:>9.2}x {:>9.2}x  {:>6}",
+            kb,
+            trap_misses,
+            trace.misses,
+            trap.slowdown(),
+            trace.slowdown,
+            trap_misses as u64 == trace.misses
+        );
+    }
+    println!(
+        "\nIdentical miss counts, wildly different costs: the trace pipeline's\n\
+         slowdown is flat (every reference pays), while Tapeworm's tracks the\n\
+         miss ratio toward zero. Break-even sits near 4 hits per miss (§4.1)."
+    );
+    Ok(())
+}

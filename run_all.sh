@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus all extension
+# experiments, writing each binary's output under results/.
+#
+# Environment knobs:
+#   TW_SCALE   instruction divisor vs. the paper's runs (default 100)
+#   TW_SEED    base seed (default 1994)
+#   TW_THREADS trial-level parallelism (default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mkdir -p results
+cargo build --release -p tapeworm-bench
+
+BINS=(
+  fig2_slowdowns fig3_configs fig4_dilation
+  tab4_workloads tab5_cycles tab6_components tab7_variation
+  tab8_sampling_variation tab9_page_allocation tab10_variation_removed
+  tab11_code_distribution tab12_privileged_ops
+  breakeven bias_masked_traps
+  ablation_cost_models ablation_stackdist
+  ext_multilevel ext_dcache ext_trace_buffer ext_tlb_costs
+  kessler_model calibrate
+)
+
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  ./target/release/"$bin" | tee "results/$bin.txt"
+  echo
+done
+
+echo "All experiment outputs written to results/"

@@ -1,0 +1,47 @@
+//! # Tapeworm II — trap-driven cache and TLB simulation
+//!
+//! A full reproduction of *"Trap-driven Simulation with Tapeworm II"*
+//! (Uhlig, Nagle, Mudge, Sechrest — ASPLOS 1994) as a Rust workspace.
+//! This facade crate re-exports every layer so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`stats`] — trial statistics, seeds, Zipf sampling.
+//! * [`mem`] — SECDED ECC memory, trap maps, frame allocators.
+//! * [`machine`] — the simulated host: traps, TLB, clock, breakpoints,
+//!   DMA, the Monster monitor.
+//! * [`os`] — the microkernel: tasks with Tapeworm attributes, VM
+//!   system, scheduler.
+//! * [`workload`] — the eight ASPLOS'94 workload models.
+//! * [`core`] — **the paper's contribution**: the trap-driven
+//!   simulator, its Table 1 primitives, set sampling, cost models and
+//!   TLB simulation.
+//! * [`trace`] — the Pixie + Cache2000 trace-driven baseline.
+//! * [`sim`] — the full-system experiment engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tapeworm::core::CacheConfig;
+//! use tapeworm::sim::{run_trial, SystemConfig};
+//! use tapeworm::stats::SeedSeq;
+//! use tapeworm::workload::Workload;
+//!
+//! let cache = CacheConfig::new(4 * 1024, 16, 1)?;
+//! let cfg = SystemConfig::cache(Workload::Espresso, cache).with_scale(2000);
+//! let result = run_trial(&cfg, SeedSeq::new(1), SeedSeq::new(2));
+//! assert!(result.total_misses() > 0.0);
+//! println!("slowdown: {:.2}", result.slowdown());
+//! # Ok::<(), tapeworm::core::CacheConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tapeworm_core as core;
+pub use tapeworm_machine as machine;
+pub use tapeworm_mem as mem;
+pub use tapeworm_os as os;
+pub use tapeworm_sim as sim;
+pub use tapeworm_stats as stats;
+pub use tapeworm_trace as trace;
+pub use tapeworm_workload as workload;
