@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate. No network, no registry: the workspace has zero
+# external dependencies, so this must pass on a bare toolchain.
+#
+#   1. Release build of the whole workspace.
+#   2. Full test suite (unit + doc + the cross-crate integration tests
+#      in tests/: paper_claims, full_system, exact_hardware,
+#      failure_injection, determinism, invariants).
+#   3. Warnings are errors in the stats and sim crates (the layers the
+#      trial scheduler and sweep API live in).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== tier 1: release build ==="
+cargo build --release --workspace
+
+echo "=== tier 1: test suite (offline) ==="
+cargo test -q --workspace
+
+echo "=== tier 2: warnings-as-errors (stats, sim) ==="
+RUSTFLAGS="-D warnings" cargo check -q -p tapeworm-stats -p tapeworm-sim --all-targets
+
+echo "ci.sh: all gates passed"

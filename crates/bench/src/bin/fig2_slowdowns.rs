@@ -6,12 +6,18 @@
 //! activity only from the mpeg_play task … However, slowdowns in both
 //! cases were computed using the total wall-clock run time for the
 //! workload."
+//!
+//! Every cache size is an independent cell, so the whole ladder —
+//! Tapeworm trial plus trace-driven pipeline per size — fans out over
+//! the trial scheduler (`TW_THREADS` workers) and each point is
+//! computed exactly once, shared by the table and the chart.
 
-use tapeworm_bench::{base_seed, dm4, scale};
+use tapeworm_bench::{base_seed, dm4, scale, threads};
 use tapeworm_machine::Component;
 use tapeworm_sim::compare::run_trace_driven;
 use tapeworm_sim::{run_trial, ComponentSet, SystemConfig};
 use tapeworm_stats::table::Table;
+use tapeworm_stats::trials::TrialScheduler;
 use tapeworm_stats::SeedSeq;
 use tapeworm_trace::TracePolicy;
 use tapeworm_workload::Workload;
@@ -37,6 +43,21 @@ fn main() {
     let scale = scale();
     let frac_user = Workload::MpegPlay.spec().frac_user;
 
+    // One cell per cache size: (miss ratio, Tapeworm slowdown,
+    // Cache2000 slowdown), committed in ladder order.
+    let points = TrialScheduler::new(threads()).run(PAPER.len(), |i| {
+        let (kb, ..) = PAPER[i];
+        let cache = dm4(kb);
+        let cfg = SystemConfig::cache(Workload::MpegPlay, cache)
+            .with_components(ComponentSet::user_only())
+            .with_scale(scale);
+        let tw = run_trial(&cfg, base, trial);
+        let tw_ratio = tw.misses(Component::User) / (tw.instructions as f64 * frac_user);
+        let c2k = run_trace_driven(&cfg, cache, TracePolicy::Lru, base)
+            .expect("mpeg_play is single-task");
+        (tw_ratio, tw.slowdown(), c2k.slowdown)
+    });
+
     let mut t = Table::new(
         [
             "Cache",
@@ -54,22 +75,16 @@ fn main() {
         "Figure 2: mpeg_play user task, direct-mapped, 4-word lines (scale 1/{scale})"
     ));
 
-    for (kb, p_ratio, p_c2k, p_tw) in PAPER {
-        let cache = dm4(kb);
-        let cfg = SystemConfig::cache(Workload::MpegPlay, cache)
-            .with_components(ComponentSet::user_only())
-            .with_scale(scale);
-        let tw = run_trial(&cfg, base, trial);
-        let tw_ratio = tw.misses(Component::User) / (tw.instructions as f64 * frac_user);
-        let c2k = run_trace_driven(&cfg, cache, TracePolicy::Lru, base)
-            .expect("mpeg_play is single-task");
+    for ((kb, p_ratio, p_c2k, p_tw), (tw_ratio, tw_slow, c2k_slow)) in
+        PAPER.into_iter().zip(&points)
+    {
         t.row(vec![
             format!("{kb}K"),
             format!("{tw_ratio:.3}"),
             format!("({p_ratio:.3})"),
-            format!("{:.1}", c2k.slowdown),
+            format!("{c2k_slow:.1}"),
             format!("({p_c2k:.1})"),
-            format!("{:.2}", tw.slowdown()),
+            format!("{tw_slow:.2}"),
             format!("({p_tw:.2})"),
         ]);
     }
@@ -82,20 +97,8 @@ fn main() {
     // The figure itself, as an ASCII chart over the measured series.
     let labels: Vec<String> = PAPER.iter().map(|(kb, ..)| format!("{kb}K")).collect();
     let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-    let mut tapeworm = Vec::new();
-    let mut cache2000 = Vec::new();
-    for (kb, ..) in PAPER {
-        let cache = dm4(kb);
-        let cfg = SystemConfig::cache(Workload::MpegPlay, cache)
-            .with_components(ComponentSet::user_only())
-            .with_scale(scale);
-        tapeworm.push(run_trial(&cfg, base, trial).slowdown());
-        cache2000.push(
-            run_trace_driven(&cfg, cache, TracePolicy::Lru, base)
-                .expect("single task")
-                .slowdown,
-        );
-    }
+    let tapeworm: Vec<f64> = points.iter().map(|&(_, tw, _)| tw).collect();
+    let cache2000: Vec<f64> = points.iter().map(|&(_, _, c2k)| c2k).collect();
     println!(
         "{}",
         tapeworm_stats::table::ascii_chart(

@@ -6,11 +6,16 @@
 //! less slowdown, fewer extra clock interrupts, and fewer
 //! interrupt-induced conflict misses. The paper's curve: error grows
 //! steeply from slowdowns 0–2 and levels off (14.4% at slowdown 9.29).
+//!
+//! All trial cells — undilated baseline, sampled points, and the
+//! unsampled point — fan out over one scheduler batch.
 
-use tapeworm_bench::{base_seed, dm4, scale};
-use tapeworm_sim::{run_trial, SystemConfig};
+use tapeworm_bench::{base_seed, dm4, scale, threads};
+use tapeworm_sim::{run_trial, SystemConfig, TrialResult};
 use tapeworm_stats::table::Table;
+use tapeworm_stats::trials::TrialScheduler;
 use tapeworm_stats::SeedSeq;
+
 use tapeworm_workload::Workload;
 
 /// Paper reference rows: (slowdown, misses ×10⁶, increase %).
@@ -22,24 +27,50 @@ const PAPER: [(f64, f64, f64); 5] = [
     (9.29, 103.57, 14.4),
 ];
 
+const BASELINE_TRIALS: u64 = 4;
+
 fn main() {
     let base = base_seed();
     let scale = scale();
 
     // Baseline: no dilation at all (overhead does not advance the
-    // clock) — the "true" miss count.
+    // clock) — the "true" miss count, averaged over a few trials.
     let undilated_cfg = {
         let mut c = SystemConfig::cache(Workload::MpegPlay, dm4(4)).with_scale(scale);
         c.dilate = false;
         c
     };
-    // Average a few trials for a stable baseline.
-    let baseline: f64 = (0..4)
-        .map(|i| {
-            run_trial(&undilated_cfg, base, SeedSeq::new(40 + i)).total_misses()
-        })
+    // Flat cell list: baseline trials first, then (denominator, trial)
+    // cells for the five dilation settings. The unsampled point (den=1)
+    // is the most expensive, so it gets fewer trials.
+    let mut cells: Vec<(Option<u64>, u64)> = (0..BASELINE_TRIALS).map(|k| (None, k)).collect();
+    let dilated_start = cells.len();
+    let mut row_bounds = Vec::new();
+    for den in [16u64, 8, 4, 2, 1] {
+        let trials = if den > 1 { 6 } else { 2 };
+        for k in 0..trials {
+            cells.push((Some(den), k));
+        }
+        row_bounds.push(cells.len() - dilated_start);
+    }
+
+    let results: Vec<TrialResult> = TrialScheduler::new(threads()).run(cells.len(), |i| {
+        match cells[i] {
+            (None, k) => run_trial(&undilated_cfg, base, SeedSeq::new(40 + k)),
+            (Some(den), k) => {
+                let cfg = SystemConfig::cache(Workload::MpegPlay, dm4(4))
+                    .with_scale(scale)
+                    .with_sampling(den);
+                run_trial(&cfg, base, SeedSeq::new(100 + k))
+            }
+        }
+    });
+
+    let baseline: f64 = results[..dilated_start]
+        .iter()
+        .map(|r| r.total_misses())
         .sum::<f64>()
-        / 4.0;
+        / BASELINE_TRIALS as f64;
 
     let mut t = Table::new(
         ["Dilation (slowdown)", "Misses (x10^6 est.)", "Increase %", "paper row"]
@@ -50,20 +81,14 @@ fn main() {
         "Figure 4: error due to time dilation (mpeg_play, all activity, 4K DM, scale 1/{scale})"
     ));
 
-    for (i, den) in [16u64, 8, 4, 2, 1].into_iter().enumerate() {
-        let cfg = SystemConfig::cache(Workload::MpegPlay, dm4(4))
-            .with_scale(scale)
-            .with_sampling(den);
-        // Average over trials to smooth sampling noise.
-        let trials = if den > 1 { 6 } else { 2 };
-        let (mut misses, mut slow) = (0.0, 0.0);
-        for k in 0..trials {
-            let r = run_trial(&cfg, base, SeedSeq::new(100 + k));
-            misses += r.total_misses();
-            slow += r.slowdown();
-        }
-        misses /= trials as f64;
-        slow /= trials as f64;
+    let dilated = &results[dilated_start..];
+    let mut row_start = 0;
+    for (i, &row_end) in row_bounds.iter().enumerate() {
+        let rows = &dilated[row_start..row_end];
+        row_start = row_end;
+        let trials = rows.len() as f64;
+        let misses = rows.iter().map(|r| r.total_misses()).sum::<f64>() / trials;
+        let slow = rows.iter().map(|r| r.slowdown()).sum::<f64>() / trials;
         let increase = 100.0 * (misses - baseline) / baseline;
         let (p_slow, p_misses, p_inc) = PAPER[i];
         t.row(vec![

@@ -3,12 +3,13 @@
 //! 16 trials per workload with 1/8 set sampling, all activity
 //! (kernel and servers included), 16K direct-mapped physically-indexed
 //! caches with 4-word lines. Both sampling and physical page
-//! allocation vary across trials.
+//! allocation vary across trials. The whole workload × trial grid fans
+//! out over the sweep engine (`TW_THREADS` workers); output is
+//! bit-identical for any thread count.
 
 use tapeworm_bench::{base_seed, dm4, paper_millions, scale, threads};
-use tapeworm_sim::{run_trial, SystemConfig};
+use tapeworm_sim::{run_sweep, SystemConfig};
 use tapeworm_stats::table::Table;
-use tapeworm_stats::trials::run_trials_parallel;
 use tapeworm_workload::Workload;
 
 const TRIALS: usize = 16;
@@ -39,14 +40,17 @@ fn main() {
 
     let mut order = Workload::ALL;
     order.sort_by_key(|w| w.name());
-    for w in order {
-        let cfg = SystemConfig::cache(w, dm4(16))
-            .with_scale(scale)
-            .with_sampling(8);
-        let set = run_trials_parallel(base.derive("tab7", w as u64), TRIALS, threads(), |trial| {
-            run_trial(&cfg, base, trial).total_misses()
-        });
-        let s = set.summary();
+    let configs: Vec<SystemConfig> = order
+        .iter()
+        .map(|&w| {
+            SystemConfig::cache(w, dm4(16))
+                .with_scale(scale)
+                .with_sampling(8)
+        })
+        .collect();
+    let cells = run_sweep(&configs, TRIALS, base, threads());
+    for (w, cell) in order.iter().zip(&cells) {
+        let s = cell.misses();
         t.row(vec![
             w.to_string(),
             format!("{:.2}", paper_millions(s.mean(), scale)),

@@ -4,15 +4,18 @@
 //! virtual indexing removes page-allocation effects, so any remaining
 //! trial-to-trial spread comes from the sample choice alone. Without
 //! sampling the results are exactly reproducible (zero variance).
+//!
+//! All 12 configurations (6 sizes × {sampled, unsampled}) × 16 trials
+//! fan out over one sweep; output is thread-count invariant.
 
 use tapeworm_bench::{base_seed, paper_millions, scale, threads};
 use tapeworm_core::{CacheConfig, Indexing};
-use tapeworm_sim::{run_trial, ComponentSet, SystemConfig};
+use tapeworm_sim::{run_sweep, ComponentSet, SystemConfig};
 use tapeworm_stats::table::Table;
-use tapeworm_stats::trials::run_trials_parallel;
 use tapeworm_workload::Workload;
 
 const TRIALS: usize = 16;
+const SIZES_KB: [u64; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let base = base_seed();
@@ -34,33 +37,25 @@ fn main() {
          {TRIALS} trials each, misses x10^6 at paper scale (scale 1/{scale})"
     ));
 
-    for kb in [1u64, 2, 4, 8, 16, 32] {
+    // "Tapeworm removed all other sources of variation by considering
+    // only activity from the espresso process (no kernel or servers)".
+    // Config grid: sampled cells first, then the unsampled controls.
+    let cfg_for = |kb: u64, sampling: u64| {
         let cache = CacheConfig::new(kb * 1024, 16, 1)
             .expect("valid")
             .with_indexing(Indexing::Virtual);
-        // "Tapeworm removed all other sources of variation by
-        // considering only activity from the espresso process (no
-        // kernel or servers)".
-        let sampled_cfg = SystemConfig::cache(Workload::Espresso, cache)
+        SystemConfig::cache(Workload::Espresso, cache)
             .with_components(ComponentSet::user_only())
             .with_scale(scale)
-            .with_sampling(8);
-        let sampled = run_trials_parallel(
-            base.derive("tab8-sampled", kb),
-            TRIALS,
-            threads(),
-            |trial| run_trial(&sampled_cfg, base, trial).total_misses(),
-        );
-        let full_cfg = SystemConfig::cache(Workload::Espresso, cache)
-            .with_components(ComponentSet::user_only())
-            .with_scale(scale);
-        let full = run_trials_parallel(
-            base.derive("tab8-full", kb),
-            TRIALS,
-            threads(),
-            |trial| run_trial(&full_cfg, base, trial).total_misses(),
-        );
-        let (s, f) = (sampled.summary(), full.summary());
+            .with_sampling(sampling)
+    };
+    let mut configs: Vec<SystemConfig> = SIZES_KB.iter().map(|&kb| cfg_for(kb, 8)).collect();
+    configs.extend(SIZES_KB.iter().map(|&kb| cfg_for(kb, 1)));
+
+    let cells = run_sweep(&configs, TRIALS, base, threads());
+    let (sampled, full) = cells.split_at(SIZES_KB.len());
+    for ((kb, s_cell), f_cell) in SIZES_KB.iter().zip(sampled).zip(full) {
+        let (s, f) = (s_cell.misses(), f_cell.misses());
         t.row(vec![
             format!("{kb}K"),
             format!("{:.3}", paper_millions(s.mean(), scale)),

@@ -5,12 +5,13 @@
 //! per point. Virtual indexing shows zero variance; physical indexing
 //! varies with the random frame allocation — except at 4K, where the
 //! cache equals the page size and every allocation looks alike.
+//!
+//! The 12-configuration × 4-trial grid fans out over one sweep.
 
 use tapeworm_bench::{base_seed, dm4, paper_millions, scale, threads};
 use tapeworm_core::Indexing;
-use tapeworm_sim::{run_trial, ComponentSet, SystemConfig};
+use tapeworm_sim::{run_sweep, ComponentSet, SystemConfig};
 use tapeworm_stats::table::Table;
-use tapeworm_stats::trials::run_trials_parallel;
 use tapeworm_workload::Workload;
 
 const TRIALS: usize = 4;
@@ -40,28 +41,28 @@ fn main() {
          {TRIALS} trials, misses x10^6 at paper scale (scale 1/{scale})"
     ));
 
-    for (kb, p_phys, p_s, p_virt) in PAPER {
-        let measure = |indexing: Indexing, label: u64| {
-            let cache = dm4(kb).with_indexing(indexing);
-            let cfg = SystemConfig::cache(Workload::MpegPlay, cache)
-                .with_components(ComponentSet::user_only())
-                .with_scale(scale);
-            run_trials_parallel(
-                base.derive("tab9", kb * 10 + label),
-                TRIALS,
-                threads(),
-                move |trial| run_trial(&cfg, base, trial).total_misses(),
-            )
-        };
-        let phys = measure(Indexing::Physical, 0);
-        let virt = measure(Indexing::Virtual, 1);
+    let cfg_for = |kb: u64, indexing: Indexing| {
+        let cache = dm4(kb).with_indexing(indexing);
+        SystemConfig::cache(Workload::MpegPlay, cache)
+            .with_components(ComponentSet::user_only())
+            .with_scale(scale)
+    };
+    // Interleaved grid: (phys, virt) per size.
+    let configs: Vec<SystemConfig> = PAPER
+        .iter()
+        .flat_map(|&(kb, ..)| [cfg_for(kb, Indexing::Physical), cfg_for(kb, Indexing::Virtual)])
+        .collect();
+    let cells = run_sweep(&configs, TRIALS, base, threads());
+
+    for (&(kb, p_phys, p_s, p_virt), pair) in PAPER.iter().zip(cells.chunks(2)) {
+        let (phys, virt) = (pair[0].misses(), pair[1].misses());
         t.row(vec![
             format!("{kb}K"),
-            format!("{:.2}", paper_millions(phys.summary().mean(), scale)),
-            format!("{:.2}", paper_millions(phys.summary().stddev(), scale)),
+            format!("{:.2}", paper_millions(phys.mean(), scale)),
+            format!("{:.2}", paper_millions(phys.stddev(), scale)),
             format!("({p_phys:.2}/{p_s:.2})"),
-            format!("{:.2}", paper_millions(virt.summary().mean(), scale)),
-            format!("{:.2}", paper_millions(virt.summary().stddev(), scale)),
+            format!("{:.2}", paper_millions(virt.mean(), scale)),
+            format!("{:.2}", paper_millions(virt.stddev(), scale)),
             format!("({p_virt:.2})"),
         ]);
     }

@@ -1,11 +1,8 @@
 //! The software data structure behind `tw_replace`.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use tapeworm_os::Tid;
 use tapeworm_mem::{PhysAddr, VirtAddr};
-use tapeworm_stats::SeedSeq;
+use tapeworm_stats::{Rng, SeedSeq};
 
 use crate::config::{CacheConfig, Indexing, Replacement};
 
@@ -43,7 +40,7 @@ struct Slot {
 /// use tapeworm_core::{CacheConfig, SimCache};
 /// use tapeworm_os::Tid;
 /// use tapeworm_mem::{PhysAddr, VirtAddr};
-/// use tapeworm_stats::SeedSeq;
+/// use tapeworm_stats::{Rng, SeedSeq};
 ///
 /// let cfg = CacheConfig::new(1024, 16, 1)?;
 /// let mut cache = SimCache::new(cfg, SeedSeq::new(1));
@@ -57,7 +54,7 @@ pub struct SimCache {
     slots: Vec<Slot>,
     /// Per-set FIFO cursor.
     cursors: Vec<u32>,
-    rng: StdRng,
+    rng: Rng,
     resident: u64,
 }
 

@@ -318,7 +318,6 @@ mod tests {
 
     #[test]
     fn random_workload_preserves_invariants() {
-        use rand::Rng;
         let (mut tw, mut traps) = setup(1024, 4096);
         for p in 0..4 {
             tw.tw_register_page(&mut traps, Tid::new(1), Pfn::new(p), p);

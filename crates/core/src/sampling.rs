@@ -12,8 +12,6 @@
 //! the pattern of traps" — here, by re-drawing the sample offset from
 //! the trial seed.
 
-use rand::Rng;
-
 use tapeworm_stats::SeedSeq;
 
 /// A 1-in-`denominator` sample of cache sets.

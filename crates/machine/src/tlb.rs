@@ -6,11 +6,8 @@
 //! replacement and a handful of *wired* entries the kernel pins, like
 //! the real R3000.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use tapeworm_mem::{Pfn, VirtAddr};
-use tapeworm_stats::SeedSeq;
+use tapeworm_stats::{Rng, SeedSeq};
 
 /// One TLB entry: a (task, virtual page) → physical frame mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +49,7 @@ pub struct Tlb {
     entries: Vec<Option<TlbEntry>>,
     wired: usize,
     page_bytes: u64,
-    rng: StdRng,
+    rng: Rng,
     hits: u64,
     misses: u64,
 }

@@ -13,11 +13,9 @@
 //!   \[Kessler92\]); matches frame colour to virtual colour, an ablation
 //!   that suppresses allocation variance.
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::fmt;
 
-use tapeworm_stats::SeedSeq;
+use tapeworm_stats::{Rng, SeedSeq};
 
 /// A physical frame number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -93,7 +91,7 @@ fn assert_not_free(free: &[Pfn], pfn: Pfn) {
 pub struct RandomAllocator {
     free: Vec<Pfn>,
     capacity: usize,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomAllocator {
@@ -180,7 +178,7 @@ pub struct ColoringAllocator {
     buckets: Vec<Vec<Pfn>>,
     colors: u64,
     capacity: usize,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl ColoringAllocator {

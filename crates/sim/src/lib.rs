@@ -17,6 +17,10 @@
 //! * [`compare`] runs the Pixie + Cache2000 trace-driven pipeline over
 //!   the same deterministic user stream for the Figure 2 speed
 //!   comparison and the Table 6 "From Traces" validation column.
+//! * [`run_sweep`] fans a whole `(config, trial)` grid over a worker
+//!   pool with a deterministic, trial-index-ordered committer, returning
+//!   one [`TrialSummary`] per configuration — bit-identical output for
+//!   every thread count.
 //!
 //! Determinism contract: workload reference streams derive from the
 //! experiment's *base* seed and are identical across trials; only the
@@ -33,8 +37,10 @@ pub mod compare;
 mod config;
 pub mod kessler;
 mod result;
+mod sweep;
 mod system;
 
 pub use config::{AllocPolicy, ComponentSet, CostKind, SimModel, SystemConfig};
 pub use result::TrialResult;
+pub use sweep::{run_sweep, TrialSummary};
 pub use system::{run_trial, run_trial_windowed, WindowSample};

@@ -1,0 +1,176 @@
+//! Parallel configuration sweeps with deterministic output.
+//!
+//! The paper's evaluation is a grid: Figures 2–4 sweep dozens of cache
+//! configurations, Tables 7–9 repeat each configuration 4–16 times to
+//! measure run-to-run spread. Every `(config, trial)` cell is an
+//! independent pure function of `(config, base_seed, trial_index)`, so
+//! [`run_sweep`] fans the whole grid over a
+//! [`TrialScheduler`] worker pool and folds results back per
+//! configuration, in trial order, through the scheduler's deterministic
+//! committer. Output is bit-identical for every thread count.
+//!
+//! Seed discipline (the lib-level determinism contract): the workload's
+//! own reference stream derives from `base` and is shared by all cells;
+//! the effects the paper identifies as run-to-run variance derive from
+//! `base.derive("sweep-config", c).derive("trial", t)`, so trial `t` of
+//! configuration `c` is reproducible in isolation.
+
+use tapeworm_stats::trials::TrialScheduler;
+use tapeworm_stats::{OnlineStats, SeedSeq, Summary};
+
+use crate::config::SystemConfig;
+use crate::result::TrialResult;
+use crate::system::run_trial;
+
+/// Per-configuration outcome of a sweep: the raw trial results in trial
+/// order plus ready-made summaries of the two headline metrics.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    results: Vec<TrialResult>,
+    misses: Summary,
+    slowdowns: Summary,
+}
+
+impl TrialSummary {
+    /// Raw per-trial results, indexed by trial number.
+    pub fn results(&self) -> &[TrialResult] {
+        &self.results
+    }
+
+    /// Summary of [`TrialResult::total_misses`] over the trials.
+    pub fn misses(&self) -> &Summary {
+        &self.misses
+    }
+
+    /// Summary of [`TrialResult::slowdown`] over the trials.
+    pub fn slowdowns(&self) -> &Summary {
+        &self.slowdowns
+    }
+
+    /// Summary of an arbitrary per-trial metric.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a sweep always holds at least one trial.
+    pub fn summary_of<F>(&self, metric: F) -> Summary
+    where
+        F: FnMut(&TrialResult) -> f64,
+    {
+        Summary::from_values(self.results.iter().map(metric).collect::<Vec<_>>())
+            .expect("a sweep cell holds at least one trial")
+    }
+}
+
+/// Runs `trials` trials of every configuration across `threads` worker
+/// threads and returns one [`TrialSummary`] per configuration, in input
+/// order.
+///
+/// `threads == 0` selects the host's available parallelism; `1` is the
+/// exact serial loop. The result is bit-identical for every thread
+/// count: cells are committed in `(config, trial)` order regardless of
+/// which worker finishes first.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or a trial panics.
+pub fn run_sweep(
+    configs: &[SystemConfig],
+    trials: usize,
+    base: SeedSeq,
+    threads: usize,
+) -> Vec<TrialSummary> {
+    assert!(trials > 0, "a sweep needs at least one trial per config");
+    let scheduler = TrialScheduler::new(threads);
+    let n = configs.len() * trials;
+
+    let mut out: Vec<TrialSummary> = Vec::with_capacity(configs.len());
+    let mut results: Vec<TrialResult> = Vec::with_capacity(trials);
+    let mut misses = OnlineStats::new();
+    let mut slowdowns = OnlineStats::new();
+
+    scheduler.run_committed(
+        n,
+        |i| {
+            let c = i / trials;
+            let t = (i % trials) as u64;
+            let trial = base.derive("sweep-config", c as u64).derive("trial", t);
+            run_trial(&configs[c], base, trial)
+        },
+        |i, result| {
+            // Commits arrive strictly in index order, i.e. config-major:
+            // all trials of config c before any trial of config c + 1.
+            misses.push(result.total_misses());
+            slowdowns.push(result.slowdown());
+            results.push(result);
+            if i % trials == trials - 1 {
+                out.push(TrialSummary {
+                    results: std::mem::take(&mut results),
+                    misses: misses.summary().expect("trials > 0"),
+                    slowdowns: slowdowns.summary().expect("trials > 0"),
+                });
+                misses = OnlineStats::new();
+                slowdowns = OnlineStats::new();
+                results.reserve(trials);
+            }
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeworm_core::CacheConfig;
+    use tapeworm_workload::Workload;
+
+    fn configs() -> Vec<SystemConfig> {
+        [1u64, 4]
+            .into_iter()
+            .map(|kb| {
+                let cache = CacheConfig::new(kb * 1024, 16, 1).expect("valid geometry");
+                SystemConfig::cache(Workload::Espresso, cache)
+                    .with_scale(20_000)
+                    .with_sampling(8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_shape_matches_inputs() {
+        let out = run_sweep(&configs(), 3, SeedSeq::new(7), 1);
+        assert_eq!(out.len(), 2);
+        for cell in &out {
+            assert_eq!(cell.results().len(), 3);
+            assert_eq!(cell.misses().count(), 3);
+            assert_eq!(cell.slowdowns().count(), 3);
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let serial = run_sweep(&configs(), 3, SeedSeq::new(7), 1);
+        for threads in [2, 4] {
+            let par = run_sweep(&configs(), 3, SeedSeq::new(7), threads);
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.results(), b.results(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_reflect_raw_results() {
+        let out = run_sweep(&configs(), 4, SeedSeq::new(3), 2);
+        for cell in &out {
+            let expect = cell.summary_of(|r| r.total_misses());
+            assert_eq!(cell.misses().mean(), expect.mean());
+            assert_eq!(cell.misses().min(), expect.min());
+            assert_eq!(cell.misses().max(), expect.max());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = run_sweep(&configs(), 0, SeedSeq::new(1), 1);
+    }
+}

@@ -10,10 +10,14 @@
 //!   use, computed with Welford's numerically stable online algorithm.
 //! * [`Zipf`] — a Zipf-distributed sampler used by the synthetic workload
 //!   models to pick "procedures" with realistic popularity skew.
+//! * [`Rng`] — a small, dependency-free SplitMix64 generator providing the
+//!   whole RNG surface the reproduction uses (`next_u64`, `gen_range`,
+//!   `shuffle`, uniform `f64`), so the workspace builds offline.
 //! * [`SeedSeq`] — deterministic per-trial/per-stream seed derivation so
 //!   every experiment is reproducible from one base seed.
-//! * [`trials`] — a small trial-runner that fans experiment trials out over
-//!   threads and folds the per-trial measurements into summaries.
+//! * [`trials`] — the parallel trial scheduler: experiment trials fan out
+//!   over a worker pool and a deterministic committer folds the per-trial
+//!   measurements back in trial order.
 //! * [`table`] — a plain-text table builder shared by the benchmark
 //!   binaries that regenerate the paper's tables and figures.
 //!
@@ -31,6 +35,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod online;
+mod rng;
 mod summary;
 mod zipf;
 
@@ -39,6 +44,7 @@ pub mod table;
 pub mod trials;
 
 pub use online::OnlineStats;
+pub use rng::{Rng, Sample, SampleRange};
 pub use seed::SeedSeq;
 pub use summary::{EmptySampleError, Summary};
 pub use zipf::{Zipf, ZipfError};

@@ -8,8 +8,7 @@
 //! to run (physical page allocation, set-sample choice) without touching
 //! the workload's own reference pattern.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::{splitmix64, Rng};
 
 /// A labelled, hierarchical seed from which independent RNG streams are
 /// derived.
@@ -25,8 +24,7 @@ use rand::SeedableRng;
 /// let mut rng = alloc.rng();
 /// // Same derivation path, same stream:
 /// let mut rng2 = base.derive("trial", 3).derive("frame-alloc", 0).rng();
-/// use rand::Rng;
-/// assert_eq!(rng.gen::<u64>(), rng2.gen::<u64>());
+/// assert_eq!(rng.next_u64(), rng2.next_u64());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SeedSeq {
@@ -59,24 +57,15 @@ impl SeedSeq {
         self.state
     }
 
-    /// Instantiates a standard RNG seeded from this sequence.
-    pub fn rng(&self) -> StdRng {
-        StdRng::seed_from_u64(self.state)
+    /// Instantiates a deterministic RNG seeded from this sequence.
+    pub fn rng(&self) -> Rng {
+        Rng::from_seed(self.state)
     }
-}
-
-/// SplitMix64 finalizer; a strong 64-bit mixing function.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn derivation_is_deterministic() {

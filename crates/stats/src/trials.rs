@@ -1,9 +1,19 @@
-//! Multi-trial experiment execution.
+//! Multi-trial experiment execution: a parallel scheduler with
+//! deterministic, trial-index-ordered commit.
 //!
 //! The paper runs 4–16 trials per configuration and reports the spread
-//! (Tables 7–10). [`run_trials`] executes a trial function once per trial
-//! index with a derived seed, optionally in parallel, and returns the raw
-//! per-trial values plus their [`Summary`].
+//! (Tables 7–10); the figure sweeps run dozens of configurations. Every
+//! cell of that grid is an independent pure function of
+//! `(config, base_seed, trial_index)` — the [`SeedSeq`] design guarantees
+//! it — so the grid is embarrassingly parallel. [`TrialScheduler`] fans
+//! cells out over a `std::thread` worker pool and a **committer** reorders
+//! completions back into index order, so results are bit-identical
+//! regardless of thread count. `threads == 1` takes a plain serial loop
+//! with no thread, channel or heap machinery at all.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use crate::{SeedSeq, Summary};
 
@@ -24,6 +34,191 @@ impl TrialSet {
     /// Summary statistics over the trials.
     pub fn summary(&self) -> &Summary {
         &self.summary
+    }
+}
+
+/// A completed job travelling from a worker to the committer, ordered so
+/// a min-heap (`BinaryHeap<Completed<T>>` with reversed `Ord`) yields the
+/// lowest outstanding index first.
+struct Completed<T> {
+    index: usize,
+    value: T,
+}
+
+impl<T> PartialEq for Completed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+
+impl<T> Eq for Completed<T> {}
+
+impl<T> PartialOrd for Completed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Completed<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest index.
+        other.index.cmp(&self.index)
+    }
+}
+
+/// A worker pool that evaluates independent indexed jobs and commits
+/// their results **in index order**.
+///
+/// The execution model is the classic dispatch-loop / worker-pool /
+/// ordered-commit trio:
+///
+/// * **dispatch** — workers claim the next unclaimed index from a shared
+///   atomic counter (dynamic load balancing; a slow cell never stalls
+///   the queue behind a fixed chunk boundary);
+/// * **execute** — each job runs independently; results flow back over an
+///   `mpsc` channel;
+/// * **commit** — the calling thread holds completions in a min-heap and
+///   releases them strictly in index order, so observable output is
+///   bit-identical for any worker count.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_stats::trials::TrialScheduler;
+///
+/// let serial = TrialScheduler::serial().run(4, |i| i * i);
+/// let parallel = TrialScheduler::new(8).run(4, |i| i * i);
+/// assert_eq!(serial, parallel);
+/// assert_eq!(serial, vec![0, 1, 4, 9]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialScheduler {
+    threads: usize,
+}
+
+impl TrialScheduler {
+    /// A scheduler over `threads` workers. `0` selects the host's
+    /// available parallelism; `1` is the exact serial loop.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        TrialScheduler { threads }
+    }
+
+    /// The exact serial path: one thread, no pool.
+    pub fn serial() -> Self {
+        TrialScheduler { threads: 1 }
+    }
+
+    /// Number of worker threads this scheduler uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `job(0..n)` and returns the results indexed by job
+    /// number. Output is identical for every thread count.
+    pub fn run<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(n);
+        self.run_committed(n, job, |_, value| out.push(value));
+        out
+    }
+
+    /// Evaluates `job(0..n)`, invoking `commit(index, value)` strictly in
+    /// index order (0, 1, 2, …) as results become available.
+    ///
+    /// The commit callback runs on the calling thread, so it may hold
+    /// `&mut` state (accumulate statistics, stream table rows) without
+    /// synchronization, and sees exactly the sequence the serial loop
+    /// would produce.
+    pub fn run_committed<T, F, C>(&self, n: usize, job: F, mut commit: C)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FnMut(usize, T),
+    {
+        if n == 0 {
+            return;
+        }
+        if self.threads == 1 {
+            // The serial path is the reference semantics: compute and
+            // commit in one loop, nothing else.
+            for i in 0..n {
+                let v = job(i);
+                commit(i, v);
+            }
+            return;
+        }
+
+        let workers = self.threads.min(n);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Completed<T>>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let job = &job;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let value = job(index);
+                    if tx.send(Completed { index, value }).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Deterministic committer: hold out-of-order completions in
+            // a min-heap and release the head whenever it is the next
+            // expected index.
+            let mut pending = BinaryHeap::new();
+            let mut next = 0usize;
+            while next < n {
+                let done = rx.recv().expect(
+                    "a worker panicked before completing its trial; \
+                     the experiment cannot be committed",
+                );
+                pending.push(done);
+                while pending
+                    .peek()
+                    .is_some_and(|head: &Completed<T>| head.index == next)
+                {
+                    let head = pending.pop().expect("peeked entry exists");
+                    commit(head.index, head.value);
+                    next += 1;
+                }
+            }
+        });
+    }
+
+    /// Runs `n` seeded trials of `f` and folds them into a [`TrialSet`].
+    ///
+    /// Trial `i` always receives `base.derive("trial", i)`, so the set is
+    /// reproducible in isolation and identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn run_trials<F>(&self, base: SeedSeq, n: usize, f: F) -> TrialSet
+    where
+        F: Fn(SeedSeq) -> f64 + Sync,
+    {
+        assert!(n > 0, "an experiment needs at least one trial");
+        let values = self.run(n, |i| f(base.derive("trial", i as u64)));
+        let summary = Summary::from_values(values.iter().copied())
+            .expect("n > 0 guarantees a non-empty sample");
+        TrialSet { values, summary }
     }
 }
 
@@ -48,9 +243,10 @@ where
 
 /// Runs `n` trials of `f` across `threads` OS threads.
 ///
-/// Results are identical to [`run_trials`] (trial `i` always gets the same
-/// derived seed); only wall-clock time changes. `threads == 0` or `1`
-/// degrades to the sequential path.
+/// Results are bit-identical to [`run_trials`] (trial `i` always gets the
+/// same derived seed, and the committer restores trial order); only
+/// wall-clock time changes. `threads == 0` selects the available
+/// parallelism; `1` degrades to the sequential path.
 ///
 /// # Panics
 ///
@@ -59,32 +255,12 @@ pub fn run_trials_parallel<F>(base: SeedSeq, n: usize, threads: usize, f: F) -> 
 where
     F: Fn(SeedSeq) -> f64 + Sync,
 {
-    assert!(n > 0, "an experiment needs at least one trial");
-    if threads <= 1 {
-        return run_trials(base, n, |s| f(s));
-    }
-    let mut values = vec![0.0f64; n];
-    std::thread::scope(|scope| {
-        let chunk = n.div_ceil(threads);
-        for (t, slot) in values.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let i = (t * chunk + j) as u64;
-                    *out = f(base.derive("trial", i));
-                }
-            });
-        }
-    });
-    let summary = Summary::from_values(values.iter().copied())
-        .expect("n > 0 guarantees a non-empty sample");
-    TrialSet { values, summary }
+    TrialScheduler::new(threads).run_trials(base, n, f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn trials_get_distinct_seeds() {
@@ -106,8 +282,10 @@ mod tests {
     fn parallel_matches_sequential() {
         let f = |seed: SeedSeq| seed.rng().gen_range(0.0..100.0);
         let seq = run_trials(SeedSeq::new(11), 13, f);
-        let par = run_trials_parallel(SeedSeq::new(11), 13, 4, f);
-        assert_eq!(seq.values(), par.values());
+        for threads in [2, 4, 8, 32] {
+            let par = run_trials_parallel(SeedSeq::new(11), 13, threads, f);
+            assert_eq!(seq.values(), par.values(), "threads={threads}");
+        }
     }
 
     #[test]
@@ -129,5 +307,52 @@ mod tests {
         let set = run_trials(SeedSeq::new(1), 4, |s| (s.value() % 7) as f64);
         let expect = Summary::from_values(set.values().iter().copied()).unwrap();
         assert_eq!(*set.summary(), expect);
+    }
+
+    #[test]
+    fn scheduler_commits_in_index_order() {
+        // Stagger completions so high indices finish first; the
+        // committer must still observe 0, 1, 2, ….
+        let sched = TrialScheduler::new(4);
+        let mut seen = Vec::new();
+        sched.run_committed(
+            16,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_micros(
+                    ((16 - i) * 200) as u64,
+                ));
+                i * 10
+            },
+            |i, v| seen.push((i, v)),
+        );
+        let expect: Vec<(usize, usize)> = (0..16).map(|i| (i, i * 10)).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn scheduler_run_is_thread_count_invariant() {
+        let reference = TrialScheduler::serial().run(37, |i| i as u64 * 3 + 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                TrialScheduler::new(threads).run(37, |i| i as u64 * 3 + 1),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_handles_empty_and_tiny_inputs() {
+        let sched = TrialScheduler::new(8);
+        assert_eq!(sched.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(sched.run(1, |i| i + 41), vec![41]);
+        assert_eq!(sched.run(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_threads_selects_available_parallelism() {
+        let sched = TrialScheduler::new(0);
+        assert!(sched.threads() >= 1);
+        assert_eq!(sched.run(5, |i| i), vec![0, 1, 2, 3, 4]);
     }
 }

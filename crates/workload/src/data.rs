@@ -9,11 +9,9 @@
 //! at classic RISC densities (roughly a quarter of instructions load,
 //! under a tenth store).
 
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use tapeworm_mem::VirtAddr;
-use tapeworm_stats::{SeedSeq, Zipf};
+use tapeworm_stats::{Rng, SeedSeq, Zipf};
 
 /// One data reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,7 +74,7 @@ pub struct DataStream {
     base: u64,
     params: DataParams,
     zipf: Zipf,
-    rng: StdRng,
+    rng: Rng,
     load_acc: u64,
     store_acc: u64,
 }

@@ -1,10 +1,7 @@
 //! Procedure-level instruction reference streams.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use tapeworm_mem::{VirtAddr, WORD_BYTES};
-use tapeworm_stats::{SeedSeq, Zipf};
+use tapeworm_stats::{Rng, SeedSeq, Zipf};
 
 /// A contiguous burst of instruction fetches: `words` sequential 32-bit
 /// fetches starting at `va`.
@@ -137,7 +134,7 @@ pub struct ProcStream {
     /// sampling: uniform procedure sizes make every cache set carry an
     /// identical miss share, hiding sampling variance.
     sizes: Vec<u32>,
-    rng: StdRng,
+    rng: Rng,
     pending: Option<(Run, u32)>,
 }
 

@@ -16,7 +16,6 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
 use tapeworm::core::{TlbSim, TlbSimConfig};
 use tapeworm::machine::Component;
 use tapeworm::mem::{PageSize, SequentialAllocator, VirtAddr};
@@ -71,7 +70,7 @@ fn main() {
         for _ in 0..REFS_PER_EPOCH {
             let obj = rng.gen_range(0..OBJECTS);
             let vpn = heap.home[obj];
-            let va = VirtAddr::new(vpn * 4096 + rng.gen_range(0..1024) * 4);
+            let va = VirtAddr::new(vpn * 4096 + rng.gen_range(0..1024u64) * 4);
             loop {
                 match vm.translate(tid, va) {
                     Translation::Mapped(_) => break,

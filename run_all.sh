@@ -9,6 +9,8 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+./ci.sh
+
 mkdir -p results
 cargo build --release -p tapeworm-bench
 

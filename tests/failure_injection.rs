@@ -7,7 +7,6 @@ use tapeworm::machine::{AccessKind, Component, DmaEngine, FetchOutcome, Machine,
 use tapeworm::mem::{EccMemory, MemoryEvent, Pfn, PhysAddr, TrapMap, VirtAddr, WritePolicy};
 use tapeworm::os::Tid;
 use tapeworm::stats::SeedSeq;
-use rand::Rng;
 
 /// Paper footnote 1: with Tapeworm active, true errors are still
 /// detected with high probability. Inject random single-bit errors
@@ -25,7 +24,7 @@ fn injected_errors_never_masquerade_as_traps() {
     let mut rng = SeedSeq::new(42).rng();
     let mut detected = 0;
     for _ in 0..2_000 {
-        let word = rng.gen_range(0..64 * 1024 / 4) * 4;
+        let word = rng.gen_range(0..64u64 * 1024 / 4) * 4;
         let pa = PhysAddr::new(word);
         let bit = rng.gen_range(0..32u8);
         let mut faulty = mem.clone();

@@ -1,0 +1,155 @@
+//! Hand-rolled property tests: seeded random reference streams driven
+//! through the trap-driven cache and the host TLB, asserting the core
+//! invariants the paper's correctness rests on. No `proptest` — every
+//! case is a deterministic function of the seeds below, so failures
+//! reproduce exactly.
+
+use tapeworm::core::{CacheConfig, Replacement, SimCache, Tapeworm};
+use tapeworm::machine::{Component, Tlb, TlbOutcome};
+use tapeworm::mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+use tapeworm::os::Tid;
+use tapeworm::stats::{Rng, SeedSeq};
+use tapeworm::trace::{Cache2000, Cache2000Config, TracePolicy};
+
+const PAGE: u64 = 4096;
+
+/// Drives a random stream through a full Tapeworm instance and checks
+/// the trap-set invariant the whole technique depends on: **a line is
+/// trapped iff it is sampled and not simulated-resident**, and every
+/// reference is either a hit (no trap) or a miss (trap, then handled).
+fn drive_tapeworm(cfg: CacheConfig, seed: u64, pages: u64, refs: u64) {
+    let mut tw = Tapeworm::new(cfg, PAGE, SeedSeq::new(seed));
+    let mut traps = TrapMap::new(pages * PAGE, 16);
+    let tid = Tid::new(1);
+    for p in 0..pages {
+        // Identity-map page p (vpn == pfn) and register it.
+        tw.tw_register_page(&mut traps, tid, Pfn::new(p), p);
+    }
+    tw.validate_invariant(&traps)
+        .expect("registration must establish the invariant");
+
+    let mut rng = SeedSeq::new(seed).derive("refs", 0).rng();
+    let mut misses = 0u64;
+    let mut hits = 0u64;
+    for i in 0..refs {
+        let addr = rng.gen_range(0..pages * PAGE) & !3;
+        let (va, pa) = (VirtAddr::new(addr), PhysAddr::new(addr));
+        // The hardware filter: a reference traps iff the line's trap
+        // bit is set; otherwise it proceeds at full speed (a hit, or a
+        // location outside the sample).
+        if traps.is_trapped(pa) {
+            tw.handle_miss(&mut traps, Component::User, tid, va, pa);
+            misses += 1;
+        } else {
+            hits += 1;
+        }
+        // Spot-check the full invariant periodically (it is O(lines)),
+        // and always at the end.
+        if i % 997 == 0 || i + 1 == refs {
+            tw.validate_invariant(&traps).unwrap_or_else(|e| {
+                panic!("invariant broken after {i} refs (seed {seed}): {e}")
+            });
+        }
+    }
+    assert_eq!(misses + hits, refs, "every reference is a hit or a miss");
+    assert_eq!(
+        tw.stats().raw_total(),
+        misses,
+        "handler count must equal observed trap count"
+    );
+    assert!(misses > 0, "a cold cache must miss (seed {seed})");
+}
+
+#[test]
+fn trap_set_matches_residency_direct_mapped() {
+    let cfg = CacheConfig::new(4 * 1024, 16, 1).expect("valid");
+    for seed in [1u64, 42, 1994] {
+        drive_tapeworm(cfg, seed, 8, 4_000);
+    }
+}
+
+#[test]
+fn trap_set_matches_residency_set_associative() {
+    for ways in [2u32, 4] {
+        let cfg = CacheConfig::new(8 * 1024, 32, ways).expect("valid");
+        drive_tapeworm(cfg, 7 + u64::from(ways), 16, 4_000);
+    }
+}
+
+/// The simulated cache never displaces the line it just filled: the
+/// victim returned by `insert` is always a *different* line, under
+/// both replacement policies.
+#[test]
+fn victim_is_never_the_just_filled_line() {
+    for replacement in [Replacement::Fifo, Replacement::Random] {
+        let cfg = CacheConfig::new(1024, 16, 4)
+            .expect("valid")
+            .with_replacement(replacement);
+        let mut cache = SimCache::new(cfg, SeedSeq::new(11));
+        let mut rng = Rng::from_seed(99);
+        let tid = Tid::new(1);
+        for _ in 0..5_000 {
+            let addr = rng.gen_range(0..64 * 1024u64) & !15;
+            let (va, pa) = (VirtAddr::new(addr), PhysAddr::new(addr));
+            if let Some(victim) = cache.insert(tid, va, pa) {
+                assert_ne!(
+                    victim.pa.raw(),
+                    pa.raw() & !15u64,
+                    "{replacement:?} evicted the line it just inserted"
+                );
+            }
+            // The just-inserted line must be resident.
+            assert!(cache.contains_physical(PhysAddr::new(addr)));
+        }
+    }
+}
+
+/// LRU (trace-driven baseline): a line that just hit or filled is the
+/// most-recently-used and must survive the very next miss in its set —
+/// an immediate re-reference always hits.
+#[test]
+fn lru_never_evicts_the_most_recent_line() {
+    let mut cfg = Cache2000Config::with_geometry(2 * 1024, 16, 4);
+    cfg.policy = TracePolicy::Lru;
+    let mut c2k = Cache2000::new(cfg);
+    let mut rng = Rng::from_seed(1234);
+    for _ in 0..20_000 {
+        let addr = rng.gen_range(0..32 * 1024u64) & !3;
+        let va = VirtAddr::new(addr);
+        let _ = c2k.reference(va);
+        assert!(
+            c2k.reference(va),
+            "immediate re-reference of {va} missed under LRU"
+        );
+    }
+    assert_eq!(
+        c2k.hits() + c2k.misses(),
+        c2k.references(),
+        "hits + misses must equal references"
+    );
+}
+
+/// The host TLB counts every probe as exactly one hit or one miss, and
+/// a refilled translation is immediately visible.
+#[test]
+fn tlb_accounts_every_probe() {
+    let mut tlb = Tlb::new(64, 8, PAGE, SeedSeq::new(5));
+    let mut rng = Rng::from_seed(55);
+    let mut probes = 0u64;
+    for _ in 0..10_000 {
+        let vpn = rng.gen_range(0..256u64);
+        let va = VirtAddr::new(vpn * PAGE);
+        probes += 1;
+        if let TlbOutcome::Miss = tlb.probe(1, va) {
+            tlb.refill(1, va, Pfn::new(vpn));
+            probes += 1;
+            assert_eq!(
+                tlb.probe(1, va),
+                TlbOutcome::Hit(Pfn::new(vpn)),
+                "refilled translation for vpn {vpn} not visible"
+            );
+        }
+    }
+    assert_eq!(tlb.hits() + tlb.misses(), probes);
+    assert!(tlb.misses() >= 256 - 64, "cold misses at least footprint - capacity");
+}

@@ -187,3 +187,31 @@ fn dilation_increases_misses() {
         r.total_misses()
     );
 }
+
+/// Golden miss counts at SCALE=2000. These pin the entire simulation
+/// pipeline end-to-end: workload stream generation, seed derivation,
+/// trap handling, and sampling expansion. A diff here means the
+/// simulator's observable behaviour changed — every table in the
+/// paper reproduction shifts with it, so the change must be deliberate.
+#[test]
+fn golden_miss_counts_at_scale_2000() {
+    let golden = [
+        // (workload, cache KB, raw user misses, instructions)
+        (Workload::MpegPlay, 16u64, 7653u64, 727_373u64),
+        (Workload::Espresso, 4, 4124, 273_901),
+    ];
+    for (workload, kb, raw, instructions) in golden {
+        let cfg = SystemConfig::cache(workload, dm4(kb))
+            .with_components(ComponentSet::user_only())
+            .with_scale(SCALE);
+        let r = run_trial(&cfg, BASE(), BASE().derive("golden", 0));
+        assert_eq!(
+            r.raw_misses(Component::User),
+            raw,
+            "{workload:?} {kb}K raw user misses"
+        );
+        assert_eq!(r.instructions, instructions, "{workload:?} {kb}K instructions");
+        // user_only measurement: all observed misses belong to User.
+        assert_eq!(r.total_misses(), raw as f64);
+    }
+}
