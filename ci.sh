@@ -8,6 +8,8 @@
 #      failure_injection, determinism, invariants).
 #   3. Warnings are errors in the stats and sim crates (the layers the
 #      trial scheduler and sweep API live in).
+#   4. Smoke-run of the throughput harness: results/BENCH.json must
+#      exist and carry the keys downstream tooling reads.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,5 +21,16 @@ cargo test -q --workspace
 
 echo "=== tier 2: warnings-as-errors (stats, sim) ==="
 RUSTFLAGS="-D warnings" cargo check -q -p tapeworm-stats -p tapeworm-sim --all-targets
+
+echo "=== tier 2: perf_throughput smoke ==="
+cargo build --release -p tapeworm-bench
+rm -f results/BENCH.json
+./target/release/perf_throughput --smoke
+test -s results/BENCH.json || { echo "ci.sh: results/BENCH.json missing or empty" >&2; exit 1; }
+for key in schema per_config runs single_thread_refs_per_sec speedup_vs_baseline; do
+  grep -q "\"$key\"" results/BENCH.json || {
+    echo "ci.sh: results/BENCH.json lacks \"$key\"" >&2; exit 1;
+  }
+done
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,79 @@
+//! Prints FNV-1a digests of `TrialResult`s for the golden equivalence
+//! matrix in `tests/determinism.rs`
+//! (`engine_matches_pre_refactor_golden_digests`).
+//!
+//! Run after a *deliberate* behaviour-changing commit to regenerate
+//! the pinned digests; the output lines paste directly into the test.
+
+use tapeworm_core::{CacheConfig, TlbSimConfig};
+use tapeworm_sim::{
+    run_trial, run_trial_windowed, ComponentSet, SystemConfig, TrialResult, WindowSample,
+};
+use tapeworm_stats::SeedSeq;
+use tapeworm_workload::Workload;
+
+const SCALE: u64 = 20_000;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn digest(result: &TrialResult, windows: &[WindowSample]) -> u64 {
+    fnv1a(format!("{result:?}|{windows:?}").as_bytes())
+}
+
+fn main() {
+    let dm = |kb: u64| CacheConfig::new(kb * 1024, 16, 1).unwrap();
+    let base = SeedSeq::new(1994);
+    let trial = |label: &str| base.derive(label, 0).derive("trial", 0);
+
+    let cases: Vec<(&str, SystemConfig)> = vec![
+        (
+            "cache",
+            SystemConfig::cache(Workload::Espresso, dm(4)).with_scale(SCALE),
+        ),
+        (
+            "cache-sampled",
+            SystemConfig::cache(Workload::Espresso, dm(4))
+                .with_components(ComponentSet::user_only())
+                .with_sampling(8)
+                .with_scale(SCALE),
+        ),
+        (
+            "tlb",
+            SystemConfig::tlb(Workload::MpegPlay, TlbSimConfig::r3000()).with_scale(SCALE),
+        ),
+        (
+            "split",
+            SystemConfig::split(Workload::JpegPlay, dm(4), dm(4)).with_scale(SCALE),
+        ),
+        (
+            "two-level",
+            SystemConfig::two_level(Workload::Espresso, dm(1), dm(8)).with_scale(SCALE),
+        ),
+        (
+            "exits",
+            SystemConfig::cache(Workload::Ousterhout, dm(4)).with_scale(SCALE),
+        ),
+        (
+            "split-exits",
+            SystemConfig::split(Workload::Ousterhout, dm(4), dm(4)).with_scale(SCALE),
+        ),
+        (
+            "tlb-exits",
+            SystemConfig::tlb(Workload::Ousterhout, TlbSimConfig::r3000()).with_scale(SCALE),
+        ),
+    ];
+    for (label, cfg) in &cases {
+        let r = run_trial(cfg, base, trial(label));
+        println!("(\"{label}\", {:#018x}),", digest(&r, &[]));
+    }
+    let cfg = SystemConfig::cache(Workload::MpegPlay, dm(4)).with_scale(SCALE);
+    let (r, w) = run_trial_windowed(&cfg, base, trial("windowed"), 10_000);
+    println!("(\"windowed\", {:#018x}),", digest(&r, &w));
+}

@@ -1,0 +1,198 @@
+//! Hot-path throughput harness: simulated references per second.
+//!
+//! Runs a fixed mpeg_play-style trial matrix (the Figure 2 cache
+//! ladder's end points plus the R3000 TLB) at 1, 2 and N worker
+//! threads, measuring wall time and simulated references per second —
+//! the number every hot-path optimisation must move. Results are
+//! written machine-readably to `results/BENCH.json` so future PRs have
+//! a recorded trajectory to beat.
+//!
+//! Self-contained: no criterion, no external dependencies. The JSON is
+//! emitted by hand.
+//!
+//! Modes:
+//! * default — the full matrix (tens of seconds; used by `run_all.sh`).
+//! * `--smoke` — a tiny matrix (~seconds; used by `ci.sh` to prove the
+//!   harness and the JSON stay well-formed).
+//!
+//! Environment: `TW_SEED` (base seed), `TW_THREADS` (the "N" of the
+//! thread ladder), `TW_BASELINE` (override the recorded pre-change
+//! baseline, refs/sec).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tapeworm_bench::{base_seed, threads};
+use tapeworm_core::{CacheConfig, TlbSimConfig};
+use tapeworm_sim::{run_sweep, SystemConfig};
+use tapeworm_workload::Workload;
+
+/// Single-thread references/second measured on this machine *before*
+/// the flat-page-table / translation-cache engine landed (nested
+/// HashMap page tables, per-quantum allocation). Median of three runs
+/// of this same harness against the pre-change engine (commit
+/// e55ff6d), interleaved with post-change runs to cancel machine
+/// drift; override with `TW_BASELINE` when re-baselining on different
+/// hardware.
+const PRE_CHANGE_BASELINE_REFS_PER_SEC: f64 = 80_120_714.0;
+
+struct Run {
+    threads: usize,
+    wall_secs: f64,
+    instructions: u64,
+    refs_per_sec: f64,
+}
+
+fn matrix(scale: u64) -> Vec<(String, SystemConfig)> {
+    let dm = |kb: u64| CacheConfig::new(kb * 1024, 16, 1).expect("valid geometry");
+    vec![
+        (
+            "cache-4k".to_string(),
+            SystemConfig::cache(Workload::MpegPlay, dm(4)).with_scale(scale),
+        ),
+        (
+            "cache-64k".to_string(),
+            SystemConfig::cache(Workload::MpegPlay, dm(64)).with_scale(scale),
+        ),
+        (
+            "tlb-r3000".to_string(),
+            SystemConfig::tlb(Workload::MpegPlay, TlbSimConfig::r3000()).with_scale(scale),
+        ),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, trials) = if smoke { (20_000, 1) } else { (100, 3) };
+    let baseline = std::env::var("TW_BASELINE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PRE_CHANGE_BASELINE_REFS_PER_SEC);
+
+    let configs = matrix(scale);
+    let cfgs: Vec<SystemConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
+    let seed = base_seed();
+
+    let mut ladder = vec![1usize, 2];
+    let n = threads();
+    if !ladder.contains(&n) {
+        ladder.push(n);
+    }
+
+    println!(
+        "perf_throughput: {} configs x {} trials, scale {} ({})",
+        configs.len(),
+        trials,
+        scale,
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // Per-config breakdown (single-threaded) so regressions are
+    // attributable: the cache ladder and the TLB stress very different
+    // paths (line misses vs page-trap handling).
+    let mut per_config = Vec::new();
+    for (name, cfg) in &configs {
+        let start = Instant::now();
+        let out = run_sweep(std::slice::from_ref(cfg), trials, seed, 1);
+        let wall = start.elapsed().as_secs_f64();
+        let instructions: u64 = out
+            .iter()
+            .flat_map(|cell| cell.results())
+            .map(|r| r.instructions)
+            .sum();
+        let refs_per_sec = instructions as f64 / wall;
+        println!("  config {name:<12} wall={wall:8.3}s  refs/sec={refs_per_sec:12.0}");
+        per_config.push((name.clone(), wall, instructions, refs_per_sec));
+    }
+
+    let mut runs = Vec::new();
+    for &t in &ladder {
+        let start = Instant::now();
+        let out = run_sweep(&cfgs, trials, seed, t);
+        let wall = start.elapsed().as_secs_f64();
+        let instructions: u64 = out
+            .iter()
+            .flat_map(|cell| cell.results())
+            .map(|r| r.instructions)
+            .sum();
+        let refs_per_sec = instructions as f64 / wall;
+        println!(
+            "  threads={t:2}  wall={wall:8.3}s  refs={instructions:>12}  refs/sec={refs_per_sec:12.0}"
+        );
+        runs.push(Run {
+            threads: t,
+            wall_secs: wall,
+            instructions,
+            refs_per_sec,
+        });
+    }
+
+    let single = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .expect("thread ladder includes 1");
+    let speedup = single.refs_per_sec / baseline;
+    println!(
+        "single-thread: {:.0} refs/sec vs pre-change baseline {:.0} ({speedup:.2}x)",
+        single.refs_per_sec, baseline
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"tapeworm-perf-throughput-v1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"workload\": \"mpeg_play\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let names: Vec<String> = configs
+        .iter()
+        .map(|(n, _)| format!("\"{}\"", json_escape(n)))
+        .collect();
+    let _ = writeln!(json, "  \"configs\": [{}],", names.join(", "));
+    let _ = writeln!(json, "  \"baseline_refs_per_sec\": {baseline:.0},");
+    let _ = writeln!(json, "  \"per_config\": [");
+    for (i, (name, wall, instructions, rps)) in per_config.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}}}{}",
+            json_escape(name),
+            wall,
+            instructions,
+            rps,
+            if i + 1 == per_config.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}}}{}",
+            r.threads,
+            r.wall_secs,
+            r.instructions,
+            r.refs_per_sec,
+            if i + 1 == runs.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"single_thread_refs_per_sec\": {:.0},",
+        single.refs_per_sec
+    );
+    let _ = writeln!(json, "  \"speedup_vs_baseline\": {speedup:.3}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::create_dir_all("results").expect("results/ must be creatable");
+    std::fs::write("results/BENCH.json", &json).expect("results/BENCH.json must be writable");
+    println!("wrote results/BENCH.json");
+}

@@ -65,7 +65,11 @@ pub struct TwoLevelTapeworm {
     l2_stats: MissStats,
     cost: CostModel,
     page_bytes: u64,
-    page_refs: std::collections::HashMap<Pfn, u32>,
+    /// Registration refcounts indexed by frame number (grown on
+    /// demand) — array loads on the miss path, no hashing.
+    page_refs: Vec<u32>,
+    /// Frames with a non-zero refcount.
+    live_pages: usize,
     overhead_cycles: u64,
 }
 
@@ -101,7 +105,8 @@ impl TwoLevelTapeworm {
             l2_stats: MissStats::new(1.0),
             cost: CostModel::optimized(),
             page_bytes,
-            page_refs: std::collections::HashMap::new(),
+            page_refs: Vec::new(),
+            live_pages: 0,
             overhead_cycles: 0,
         }
     }
@@ -121,6 +126,11 @@ impl TwoLevelTapeworm {
         self.overhead_cycles
     }
 
+    /// Pages currently registered (live refcounts).
+    pub fn registered_pages(&self) -> usize {
+        self.live_pages
+    }
+
     /// Local L2 hit ratio: fraction of L1 misses served by L2.
     pub fn l2_local_hit_ratio(&self) -> f64 {
         let l1 = self.l1_stats.raw_total();
@@ -133,12 +143,16 @@ impl TwoLevelTapeworm {
 
     /// `tw_register_page`: first registration traps the page's lines.
     pub fn tw_register_page(&mut self, traps: &mut TrapMap, tid: Tid, pfn: Pfn, vpn: u64) -> u64 {
-        let refs = self.page_refs.entry(pfn).or_insert(0);
-        *refs += 1;
+        let i = pfn.raw() as usize;
+        if i >= self.page_refs.len() {
+            self.page_refs.resize(i + 1, 0);
+        }
+        self.page_refs[i] += 1;
         let _ = (tid, vpn);
-        if *refs > 1 {
+        if self.page_refs[i] > 1 {
             return 0;
         }
+        self.live_pages += 1;
         traps.set_range(pfn.base(self.page_bytes), self.page_bytes);
         let cycles = self.cost.cycles_per_register(self.page_bytes, 1.0);
         self.overhead_cycles += cycles;
@@ -154,14 +168,15 @@ impl TwoLevelTapeworm {
     pub fn tw_remove_page(&mut self, traps: &mut TrapMap, tid: Tid, pfn: Pfn, vpn: u64) -> u64 {
         let refs = self
             .page_refs
-            .get_mut(&pfn)
+            .get_mut(pfn.raw() as usize)
+            .filter(|r| **r > 0)
             .unwrap_or_else(|| panic!("removing unregistered page {pfn}"));
         *refs -= 1;
         let _ = (tid, vpn);
         if *refs > 0 {
             return 0;
         }
-        self.page_refs.remove(&pfn);
+        self.live_pages -= 1;
         let base = pfn.base(self.page_bytes);
         self.l1.flush_physical_page(base, self.page_bytes);
         self.l2.flush_physical_page(base, self.page_bytes);
@@ -220,9 +235,11 @@ impl TwoLevelTapeworm {
         cycles
     }
 
+    #[inline]
     fn is_registered(&self, pa: PhysAddr) -> bool {
         self.page_refs
-            .contains_key(&Pfn::new(pa.raw() / self.page_bytes))
+            .get((pa.raw() / self.page_bytes) as usize)
+            .is_some_and(|&r| r > 0)
     }
 
     /// Verifies the multi-level invariants for registered pages:
@@ -233,7 +250,10 @@ impl TwoLevelTapeworm {
     /// Returns a description of the first violation.
     pub fn validate_invariant(&self, traps: &TrapMap) -> Result<(), String> {
         let line = self.l1.config().line_bytes();
-        for &pfn in self.page_refs.keys() {
+        for pfn in (0..self.page_refs.len() as u64)
+            .map(Pfn::new)
+            .filter(|p| self.page_refs[p.raw() as usize] > 0)
+        {
             let base = pfn.base(self.page_bytes);
             for i in 0..self.page_bytes / line {
                 let pa = PhysAddr::new(base.raw() + i * line);

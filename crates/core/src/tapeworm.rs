@@ -1,7 +1,5 @@
 //! The Tapeworm simulator: Table 1 primitives and the miss handler.
 
-use std::collections::HashMap;
-
 use tapeworm_machine::Component;
 use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
 use tapeworm_os::{Tid, VmEvent};
@@ -59,7 +57,12 @@ pub struct Tapeworm {
     cost: CostModel,
     stats: MissStats,
     page_bytes: u64,
-    page_refs: HashMap<Pfn, u32>,
+    /// Registration refcounts indexed by frame number (grown on
+    /// demand): the miss handler probes this per displaced line, so it
+    /// must be an array load, not a hash lookup.
+    page_refs: Vec<u32>,
+    /// Frames with a non-zero refcount.
+    live_pages: usize,
     overhead_cycles: u64,
     pages_registered: u64,
 }
@@ -83,11 +86,21 @@ impl Tapeworm {
             cost: CostModel::optimized(),
             stats: MissStats::new(1.0),
             page_bytes,
-            page_refs: HashMap::new(),
+            page_refs: Vec::new(),
+            live_pages: 0,
             overhead_cycles: 0,
             pages_registered: 0,
             cfg,
         }
+    }
+
+    /// Current registration refcount of a frame.
+    #[inline]
+    fn refs_of(&self, pfn: Pfn) -> u32 {
+        self.page_refs
+            .get(pfn.raw() as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Enables set sampling (must be set before any pages are
@@ -98,7 +111,7 @@ impl Tapeworm {
     /// Panics if pages have already been registered.
     pub fn with_sampling(mut self, sample: SetSample) -> Self {
         assert!(
-            self.page_refs.is_empty(),
+            self.live_pages == 0,
             "sampling must be configured before registration"
         );
         self.sample = sample;
@@ -139,7 +152,7 @@ impl Tapeworm {
 
     /// Pages currently registered (live refcounts).
     pub fn registered_pages(&self) -> usize {
-        self.page_refs.len()
+        self.live_pages
     }
 
     /// `tw_set_trap(pa, size)` — arm traps over a physical range.
@@ -166,11 +179,15 @@ impl Tapeworm {
         pfn: Pfn,
         vpn: u64,
     ) -> u64 {
-        let refs = self.page_refs.entry(pfn).or_insert(0);
-        *refs += 1;
-        if *refs > 1 {
+        let i = pfn.raw() as usize;
+        if i >= self.page_refs.len() {
+            self.page_refs.resize(i + 1, 0);
+        }
+        self.page_refs[i] += 1;
+        if self.page_refs[i] > 1 {
             return 0;
         }
+        self.live_pages += 1;
         self.pages_registered += 1;
         let base_pa = pfn.base(self.page_bytes);
         let line = self.cfg.line_bytes();
@@ -214,13 +231,14 @@ impl Tapeworm {
     pub fn tw_remove_page(&mut self, traps: &mut TrapMap, tid: Tid, pfn: Pfn, vpn: u64) -> u64 {
         let refs = self
             .page_refs
-            .get_mut(&pfn)
+            .get_mut(pfn.raw() as usize)
+            .filter(|r| **r > 0)
             .unwrap_or_else(|| panic!("removing unregistered page {pfn}"));
         *refs -= 1;
         if *refs > 0 {
             return 0;
         }
-        self.page_refs.remove(&pfn);
+        self.live_pages -= 1;
         let base_pa = pfn.base(self.page_bytes);
         self.cache.flush_physical_page(base_pa, self.page_bytes);
         traps.clear_range(base_pa, self.page_bytes);
@@ -256,9 +274,7 @@ impl Tapeworm {
             // Re-arm the trap only while the displaced page is still
             // registered (it always is — removal flushes — but shared
             // teardown ordering makes the check cheap insurance).
-            if self.page_refs.contains_key(&Pfn::new(
-                displaced.pa.raw() / self.page_bytes,
-            )) {
+            if self.refs_of(Pfn::new(displaced.pa.raw() / self.page_bytes)) > 0 {
                 traps.set_range(displaced.pa, line);
             }
         }
@@ -295,7 +311,10 @@ impl Tapeworm {
             return Ok(()); // virtual aliasing makes the pa-level check inapplicable
         }
         let line = self.cfg.line_bytes();
-        for &pfn in self.page_refs.keys() {
+        for pfn in (0..self.page_refs.len() as u64)
+            .map(Pfn::new)
+            .filter(|p| self.refs_of(*p) > 0)
+        {
             let base = pfn.base(self.page_bytes);
             for i in 0..self.page_bytes / line {
                 let pa = PhysAddr::new(base.raw() + i * line);

@@ -5,8 +5,11 @@
 //! granularity). They are modelled as a bounded register file, because
 //! the scarcity of breakpoint registers is exactly why ECC traps scale
 //! better for cache simulation.
-
-use std::collections::BTreeSet;
+//!
+//! The register file is a sorted slice: [`Breakpoints::check`] sits on
+//! the instruction-fetch hot path of every simulation (even when no
+//! breakpoints are armed), so it is an `is_empty` early-out followed by
+//! a binary search — no tree walks, no hashing.
 
 use tapeworm_mem::VirtAddr;
 
@@ -25,7 +28,8 @@ use tapeworm_mem::VirtAddr;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Breakpoints {
-    set: BTreeSet<u64>,
+    /// Armed addresses, kept sorted for binary search.
+    set: Vec<u64>,
     capacity: usize,
 }
 
@@ -33,7 +37,7 @@ impl Breakpoints {
     /// Creates a file with `capacity` registers.
     pub fn new(capacity: usize) -> Self {
         Breakpoints {
-            set: BTreeSet::new(),
+            set: Vec::with_capacity(capacity),
             capacity,
         }
     }
@@ -57,24 +61,31 @@ impl Breakpoints {
     /// are busy (and the breakpoint is *not* set) — the scarcity that
     /// makes this mechanism unsuitable for whole-cache simulation.
     pub fn set(&mut self, va: VirtAddr) -> bool {
-        if self.set.contains(&va.raw()) {
-            return true;
+        match self.set.binary_search(&va.raw()) {
+            Ok(_) => true,
+            Err(_) if self.set.len() >= self.capacity => false,
+            Err(i) => {
+                self.set.insert(i, va.raw());
+                true
+            }
         }
-        if self.set.len() >= self.capacity {
-            return false;
-        }
-        self.set.insert(va.raw());
-        true
     }
 
     /// Disarms the breakpoint on `va`; returns whether one was armed.
     pub fn clear(&mut self, va: VirtAddr) -> bool {
-        self.set.remove(&va.raw())
+        match self.set.binary_search(&va.raw()) {
+            Ok(i) => {
+                self.set.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// `true` when an access to `va` should trap.
+    #[inline]
     pub fn check(&self, va: VirtAddr) -> bool {
-        self.set.contains(&va.raw())
+        !self.set.is_empty() && self.set.binary_search(&va.raw()).is_ok()
     }
 }
 
@@ -109,5 +120,20 @@ mod tests {
         let bp = Breakpoints::new(1);
         assert!(bp.is_empty());
         assert_eq!(bp.capacity(), 1);
+    }
+
+    #[test]
+    fn out_of_order_arming_is_still_found() {
+        let mut bp = Breakpoints::new(8);
+        for raw in [0x400, 0x100, 0x300, 0x200] {
+            assert!(bp.set(VirtAddr::new(raw)));
+        }
+        for raw in [0x100, 0x200, 0x300, 0x400] {
+            assert!(bp.check(VirtAddr::new(raw)));
+        }
+        assert!(!bp.check(VirtAddr::new(0x250)));
+        assert!(bp.clear(VirtAddr::new(0x300)));
+        assert!(!bp.check(VirtAddr::new(0x300)));
+        assert_eq!(bp.len(), 3);
     }
 }

@@ -197,7 +197,7 @@ impl Os {
     ///
     /// [`OutOfMemoryError`] if a demand-map finds no free frame.
     pub fn touch(&mut self, tid: Tid, va: VirtAddr) -> Result<Touch, OutOfMemoryError> {
-        match self.vm.translate(tid, va) {
+        match self.vm.translate_cached(tid, va) {
             Translation::Mapped(pa) => Ok(Touch::Ok {
                 pa,
                 registered: None,
@@ -209,7 +209,7 @@ impl Os {
                 let registered = self.is_simulated(tid).then_some(event);
                 let _ = pfn;
                 Ok(Touch::Ok {
-                    pa: match self.vm.translate(tid, va) {
+                    pa: match self.vm.translate_cached(tid, va) {
                         Translation::Mapped(pa) => pa,
                         _ => unreachable!("freshly mapped page must translate"),
                     },

@@ -7,14 +7,39 @@
 //! those registration events as values — [`VmEvent`] — which the
 //! experiment loop forwards to the simulator, keeping this crate
 //! independent of the simulator implementation.
+//!
+//! # Hot-path layout
+//!
+//! Translation sits on the hit path of every simulated reference, so
+//! page tables are flat and index-addressed rather than hashed:
+//!
+//! * Each task owns a [`PageTable`]: a dense `Vec` of PTEs indexed by
+//!   VPN offset from the table's base, plus a small sorted overflow
+//!   list for mappings too far away to widen the dense window over
+//!   (bounded by [`MAX_DENSE_SPAN`]). Real tasks touch one compact
+//!   text+data range, so in practice every lookup is one bounds check
+//!   and one array load.
+//! * A direct-mapped software translation cache
+//!   ([`Vm::translate_cached`]) short-circuits the walk entirely for
+//!   repeat translations. Entries are tagged with `(tid, vpn)` (so no
+//!   flush is needed on task switch) and only fully valid mappings are
+//!   cached; [`Vm::unmap`] and [`Vm::set_valid`] invalidate the
+//!   matching slot, keeping TLB-mode valid-bit traps and pageout
+//!   semantics bit-exact.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use tapeworm_mem::{FrameAllocator, PageSize, Pfn, PhysAddr, Pte, VirtAddr};
 
 use crate::task::Tid;
+
+/// Widest VPN span a task's dense page table may cover; mappings
+/// farther out fall back to the sorted overflow list.
+const MAX_DENSE_SPAN: u64 = 1 << 16;
+
+/// Translation-cache slots (direct-mapped, power of two).
+const TCACHE_SLOTS: usize = 1024;
 
 /// A page was needed but physical memory is exhausted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +99,167 @@ pub enum VmEvent {
     },
 }
 
+/// One task's page table: a dense VPN-indexed window plus a sorted
+/// overflow list for far-away mappings.
+///
+/// Invariant: no overflow entry's VPN ever lies inside the dense
+/// window, so a lookup probes exactly one of the two.
+#[derive(Debug, Default)]
+struct PageTable {
+    /// First VPN covered by `dense`.
+    base_vpn: u64,
+    dense: Vec<Option<Pte>>,
+    /// Sorted `(vpn, pte)` pairs outside the dense window.
+    sparse: Vec<(u64, Pte)>,
+    /// Mapped pages across both parts.
+    live: usize,
+}
+
+impl PageTable {
+    #[inline]
+    fn get(&self, vpn: u64) -> Option<Pte> {
+        if vpn >= self.base_vpn {
+            if let Some(slot) = self.dense.get((vpn - self.base_vpn) as usize) {
+                return *slot;
+            }
+        }
+        self.sparse
+            .binary_search_by_key(&vpn, |&(v, _)| v)
+            .ok()
+            .map(|i| self.sparse[i].1)
+    }
+
+    fn get_mut(&mut self, vpn: u64) -> Option<&mut Pte> {
+        if vpn >= self.base_vpn && vpn < self.base_vpn + self.dense.len() as u64 {
+            return self.dense[(vpn - self.base_vpn) as usize].as_mut();
+        }
+        match self.sparse.binary_search_by_key(&vpn, |&(v, _)| v) {
+            Ok(i) => Some(&mut self.sparse[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts a mapping for an unmapped VPN, widening the dense window
+    /// when the span stays within [`MAX_DENSE_SPAN`].
+    fn insert(&mut self, vpn: u64, pte: Pte) {
+        self.live += 1;
+        if self.dense.is_empty() && self.sparse.is_empty() {
+            self.base_vpn = vpn;
+            self.dense.push(Some(pte));
+            return;
+        }
+        let end = self.base_vpn + self.dense.len() as u64;
+        if self.dense.is_empty() || (vpn >= self.base_vpn && vpn < end) {
+            // An empty dense window (all-sparse table) adopts this VPN.
+            if self.dense.is_empty() {
+                self.base_vpn = vpn;
+                self.dense.push(Some(pte));
+                self.absorb_sparse();
+                return;
+            }
+            self.dense[(vpn - self.base_vpn) as usize] = Some(pte);
+            return;
+        }
+        if vpn >= end && vpn - self.base_vpn < MAX_DENSE_SPAN {
+            self.dense.resize((vpn - self.base_vpn + 1) as usize, None);
+            self.dense[(vpn - self.base_vpn) as usize] = Some(pte);
+            self.absorb_sparse();
+            return;
+        }
+        if vpn < self.base_vpn && end - vpn <= MAX_DENSE_SPAN {
+            let pad = (self.base_vpn - vpn) as usize;
+            let mut widened = vec![None; pad];
+            widened.append(&mut self.dense);
+            self.dense = widened;
+            self.base_vpn = vpn;
+            self.dense[0] = Some(pte);
+            self.absorb_sparse();
+            return;
+        }
+        let i = self
+            .sparse
+            .binary_search_by_key(&vpn, |&(v, _)| v)
+            .expect_err("inserting an already-mapped page");
+        self.sparse.insert(i, (vpn, pte));
+    }
+
+    /// Moves overflow entries that a widened dense window now covers
+    /// into it, restoring the disjointness invariant.
+    fn absorb_sparse(&mut self) {
+        let (base, end) = (self.base_vpn, self.base_vpn + self.dense.len() as u64);
+        if self.sparse.iter().all(|&(v, _)| v < base || v >= end) {
+            return;
+        }
+        let dense = &mut self.dense;
+        self.sparse.retain(|&(v, pte)| {
+            if v >= base && v < end {
+                dense[(v - base) as usize] = Some(pte);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn remove(&mut self, vpn: u64) -> Option<Pte> {
+        let removed = if vpn >= self.base_vpn
+            && vpn < self.base_vpn + self.dense.len() as u64
+        {
+            self.dense[(vpn - self.base_vpn) as usize].take()
+        } else {
+            match self.sparse.binary_search_by_key(&vpn, |&(v, _)| v) {
+                Ok(i) => Some(self.sparse.remove(i).1),
+                Err(_) => None,
+            }
+        };
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    /// Mapped `(vpn, pte)` pairs in ascending VPN order. Overflow
+    /// entries never overlap the dense window, so chaining the three
+    /// sorted runs (below / window / above) preserves global order.
+    fn iter(&self) -> impl Iterator<Item = (u64, Pte)> + '_ {
+        let base = self.base_vpn;
+        let end = base + self.dense.len() as u64;
+        let below = self
+            .sparse
+            .iter()
+            .take_while(move |&&(v, _)| v < base)
+            .copied();
+        let within = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| slot.map(|pte| (base + i as u64, pte)));
+        let above = self
+            .sparse
+            .iter()
+            .skip_while(move |&&(v, _)| v < end)
+            .copied();
+        below.chain(within).chain(above)
+    }
+}
+
+/// One translation-cache slot; `vpn == u64::MAX` marks it empty (no
+/// virtual address translates to that page).
+#[derive(Debug, Clone, Copy)]
+struct TcEntry {
+    tid: u16,
+    vpn: u64,
+    pa_base: u64,
+}
+
+impl TcEntry {
+    const EMPTY: TcEntry = TcEntry {
+        tid: 0,
+        vpn: u64::MAX,
+        pa_base: 0,
+    };
+}
+
 /// Per-task page tables over a pluggable frame allocator.
 ///
 /// # Examples
@@ -91,14 +277,20 @@ pub enum VmEvent {
 /// assert_eq!(vm.translate(tid, va), Translation::NotMapped);
 /// let (_pfn, _ev) = vm.map_new(tid, va.page_number(4096))?;
 /// assert!(matches!(vm.translate(tid, va), Translation::Mapped(_)));
+/// // The caching walk agrees with the plain one.
+/// assert_eq!(vm.translate_cached(tid, va), vm.translate(tid, va));
 /// # Ok::<(), tapeworm_os::OutOfMemoryError>(())
 /// ```
 #[derive(Debug)]
 pub struct Vm {
     page_size: PageSize,
+    page_bytes: u64,
     allocator: Box<dyn FrameAllocator>,
-    tables: HashMap<Tid, HashMap<u64, Pte>>,
-    frame_refs: HashMap<Pfn, u32>,
+    /// Page tables indexed by raw task id.
+    tables: Vec<PageTable>,
+    /// Mapping refcounts indexed by frame number.
+    frame_refs: Vec<u32>,
+    tcache: Vec<TcEntry>,
     faults: u64,
 }
 
@@ -107,9 +299,11 @@ impl Vm {
     pub fn new(page_size: PageSize, allocator: Box<dyn FrameAllocator>) -> Self {
         Vm {
             page_size,
+            page_bytes: page_size.bytes(),
+            frame_refs: vec![0; allocator.capacity()],
             allocator,
-            tables: HashMap::new(),
-            frame_refs: HashMap::new(),
+            tables: Vec::new(),
+            tcache: vec![TcEntry::EMPTY; TCACHE_SLOTS],
             faults: 0,
         }
     }
@@ -129,9 +323,48 @@ impl Vm {
         self.allocator.available()
     }
 
-    /// Hardware translation of `(tid, va)`.
+    #[inline]
+    fn tc_index(tid: Tid, vpn: u64) -> usize {
+        (vpn as usize ^ ((tid.raw() as usize) << 3)) & (TCACHE_SLOTS - 1)
+    }
+
+    /// Drops the cached translation for `(tid, vpn)`, if present.
+    #[inline]
+    fn tc_invalidate(&mut self, tid: Tid, vpn: u64) {
+        let slot = &mut self.tcache[Self::tc_index(tid, vpn)];
+        if slot.vpn == vpn && slot.tid == tid.raw() {
+            *slot = TcEntry::EMPTY;
+        }
+    }
+
+    /// Hardware translation of `(tid, va)` through the software
+    /// translation cache. Behaviourally identical to
+    /// [`Vm::translate`]; only fully valid mappings are cached, so
+    /// valid-bit traps and faults always take the full walk.
+    #[inline]
+    pub fn translate_cached(&mut self, tid: Tid, va: VirtAddr) -> Translation {
+        let vpn = va.page_number(self.page_bytes);
+        let idx = Self::tc_index(tid, vpn);
+        let entry = self.tcache[idx];
+        if entry.vpn == vpn && entry.tid == tid.raw() {
+            return Translation::Mapped(PhysAddr::new(
+                entry.pa_base + va.page_offset(self.page_bytes),
+            ));
+        }
+        let t = self.translate(tid, va);
+        if let Translation::Mapped(pa) = t {
+            self.tcache[idx] = TcEntry {
+                tid: tid.raw(),
+                vpn,
+                pa_base: pa.raw() - va.page_offset(self.page_bytes),
+            };
+        }
+        t
+    }
+
+    /// Hardware translation of `(tid, va)` (full page-table walk).
     pub fn translate(&self, tid: Tid, va: VirtAddr) -> Translation {
-        let vpn = va.page_number(self.page_size.bytes());
+        let vpn = va.page_number(self.page_bytes);
         match self.pte(tid, vpn) {
             Some(pte) if pte.valid => Translation::Mapped(self.frame_addr(pte.pfn, va)),
             Some(pte) if pte.faults_as_tapeworm_trap() => {
@@ -142,12 +375,23 @@ impl Vm {
     }
 
     fn frame_addr(&self, pfn: Pfn, va: VirtAddr) -> PhysAddr {
-        pfn.base(self.page_size.bytes()) + va.page_offset(self.page_size.bytes())
+        pfn.base(self.page_bytes) + va.page_offset(self.page_bytes)
     }
 
     /// The PTE for `(tid, vpn)`, if any.
+    #[inline]
     pub fn pte(&self, tid: Tid, vpn: u64) -> Option<Pte> {
-        self.tables.get(&tid).and_then(|t| t.get(&vpn)).copied()
+        self.tables
+            .get(tid.raw() as usize)
+            .and_then(|t| t.get(vpn))
+    }
+
+    fn table_mut(&mut self, tid: Tid) -> &mut PageTable {
+        let i = tid.raw() as usize;
+        if i >= self.tables.len() {
+            self.tables.resize_with(i + 1, PageTable::default);
+        }
+        &mut self.tables[i]
     }
 
     /// Maps a fresh physical frame at `(tid, vpn)` (the page-fault
@@ -170,11 +414,8 @@ impl Vm {
             .allocator
             .allocate(vpn)
             .ok_or(OutOfMemoryError { tid, vpn })?;
-        self.tables
-            .entry(tid)
-            .or_default()
-            .insert(vpn, Pte::mapped(pfn));
-        *self.frame_refs.entry(pfn).or_insert(0) += 1;
+        self.table_mut(tid).insert(vpn, Pte::mapped(pfn));
+        self.frame_refs[pfn.raw() as usize] += 1;
         self.faults += 1;
         Ok((pfn, VmEvent::PageRegistered { tid, pfn, vpn }))
     }
@@ -194,13 +435,11 @@ impl Vm {
         );
         let refs = self
             .frame_refs
-            .get_mut(&pfn)
+            .get_mut(pfn.raw() as usize)
+            .filter(|r| **r > 0)
             .unwrap_or_else(|| panic!("sharing an unmapped frame {pfn}"));
         *refs += 1;
-        self.tables
-            .entry(tid)
-            .or_default()
-            .insert(vpn, Pte::mapped(pfn));
+        self.table_mut(tid).insert(vpn, Pte::mapped(pfn));
         VmEvent::PageRegistered { tid, pfn, vpn }
     }
 
@@ -213,16 +452,13 @@ impl Vm {
     pub fn unmap(&mut self, tid: Tid, vpn: u64) -> VmEvent {
         let pte = self
             .tables
-            .get_mut(&tid)
-            .and_then(|t| t.remove(&vpn))
+            .get_mut(tid.raw() as usize)
+            .and_then(|t| t.remove(vpn))
             .unwrap_or_else(|| panic!("unmapping absent page {vpn:#x} of {tid}"));
-        let refs = self
-            .frame_refs
-            .get_mut(&pte.pfn)
-            .expect("mapped frame must be ref-counted");
+        self.tc_invalidate(tid, vpn);
+        let refs = &mut self.frame_refs[pte.pfn.raw() as usize];
         *refs -= 1;
         if *refs == 0 {
-            self.frame_refs.remove(&pte.pfn);
             self.allocator.free(pte.pfn);
         }
         VmEvent::PageRemoved {
@@ -232,13 +468,13 @@ impl Vm {
         }
     }
 
-    /// Unmaps every page of a task (exit path), returning the removal
-    /// events.
+    /// Unmaps every page of a task (exit path) in ascending VPN order,
+    /// returning the removal events.
     pub fn unmap_all(&mut self, tid: Tid) -> Vec<VmEvent> {
         let vpns: Vec<u64> = self
             .tables
-            .get(&tid)
-            .map(|t| t.keys().copied().collect())
+            .get(tid.raw() as usize)
+            .map(|t| t.iter().map(|(vpn, _)| vpn).collect())
             .unwrap_or_default();
         vpns.into_iter().map(|vpn| self.unmap(tid, vpn)).collect()
     }
@@ -255,23 +491,27 @@ impl Vm {
     pub fn set_valid(&mut self, tid: Tid, vpn: u64, valid: bool) {
         let pte = self
             .tables
-            .get_mut(&tid)
-            .and_then(|t| t.get_mut(&vpn))
+            .get_mut(tid.raw() as usize)
+            .and_then(|t| t.get_mut(vpn))
             .unwrap_or_else(|| panic!("setting valid bit of absent page {vpn:#x} of {tid}"));
         pte.valid = valid;
+        self.tc_invalidate(tid, vpn);
     }
 
     /// Number of pages currently mapped for `tid`.
     pub fn resident_pages(&self, tid: Tid) -> usize {
-        self.tables.get(&tid).map(HashMap::len).unwrap_or(0)
+        self.tables
+            .get(tid.raw() as usize)
+            .map(|t| t.live)
+            .unwrap_or(0)
     }
 
-    /// Iterates over `(vpn, pte)` for a task.
+    /// Iterates over `(vpn, pte)` for a task, in ascending VPN order.
     pub fn pages(&self, tid: Tid) -> impl Iterator<Item = (u64, Pte)> + '_ {
         self.tables
-            .get(&tid)
+            .get(tid.raw() as usize)
             .into_iter()
-            .flat_map(|t| t.iter().map(|(&vpn, &pte)| (vpn, pte)))
+            .flat_map(|t| t.iter())
     }
 }
 
@@ -397,8 +637,90 @@ mod tests {
         let mut vm = vm(4);
         vm.map_new(T1, 3).unwrap();
         vm.map_new(T1, 9).unwrap();
-        let mut vpns: Vec<u64> = vm.pages(T1).map(|(v, _)| v).collect();
-        vpns.sort_unstable();
-        assert_eq!(vpns, vec![3, 9]);
+        let vpns: Vec<u64> = vm.pages(T1).map(|(v, _)| v).collect();
+        assert_eq!(vpns, vec![3, 9], "pages iterate in ascending VPN order");
+    }
+
+    #[test]
+    fn sparse_fallback_handles_far_apart_mappings() {
+        let mut vm = vm(16);
+        // A compact low range plus mappings far outside MAX_DENSE_SPAN
+        // of it, inserted out of order.
+        let far = MAX_DENSE_SPAN * 4;
+        for vpn in [10, far + 2, 11, far, far + MAX_DENSE_SPAN * 2, 12] {
+            vm.map_new(T1, vpn).unwrap();
+        }
+        for vpn in [10, 11, 12, far, far + 2, far + MAX_DENSE_SPAN * 2] {
+            assert!(vm.pte(T1, vpn).is_some(), "vpn {vpn:#x} must be mapped");
+            let va = VirtAddr::new(vpn * 4096 + 8);
+            assert_eq!(vm.translate_cached(T1, va), vm.translate(T1, va));
+        }
+        assert_eq!(vm.resident_pages(T1), 6);
+        let vpns: Vec<u64> = vm.pages(T1).map(|(v, _)| v).collect();
+        assert_eq!(
+            vpns,
+            vec![10, 11, 12, far, far + 2, far + MAX_DENSE_SPAN * 2]
+        );
+        assert_eq!(vm.unmap_all(T1).len(), 6);
+        assert_eq!(vm.free_frames(), 16);
+    }
+
+    #[test]
+    fn dense_window_widens_downwards_and_absorbs_overflow() {
+        let mut vm = vm(8);
+        vm.map_new(T1, 1000).unwrap();
+        vm.map_new(T1, 500).unwrap(); // within span: window rebases down
+        vm.map_new(T1, 700).unwrap();
+        let vpns: Vec<u64> = vm.pages(T1).map(|(v, _)| v).collect();
+        assert_eq!(vpns, vec![500, 700, 1000]);
+        for vpn in [500, 700, 1000] {
+            assert!(matches!(
+                vm.translate(T1, VirtAddr::new(vpn * 4096)),
+                Translation::Mapped(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn translation_cache_agrees_after_unmap_and_valid_clear() {
+        let mut vm = vm(8);
+        let va = VirtAddr::new(0x3000);
+        let vpn = va.page_number(4096);
+        vm.map_new(T1, vpn).unwrap();
+        // Prime the cache.
+        assert!(matches!(vm.translate_cached(T1, va), Translation::Mapped(_)));
+        // Valid-bit clear must not be hidden by the cache (TLB mode).
+        vm.set_valid(T1, vpn, false);
+        assert!(matches!(
+            vm.translate_cached(T1, va),
+            Translation::TapewormPageTrap(_)
+        ));
+        vm.set_valid(T1, vpn, true);
+        assert!(matches!(vm.translate_cached(T1, va), Translation::Mapped(_)));
+        // Unmap (pageout) must not be hidden either.
+        vm.unmap(T1, vpn);
+        assert_eq!(vm.translate_cached(T1, va), Translation::NotMapped);
+    }
+
+    #[test]
+    fn translation_cache_is_task_tagged() {
+        let mut vm = vm(8);
+        let va = VirtAddr::new(0x7000);
+        let vpn = va.page_number(4096);
+        let (pfn1, _) = vm.map_new(T1, vpn).unwrap();
+        let (pfn2, _) = vm.map_new(T2, vpn).unwrap();
+        assert_ne!(pfn1, pfn2);
+        let pa1 = match vm.translate_cached(T1, va) {
+            Translation::Mapped(pa) => pa,
+            other => panic!("expected mapping, got {other:?}"),
+        };
+        // Same VPN, other task: must see its own frame, not T1's entry.
+        let pa2 = match vm.translate_cached(T2, va) {
+            Translation::Mapped(pa) => pa,
+            other => panic!("expected mapping, got {other:?}"),
+        };
+        assert_ne!(pa1.page_number(4096), pa2.page_number(4096));
+        assert_eq!(pa1.page_number(4096), pfn1.raw());
+        assert_eq!(pa2.page_number(4096), pfn2.raw());
     }
 }

@@ -43,4 +43,6 @@ mod system;
 pub use config::{AllocPolicy, ComponentSet, CostKind, SimModel, SystemConfig};
 pub use result::TrialResult;
 pub use sweep::{run_sweep, TrialSummary};
-pub use system::{run_trial, run_trial_windowed, WindowSample};
+pub use system::{
+    run_trial, run_trial_windowed, try_run_trial, try_run_trial_windowed, TrialError, WindowSample,
+};

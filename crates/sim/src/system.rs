@@ -10,6 +10,8 @@
 //! formulas.
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 use tapeworm_core::{SetSample, Tapeworm, TlbSim, TwoLevelTapeworm};
 use tapeworm_trace::{Cache2000Config, KernelTraceBuffer, KernelTraceBufferConfig};
@@ -17,15 +19,49 @@ use tapeworm_machine::{AccessKind, Component, FetchOutcome, Machine, MachineConf
 use tapeworm_mem::{
     ColoringAllocator, FrameAllocator, PhysAddr, RandomAllocator, SequentialAllocator, VirtAddr,
 };
-use tapeworm_os::{Os, OsConfig, TapewormAttrs, Tid, Translation, VmEvent};
+use tapeworm_os::{Os, OsConfig, OutOfMemoryError, TapewormAttrs, Tid, Translation, VmEvent};
 use tapeworm_stats::SeedSeq;
 use tapeworm_workload::{
-    DataParams, DataStream, ProcStream, RefStream, WorkloadSpec, BSD_TEXT_BASE,
+    DataParams, DataRef, DataStream, ProcStream, RefStream, WorkloadSpec, BSD_TEXT_BASE,
     DATA_SEGMENT_OFFSET, KERNEL_TEXT_BASE, USER_TEXT_BASE, X_TEXT_BASE,
 };
 
 use crate::config::{AllocPolicy, SimModel, SystemConfig};
 use crate::result::TrialResult;
+
+/// A trial aborted on an infeasible configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialError {
+    /// The workload's footprint exceeded physical memory: the VM found
+    /// no free frame on a demand-map.
+    OutOfFrames {
+        /// The underlying VM error (faulting task and page).
+        source: OutOfMemoryError,
+        /// The configured frame count.
+        frames: usize,
+    },
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::OutOfFrames { source, frames } => write!(
+                f,
+                "out of physical frames mapping vpn {:#x} for {}: the workload's \
+                 footprint does not fit in {frames} frames — raise `SystemConfig::frames`",
+                source.vpn, source.tid
+            ),
+        }
+    }
+}
+
+impl Error for TrialError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrialError::OutOfFrames { source, .. } => Some(source),
+        }
+    }
+}
 
 /// Runs one trial of an experiment.
 ///
@@ -37,9 +73,28 @@ use crate::result::TrialResult;
 /// # Panics
 ///
 /// Panics if the configuration is infeasible (e.g. so few frames that
-/// the workload cannot be mapped).
+/// the workload cannot be mapped) — see [`try_run_trial`] for the
+/// non-panicking form.
 pub fn run_trial(cfg: &SystemConfig, base: SeedSeq, trial: SeedSeq) -> TrialResult {
-    Engine::new(cfg, base, trial).run()
+    match try_run_trial(cfg, base, trial) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run_trial`], but surfaces infeasible configurations as a
+/// typed [`TrialError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`TrialError::OutOfFrames`] when the workload's footprint exceeds
+/// `SystemConfig::frames`.
+pub fn try_run_trial(
+    cfg: &SystemConfig,
+    base: SeedSeq,
+    trial: SeedSeq,
+) -> Result<TrialResult, TrialError> {
+    Ok(Engine::new(cfg, base, trial)?.run_collect()?.0)
 }
 
 /// One continuous-monitoring window (§5: "the use of continuous
@@ -72,15 +127,39 @@ impl WindowSample {
 /// # Panics
 ///
 /// Panics if `window_instructions == 0` or the configuration is
-/// infeasible.
+/// infeasible — see [`try_run_trial_windowed`] for the non-panicking
+/// form.
 pub fn run_trial_windowed(
     cfg: &SystemConfig,
     base: SeedSeq,
     trial: SeedSeq,
     window_instructions: u64,
 ) -> (TrialResult, Vec<WindowSample>) {
+    match try_run_trial_windowed(cfg, base, trial, window_instructions) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run_trial_windowed`], but surfaces infeasible configurations
+/// as a typed [`TrialError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`TrialError::OutOfFrames`] when the workload's footprint exceeds
+/// `SystemConfig::frames`.
+///
+/// # Panics
+///
+/// Panics if `window_instructions == 0`.
+pub fn try_run_trial_windowed(
+    cfg: &SystemConfig,
+    base: SeedSeq,
+    trial: SeedSeq,
+    window_instructions: u64,
+) -> Result<(TrialResult, Vec<WindowSample>), TrialError> {
     assert!(window_instructions > 0, "window must be positive");
-    let mut engine = Engine::new(cfg, base, trial);
+    let mut engine = Engine::new(cfg, base, trial)?;
     engine.window = Some((window_instructions, Vec::new()));
     engine.run_collect()
 }
@@ -144,13 +223,18 @@ struct Engine<'c> {
     cpi_acc_milli: u64,
     in_interrupt: bool,
     chunk_bytes: u64,
+    /// Page size in bytes, hoisted out of the per-chunk loop.
+    page_bytes: u64,
+    /// Reusable buffer for one quantum's data references — the hot
+    /// loop never allocates.
+    data_scratch: Vec<DataRef>,
     /// Continuous-monitoring state: window length and collected
     /// samples.
     window: Option<(u64, Vec<crate::system::WindowSample>)>,
 }
 
 impl<'c> Engine<'c> {
-    fn new(cfg: &'c SystemConfig, base: SeedSeq, trial: SeedSeq) -> Self {
+    fn new(cfg: &'c SystemConfig, base: SeedSeq, trial: SeedSeq) -> Result<Self, TrialError> {
         let spec = cfg.workload.spec();
         let page = tapeworm_mem::PageSize::DEFAULT;
 
@@ -263,10 +347,13 @@ impl<'c> Engine<'c> {
             let pages = spec.user_stream.footprint_bytes.div_ceil(page.bytes());
             for i in 0..pages {
                 let vpn = USER_TEXT_BASE / page.bytes() + i;
-                let (pfn, _ev) = os
-                    .vm_mut()
-                    .map_new(shell, vpn)
-                    .expect("enough frames for shared text");
+                let (pfn, _ev) =
+                    os.vm_mut()
+                        .map_new(shell, vpn)
+                        .map_err(|source| TrialError::OutOfFrames {
+                            source,
+                            frames: cfg.frames,
+                        })?;
                 text_registry.insert(vpn, pfn);
             }
         }
@@ -335,13 +422,15 @@ impl<'c> Engine<'c> {
             cpi_acc_milli: 0,
             in_interrupt: false,
             chunk_bytes,
+            page_bytes: page.bytes(),
+            data_scratch: Vec::new(),
             window: None,
         };
         let initial = spec.concurrent_tasks.min(spec.user_task_count.max(1));
         for _ in 0..initial {
             engine.fork_user();
         }
-        engine
+        Ok(engine)
     }
 
     fn fork_user(&mut self) {
@@ -374,22 +463,22 @@ impl<'c> Engine<'c> {
         });
     }
 
-    fn exit_user(&mut self, index: usize) {
+    fn exit_user(&mut self, index: usize) -> Result<(), TrialError> {
         let task = self.users.remove(index);
         let events = self.os.exit(task.tid).expect("live task exits");
         for ev in events {
-            self.forward_event(ev);
+            self.forward_event(ev)?;
         }
         if self.users_created < self.spec.user_task_count {
             self.fork_user();
         }
+        Ok(())
     }
 
-    fn forward_event(&mut self, ev: VmEvent) {
-        let page = self.os.vm().page_size().bytes();
+    fn forward_event(&mut self, ev: VmEvent) -> Result<(), TrialError> {
         let is_data = match ev {
             VmEvent::PageRegistered { vpn, .. } | VmEvent::PageRemoved { vpn, .. } => {
-                is_data_va(vpn * page)
+                is_data_va(vpn * self.page_bytes)
             }
         };
         let cycles = match &mut self.sim {
@@ -408,8 +497,9 @@ impl<'c> Engine<'c> {
             Sim::Buffer(_) => 0,
         };
         if cycles > 0 {
-            self.advance(0, cycles);
+            self.advance(0, cycles)?;
         }
+        Ok(())
     }
 
     /// Processes a batch of data references against the simulated data
@@ -418,10 +508,10 @@ impl<'c> Engine<'c> {
         &mut self,
         component: Component,
         tid: Tid,
-        refs: Vec<tapeworm_workload::DataRef>,
-    ) {
-        for r in refs {
-            let pa = self.touch(component, tid, r.va);
+        refs: &[DataRef],
+    ) -> Result<(), TrialError> {
+        for &r in refs {
+            let pa = self.touch(component, tid, r.va)?;
             let kind = if r.is_store {
                 AccessKind::Store
             } else {
@@ -453,29 +543,35 @@ impl<'c> Engine<'c> {
                 FetchOutcome::Breakpoint => unreachable!("no breakpoints armed"),
             }
             if overhead > 0 {
-                self.advance(0, overhead);
+                self.advance(0, overhead)?;
             }
         }
+        Ok(())
     }
 
-    /// Translates (and demand-maps) one chunk-aligned address.
-    fn touch(&mut self, component: Component, tid: Tid, va: VirtAddr) -> PhysAddr {
-        let page = self.os.vm().page_size().bytes();
+    /// Translates (and demand-maps) one chunk-aligned address through
+    /// the VM's translation cache.
+    fn touch(
+        &mut self,
+        component: Component,
+        tid: Tid,
+        va: VirtAddr,
+    ) -> Result<PhysAddr, TrialError> {
         loop {
-            match self.os.vm().translate(tid, va) {
-                Translation::Mapped(pa) => return pa,
+            match self.os.vm_mut().translate_cached(tid, va) {
+                Translation::Mapped(pa) => return Ok(pa),
                 Translation::TapewormPageTrap(_) => {
-                    let vpn = va.page_number(page);
+                    let vpn = va.page_number(self.page_bytes);
                     let cycles = match &mut self.sim {
                         Sim::Tlb(ts) => {
                             ts.handle_page_trap(self.os.vm_mut(), component, tid, vpn)
                         }
                         _ => unreachable!("valid bits are only cleared in TLB mode"),
                     };
-                    self.advance(0, cycles);
+                    self.advance(0, cycles)?;
                 }
                 Translation::NotMapped => {
-                    let vpn = va.page_number(page);
+                    let vpn = va.page_number(self.page_bytes);
                     let shared = component == Component::User
                         && self.spec.shared_text
                         && self.text_registry.contains_key(&vpn);
@@ -483,15 +579,16 @@ impl<'c> Engine<'c> {
                         let pfn = self.text_registry[&vpn];
                         self.os.vm_mut().map_shared(tid, vpn, pfn)
                     } else {
-                        let (_pfn, ev) = self
-                            .os
-                            .vm_mut()
-                            .map_new(tid, vpn)
-                            .expect("out of physical frames: raise SystemConfig::frames");
+                        let (_pfn, ev) = self.os.vm_mut().map_new(tid, vpn).map_err(|source| {
+                            TrialError::OutOfFrames {
+                                source,
+                                frames: self.cfg.frames,
+                            }
+                        })?;
                         ev
                     };
                     if self.os.is_simulated(tid) {
-                        self.forward_event(ev);
+                        self.forward_event(ev)?;
                     }
                 }
             }
@@ -500,14 +597,38 @@ impl<'c> Engine<'c> {
 
     /// Executes `words` sequential fetches starting at `va` for a
     /// component, charging workload time and handling traps.
-    fn exec_words(&mut self, component: Component, tid: Tid, va: VirtAddr, words: u32) {
+    fn exec_words(
+        &mut self,
+        component: Component,
+        tid: Tid,
+        va: VirtAddr,
+        words: u32,
+    ) -> Result<(), TrialError> {
         let mut remaining = u64::from(words);
         let mut va = va;
+        // Page-local translation memo `(vpn, pa − va)`: consecutive
+        // chunks of one run usually share a page, so most chunks skip
+        // even the translation cache. Mappings cannot change under a
+        // running quantum (exits happen between quanta; interrupts
+        // only *add* kernel mappings), and in TLB mode — where valid
+        // bits do flip mid-run — a chunk is a whole page, so the memo
+        // is never reused there. Bit-exact by construction.
+        let mut memo: Option<(u64, u64)> = None;
         while remaining > 0 {
             let chunk_end = va.line_base(self.chunk_bytes) + self.chunk_bytes;
             let words_to_end = (chunk_end - va) / tapeworm_mem::WORD_BYTES;
             let w = remaining.min(words_to_end);
-            let pa = self.touch(component, tid, va);
+            let vpn = va.page_number(self.page_bytes);
+            let pa = match memo {
+                Some((m_vpn, delta)) if m_vpn == vpn => {
+                    PhysAddr::new(va.raw().wrapping_add(delta))
+                }
+                _ => {
+                    let pa = self.touch(component, tid, va)?;
+                    memo = Some((vpn, pa.raw().wrapping_sub(va.raw())));
+                    pa
+                }
+            };
 
             let mut overhead = 0u64;
             if let Sim::Buffer(kt) = &mut self.sim {
@@ -549,15 +670,16 @@ impl<'c> Engine<'c> {
             let workload_cycles = self.cpi_acc_milli / 1000;
             self.cpi_acc_milli %= 1000;
             self.monster.record(component, w, workload_cycles);
-            self.advance(workload_cycles, overhead);
+            self.advance(workload_cycles, overhead)?;
 
             va += w * tapeworm_mem::WORD_BYTES;
             remaining -= w;
         }
+        Ok(())
     }
 
     /// Advances wall-clock time and services any clock interrupts.
-    fn advance(&mut self, workload_cycles: u64, overhead_cycles: u64) {
+    fn advance(&mut self, workload_cycles: u64, overhead_cycles: u64) -> Result<(), TrialError> {
         let dilated = workload_cycles
             + if self.cfg.dilate {
                 overhead_cycles
@@ -567,16 +689,17 @@ impl<'c> Engine<'c> {
         let fired = self.machine.advance(dilated);
         if fired > 0 && !self.in_interrupt {
             for _ in 0..fired.min(4) {
-                self.run_interrupt_handler();
+                self.run_interrupt_handler()?;
             }
         }
+        Ok(())
     }
 
     /// The clock-interrupt handler: kernel code that runs on every
     /// tick, polluting the cache — the Figure 4 dilation mechanism.
     /// Its prefix runs with interrupts masked, losing any ECC traps
     /// there (the §4.2 masked-trap bias).
-    fn run_interrupt_handler(&mut self) {
+    fn run_interrupt_handler(&mut self) -> Result<(), TrialError> {
         self.in_interrupt = true;
         let total = self.cfg.interrupt_handler_words;
         let masked = self.cfg.masked_prefix_words.min(total);
@@ -588,16 +711,16 @@ impl<'c> Engine<'c> {
             if executed < masked && executed + w > masked {
                 // Split the run at the unmask boundary.
                 let head = masked - executed;
-                self.exec_words(Component::Kernel, Tid::KERNEL, run.va, head);
+                self.exec_words(Component::Kernel, Tid::KERNEL, run.va, head)?;
                 self.machine.set_interrupts_enabled(true);
                 self.exec_words(
                     Component::Kernel,
                     Tid::KERNEL,
                     run.va + u64::from(head) * tapeworm_mem::WORD_BYTES,
                     w - head,
-                );
+                )?;
             } else {
-                self.exec_words(Component::Kernel, Tid::KERNEL, run.va, w);
+                self.exec_words(Component::Kernel, Tid::KERNEL, run.va, w)?;
                 if executed + w >= masked {
                     self.machine.set_interrupts_enabled(true);
                 }
@@ -606,20 +729,21 @@ impl<'c> Engine<'c> {
         }
         self.machine.set_interrupts_enabled(true);
         self.in_interrupt = false;
+        Ok(())
     }
 
     /// Runs one scheduling quantum of a component. Returns the number
     /// of instructions executed (0 when the component has nothing to
     /// run).
-    fn run_quantum(&mut self, component: Component) -> u64 {
+    fn run_quantum(&mut self, component: Component) -> Result<u64, TrialError> {
         let budget = self.budgets[component.index()];
         if budget == 0 {
-            return 0;
+            return Ok(0);
         }
-        match component {
+        Ok(match component {
             Component::User => {
                 if self.users.is_empty() {
-                    return 0;
+                    return Ok(0);
                 }
                 self.next_user %= self.users.len();
                 let idx = self.next_user;
@@ -627,16 +751,24 @@ impl<'c> Engine<'c> {
                 let tid = self.users[idx].tid;
                 let quota = self.users[idx].quota;
                 let w = u64::from(run.words).min(budget).min(quota);
-                self.exec_words(component, tid, run.va, w as u32);
-                if let Some(data) = self.users[idx].data.as_mut() {
-                    let refs = data.refs_for(w);
-                    self.exec_data_refs(component, tid, refs);
+                self.exec_words(component, tid, run.va, w as u32)?;
+                if self.users[idx].data.is_some() {
+                    let mut refs = std::mem::take(&mut self.data_scratch);
+                    refs.clear();
+                    self.users[idx]
+                        .data
+                        .as_mut()
+                        .expect("checked above")
+                        .refs_into(w, &mut refs);
+                    let outcome = self.exec_data_refs(component, tid, &refs);
+                    self.data_scratch = refs;
+                    outcome?;
                 }
                 self.budgets[component.index()] -= w;
                 let task = &mut self.users[idx];
                 task.quota = task.quota.saturating_sub(w);
                 if task.quota == 0 {
-                    self.exit_user(idx);
+                    self.exit_user(idx)?;
                 } else {
                     self.next_user += 1;
                 }
@@ -657,19 +789,22 @@ impl<'c> Engine<'c> {
                     Component::XServer => self.os.x_server(),
                     Component::User => unreachable!(),
                 };
-                self.exec_words(component, tid, run.va, w as u32);
-                if let Some(data) = self.data_streams[component.index()].as_mut() {
-                    let refs = data.refs_for(w);
-                    self.exec_data_refs(component, tid, refs);
+                self.exec_words(component, tid, run.va, w as u32)?;
+                if self.data_streams[component.index()].is_some() {
+                    let mut refs = std::mem::take(&mut self.data_scratch);
+                    refs.clear();
+                    self.data_streams[component.index()]
+                        .as_mut()
+                        .expect("checked above")
+                        .refs_into(w, &mut refs);
+                    let outcome = self.exec_data_refs(component, tid, &refs);
+                    self.data_scratch = refs;
+                    outcome?;
                 }
                 self.budgets[component.index()] -= w;
                 w
             }
-        }
-    }
-
-    fn run(self) -> TrialResult {
-        self.run_collect().0
+        })
     }
 
     fn current_raw_misses(&self) -> u64 {
@@ -699,7 +834,9 @@ impl<'c> Engine<'c> {
         }
     }
 
-    fn run_collect(mut self) -> (TrialResult, Vec<crate::system::WindowSample>) {
+    fn run_collect(
+        mut self,
+    ) -> Result<(TrialResult, Vec<crate::system::WindowSample>), TrialError> {
         // Smooth weighted round-robin over the components, by the
         // Table 4 time fractions.
         let weights = self.spec.component_weights();
@@ -721,7 +858,7 @@ impl<'c> Engine<'c> {
                 .expect("non-empty wrr");
             wrr[best].2 -= total;
             let component = wrr[best].0;
-            let executed = self.run_quantum(component);
+            let executed = self.run_quantum(component)?;
             if self.window.is_some() {
                 self.sample_windows();
             }
@@ -787,7 +924,7 @@ impl<'c> Engine<'c> {
             u64::from(self.users_created),
         );
         let windows = self.window.take().map(|(_, s)| s).unwrap_or_default();
-        (result, windows)
+        Ok((result, windows))
     }
 }
 

@@ -113,13 +113,21 @@ impl DataStream {
     /// executed instructions, keeping exact fractional pacing across
     /// calls.
     pub fn refs_for(&mut self, instructions: u64) -> Vec<DataRef> {
+        let mut out = Vec::new();
+        self.refs_into(instructions, &mut out);
+        out
+    }
+
+    /// Like [`DataStream::refs_for`], but appends into a caller-owned
+    /// buffer so the per-quantum hot loop can reuse one allocation.
+    pub fn refs_into(&mut self, instructions: u64, out: &mut Vec<DataRef>) {
         self.load_acc += instructions * u64::from(self.params.loads_per_kinstr);
         self.store_acc += instructions * u64::from(self.params.stores_per_kinstr);
         let loads = self.load_acc / 1000;
         let stores = self.store_acc / 1000;
         self.load_acc %= 1000;
         self.store_acc %= 1000;
-        let mut out = Vec::with_capacity((loads + stores) as usize);
+        out.reserve((loads + stores) as usize);
         for i in 0..loads + stores {
             let block = self.zipf.sample(&mut self.rng) as u64;
             let words = self.params.block_bytes / 4;
@@ -129,7 +137,6 @@ impl DataStream {
                 va: VirtAddr::new(self.base + block * self.params.block_bytes + offset),
             });
         }
-        out
     }
 }
 
@@ -197,6 +204,18 @@ mod tests {
         let top_tenth: u32 = freqs.iter().take(freqs.len() / 10).sum();
         let total: u32 = freqs.iter().sum();
         assert!(f64::from(top_tenth) / f64::from(total) > 0.3);
+    }
+
+    #[test]
+    fn refs_into_matches_refs_for_and_appends() {
+        let mut a = stream();
+        let mut b = stream();
+        let mut buf = vec![DataRef {
+            is_store: true,
+            va: VirtAddr::new(0),
+        }];
+        b.refs_into(1000, &mut buf);
+        assert_eq!(a.refs_for(1000), buf[1..]);
     }
 
     #[test]

@@ -14,6 +14,10 @@ cd "$(dirname "$0")"
 mkdir -p results
 cargo build --release -p tapeworm-bench
 
+echo "=== perf_throughput (full matrix) ==="
+./target/release/perf_throughput | tee results/perf_throughput.txt
+echo
+
 BINS=(
   fig2_slowdowns fig3_configs fig4_dilation
   tab4_workloads tab5_cycles tab6_components tab7_variation

@@ -12,8 +12,11 @@
 //!    change to it silently re-randomizes every table and figure, so it
 //!    must be deliberate and visible in this file's diff.
 
-use tapeworm::core::CacheConfig;
-use tapeworm::sim::{run_sweep, run_trial, ComponentSet, SystemConfig, TrialResult};
+use tapeworm::core::{CacheConfig, TlbSimConfig};
+use tapeworm::sim::{
+    run_sweep, run_trial, run_trial_windowed, ComponentSet, SystemConfig, TrialResult,
+    WindowSample,
+};
 use tapeworm::stats::trials::{run_trials_parallel, TrialScheduler};
 use tapeworm::stats::SeedSeq;
 use tapeworm::workload::Workload;
@@ -122,6 +125,97 @@ fn derivation_separates_streams() {
     assert_ne!(
         base.derive("a", 0).derive("b", 0),
         base.derive("b", 0).derive("a", 0)
+    );
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn digest(result: &TrialResult, windows: &[WindowSample]) -> u64 {
+    fnv1a(format!("{result:?}|{windows:?}").as_bytes())
+}
+
+/// Golden equivalence matrix for the hot-path engine rewrite: every
+/// simulator mode (physical-indexed cache, sampled cache, TLB
+/// valid-bit, split I/D, two-level hierarchy, windowed monitoring) and
+/// the task-exit/pageout paths produce `TrialResult`s bit-identical to
+/// the pre-refactor nested-HashMap engine. The digests were generated
+/// by `crates/bench/src/bin/golden_digest.rs` running against the
+/// engine *before* the flat-page-table / translation-cache rewrite;
+/// re-run that binary to regenerate after a deliberate
+/// behaviour-changing commit.
+#[test]
+fn engine_matches_pre_refactor_golden_digests() {
+    let dm = |kb: u64| CacheConfig::new(kb * 1024, 16, 1).expect("valid geometry");
+    let base = SeedSeq::new(1994);
+    let trial = |label: &str| base.derive(label, 0).derive("trial", 0);
+
+    let cases: Vec<(&str, SystemConfig, u64)> = vec![
+        (
+            "cache",
+            SystemConfig::cache(Workload::Espresso, dm(4)).with_scale(SCALE),
+            0xfc75_7dd0_5926_cc83,
+        ),
+        (
+            "cache-sampled",
+            SystemConfig::cache(Workload::Espresso, dm(4))
+                .with_components(ComponentSet::user_only())
+                .with_sampling(8)
+                .with_scale(SCALE),
+            0xae44_79ab_ae9c_cdb4,
+        ),
+        (
+            "tlb",
+            SystemConfig::tlb(Workload::MpegPlay, TlbSimConfig::r3000()).with_scale(SCALE),
+            0xcade_da6a_b685_b4bb,
+        ),
+        (
+            "split",
+            SystemConfig::split(Workload::JpegPlay, dm(4), dm(4)).with_scale(SCALE),
+            0x98f2_97f4_2d6b_e0ee,
+        ),
+        (
+            "two-level",
+            SystemConfig::two_level(Workload::Espresso, dm(1), dm(8)).with_scale(SCALE),
+            0x828b_5b7e_4a30_5527,
+        ),
+        (
+            "exits",
+            SystemConfig::cache(Workload::Ousterhout, dm(4)).with_scale(SCALE),
+            0xe0b6_02ab_d63f_c8f8,
+        ),
+        (
+            "split-exits",
+            SystemConfig::split(Workload::Ousterhout, dm(4), dm(4)).with_scale(SCALE),
+            0xca39_27e3_924c_8d50,
+        ),
+        (
+            "tlb-exits",
+            SystemConfig::tlb(Workload::Ousterhout, TlbSimConfig::r3000()).with_scale(SCALE),
+            0x3fc3_0f9d_2956_02b9,
+        ),
+    ];
+    for (label, cfg, expected) in &cases {
+        let r = run_trial(cfg, base, trial(label));
+        assert_eq!(
+            digest(&r, &[]),
+            *expected,
+            "TrialResult for {label} diverged from the pre-refactor engine"
+        );
+    }
+
+    let cfg = SystemConfig::cache(Workload::MpegPlay, dm(4)).with_scale(SCALE);
+    let (r, w) = run_trial_windowed(&cfg, base, trial("windowed"), 10_000);
+    assert_eq!(
+        digest(&r, &w),
+        0x2bc7_619a_1c24_e048,
+        "windowed TrialResult diverged from the pre-refactor engine"
     );
 }
 

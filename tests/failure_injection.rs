@@ -154,3 +154,35 @@ fn masked_sections_lose_but_count_misses() {
 fn traps_of(machine: &mut Machine) -> &mut TrapMap {
     machine.traps_mut()
 }
+
+/// An undersized physical memory is a configuration error, not a
+/// crash: `try_run_trial` surfaces it as a typed
+/// [`tapeworm::sim::TrialError::OutOfFrames`] whose message names the
+/// knob to raise (`SystemConfig::frames`), and `Error::source` carries
+/// the VM-level out-of-memory error.
+#[test]
+fn out_of_frames_is_a_typed_trial_error() {
+    use std::error::Error as _;
+    use tapeworm::sim::{try_run_trial, SystemConfig, TrialError};
+    use tapeworm::workload::Workload;
+
+    let mut cfg = SystemConfig::cache(
+        Workload::MpegPlay,
+        CacheConfig::new(4 * 1024, 16, 1).expect("valid geometry"),
+    )
+    .with_scale(20_000);
+    // mpeg_play's text + data footprint needs far more than 8 pages.
+    cfg.frames = 8;
+
+    let base = SeedSeq::new(1994);
+    let err = try_run_trial(&cfg, base, base.derive("trial", 0))
+        .expect_err("8 frames cannot hold the workload");
+    let TrialError::OutOfFrames { frames, .. } = err;
+    assert_eq!(frames, 8);
+    assert!(err.source().is_some(), "source must carry the VM error");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("SystemConfig::frames") && msg.contains("8 frames"),
+        "message must name the knob: {msg}"
+    );
+}
