@@ -2,16 +2,25 @@
 # Offline CI gate. No network, no registry: the workspace has zero
 # external dependencies, so this must pass on a bare toolchain.
 #
-#   1. Release build of the whole workspace.
-#   2. Full test suite (unit + doc + the cross-crate integration tests
+#   1. Formatting: `cargo fmt --check` over the whole workspace.
+#   2. Release build of the whole workspace.
+#   3. Full test suite (unit + doc + the cross-crate integration tests
 #      in tests/: paper_claims, full_system, exact_hardware,
 #      failure_injection, determinism, invariants).
-#   3. Warnings are errors in the stats and sim crates (the layers the
-#      trial scheduler and sweep API live in).
-#   4. Smoke-run of the throughput harness: results/BENCH.json must
-#      exist and carry the keys downstream tooling reads.
+#   4. Warnings are errors across the entire workspace, all targets.
+#   5. Gate run of the throughput harness: results/BENCH.json must
+#      exist, carry the keys downstream tooling reads, and its
+#      single-thread refs/sec must be within 15% of the checked-in
+#      results/BENCH_baseline.json (slowdowns fail; speedups pass —
+#      re-baseline deliberately by copying BENCH.json over the
+#      baseline).
+#   6. results/METRICS.json (the tapeworm-metrics-v1 observability
+#      export) must exist and carry every schema key.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "=== tier 1: formatting ==="
+cargo fmt --all --check
 
 echo "=== tier 1: release build ==="
 cargo build --release --workspace
@@ -19,18 +28,48 @@ cargo build --release --workspace
 echo "=== tier 1: test suite (offline) ==="
 cargo test -q --workspace
 
-echo "=== tier 2: warnings-as-errors (stats, sim) ==="
-RUSTFLAGS="-D warnings" cargo check -q -p tapeworm-stats -p tapeworm-sim --all-targets
+echo "=== tier 2: warnings-as-errors (workspace, all targets) ==="
+RUSTFLAGS="-D warnings" cargo check -q --workspace --all-targets
 
-echo "=== tier 2: perf_throughput smoke ==="
-cargo build --release -p tapeworm-bench
-rm -f results/BENCH.json
-./target/release/perf_throughput --smoke
+echo "=== tier 2: perf_throughput gate run ==="
+./target/release/perf_throughput --gate
 test -s results/BENCH.json || { echo "ci.sh: results/BENCH.json missing or empty" >&2; exit 1; }
 for key in schema per_config runs single_thread_refs_per_sec speedup_vs_baseline; do
   grep -q "\"$key\"" results/BENCH.json || {
     echo "ci.sh: results/BENCH.json lacks \"$key\"" >&2; exit 1;
   }
 done
+
+echo "=== tier 2: bench regression gate (15% tolerance) ==="
+if [ -s results/BENCH_baseline.json ]; then
+  current=$(grep -o '"single_thread_refs_per_sec": *[0-9.]*' results/BENCH.json | grep -o '[0-9.]*$')
+  base=$(grep -o '"single_thread_refs_per_sec": *[0-9.]*' results/BENCH_baseline.json | grep -o '[0-9.]*$')
+  awk -v c="$current" -v b="$base" 'BEGIN {
+    if (c == "" || b == "" || b + 0 == 0) {
+      print "ci.sh: could not parse single_thread_refs_per_sec" > "/dev/stderr"; exit 1
+    }
+    delta = 100 * (c / b - 1)
+    if (c < b * 0.85) {
+      printf "ci.sh: bench regression: %.0f refs/sec is %.1f%% below baseline %.0f (tolerance 15%%)\n", c, delta, b > "/dev/stderr"
+      exit 1
+    }
+    printf "ci.sh: bench gate ok: %.0f refs/sec vs baseline %.0f (%+.1f%%)\n", c, b, delta
+  }'
+else
+  echo "ci.sh: no results/BENCH_baseline.json — skipping regression compare" >&2
+fi
+
+echo "=== tier 2: METRICS.json schema gate ==="
+test -s results/METRICS.json || { echo "ci.sh: results/METRICS.json missing or empty" >&2; exit 1; }
+for key in schema source mode per_config totals counters phases dilation slowdown trap_events \
+           trap_entries traps_set traps_cleared tcache_hits tcache_misses page_walks \
+           breakpoint_checks sched_quanta user kernel handler replacement recorded dropped; do
+  grep -q "\"$key\"" results/METRICS.json || {
+    echo "ci.sh: results/METRICS.json lacks \"$key\"" >&2; exit 1;
+  }
+done
+grep -q '"schema": "tapeworm-metrics-v1"' results/METRICS.json || {
+  echo "ci.sh: results/METRICS.json has wrong schema id" >&2; exit 1;
+}
 
 echo "ci.sh: all gates passed"

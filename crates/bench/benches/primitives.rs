@@ -55,8 +55,10 @@ fn bench_ecc_reference_model(c: &mut Criterion) {
     let mut mem = EccMemory::new(1 << 16);
     c.bench_function("ecc_set_clear_trap_line", |b| {
         b.iter(|| {
-            mem.set_trap(black_box(PhysAddr::new(0x100)), 16).expect("in range");
-            mem.clear_trap(black_box(PhysAddr::new(0x100)), 16).expect("in range");
+            mem.set_trap(black_box(PhysAddr::new(0x100)), 16)
+                .expect("in range");
+            mem.clear_trap(black_box(PhysAddr::new(0x100)), 16)
+                .expect("in range");
         });
     });
     c.bench_function("ecc_read_word", |b| {

@@ -28,11 +28,7 @@ fn bench_replace(c: &mut Criterion) {
                     // Conflict-heavy insertion stream.
                     for i in 0..512u64 {
                         let a = (i * 4096 + (i % 8) * 16) % (1 << 20);
-                        black_box(cache.insert(
-                            Tid::new(1),
-                            VirtAddr::new(a),
-                            PhysAddr::new(a),
-                        ));
+                        black_box(cache.insert(Tid::new(1), VirtAddr::new(a), PhysAddr::new(a)));
                     }
                 },
                 BatchSize::SmallInput,
@@ -49,11 +45,7 @@ fn bench_page_flush(c: &mut Criterion) {
                 let cfg = CacheConfig::new(64 * 1024, 16, 1).expect("valid");
                 let mut cache = SimCache::new(cfg, SeedSeq::new(1));
                 for i in 0..4096u64 {
-                    cache.insert(
-                        Tid::new(1),
-                        VirtAddr::new(i * 16),
-                        PhysAddr::new(i * 16),
-                    );
+                    cache.insert(Tid::new(1), VirtAddr::new(i * 16), PhysAddr::new(i * 16));
                 }
                 cache
             },

@@ -41,8 +41,7 @@ fn bench_trace_side_filtering(c: &mut Criterion) {
     c.bench_function("trace_filter_full_rescan", |b| {
         b.iter(|| {
             // A new sample requires re-processing the whole trace.
-            let filter =
-                SetSampleFilter::new(SetSample::new(8, SeedSeq::new(3)), 1024, 16);
+            let filter = SetSampleFilter::new(SetSample::new(8, SeedSeq::new(3)), 1024, 16);
             black_box(filter.filter(&trace))
         });
     });

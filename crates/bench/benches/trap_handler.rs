@@ -58,7 +58,13 @@ fn bench_hit_path(c: &mut Criterion) {
     let (mut tw, mut traps) = setup(1);
     // Cache one line; probe it forever: the full-hardware-speed path.
     let pa = PhysAddr::new(0);
-    tw.handle_miss(&mut traps, Component::User, Tid::new(1), VirtAddr::new(0), pa);
+    tw.handle_miss(
+        &mut traps,
+        Component::User,
+        Tid::new(1),
+        VirtAddr::new(0),
+        pa,
+    );
     c.bench_function("hit_path_probe", |b| {
         b.iter(|| black_box(traps.is_trapped(black_box(pa))));
     });

@@ -15,9 +15,15 @@ fn main() {
     let base = base_seed();
     let scale = scale();
     let mut t = Table::new(
-        ["Handler", "Cycles/miss", "Slowdown", "Misses", "Dilation interrupts"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Handler",
+            "Cycles/miss",
+            "Slowdown",
+            "Misses",
+            "Dilation interrupts",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     t.numeric().title(format!(
         "Handler cost ablation: mpeg_play, 4K DM, all activity (scale 1/{scale})"

@@ -15,10 +15,8 @@ use tapeworm_workload::Workload;
 fn main() {
     let scale = scale().max(500); // the stack simulator is O(depth): keep it snappy
     let spec = Workload::MpegPlay.spec();
-    let user_instr =
-        (spec.scaled_instructions(scale) as f64 * spec.frac_user).round() as u64;
-    let trace =
-        Pixie::annotate(Workload::MpegPlay, user_instr, base_seed()).expect("single task");
+    let user_instr = (spec.scaled_instructions(scale) as f64 * spec.frac_user).round() as u64;
+    let trace = Pixie::annotate(Workload::MpegPlay, user_instr, base_seed()).expect("single task");
 
     let mut stack = StackDistance::new(16);
     stack.run(trace.iter());

@@ -76,7 +76,9 @@ fn main() {
         (128, 0.000),
     ];
     let mut t = Table::new(
-        ["Cache", "miss/user-instr", "(paper)"].map(String::from).to_vec(),
+        ["Cache", "miss/user-instr", "(paper)"]
+            .map(String::from)
+            .to_vec(),
     );
     t.numeric()
         .title("Calibration: mpeg_play user-only miss ratios vs Figure 2");

@@ -33,8 +33,9 @@ fn main() {
             .map(String::from)
             .to_vec(),
         );
-        t.numeric()
-            .title(format!("{workload}: software-managed TLB sweep (scale 1/{scale})"));
+        t.numeric().title(format!(
+            "{workload}: software-managed TLB sweep (scale 1/{scale})"
+        ));
         for entries in [32u32, 64, 128, 256] {
             let tlb = TlbSimConfig {
                 entries,

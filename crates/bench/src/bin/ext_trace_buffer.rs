@@ -72,7 +72,9 @@ fn main() {
 
     println!("Per-component view (both complete tools):");
     let mut t = Table::new(
-        ["Component", "Trace buffer", "Tapeworm"].map(String::from).to_vec(),
+        ["Component", "Trace buffer", "Tapeworm"]
+            .map(String::from)
+            .to_vec(),
     );
     t.numeric();
     for c in Component::ALL {

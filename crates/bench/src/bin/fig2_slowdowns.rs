@@ -12,10 +12,13 @@
 //! the trial scheduler (`TW_THREADS` workers) and each point is
 //! computed exactly once, shared by the table and the chart.
 
+use std::path::Path;
+
 use tapeworm_bench::{base_seed, dm4, scale, threads};
 use tapeworm_machine::Component;
+use tapeworm_obs::MetricsReport;
 use tapeworm_sim::compare::run_trace_driven;
-use tapeworm_sim::{run_trial, ComponentSet, SystemConfig};
+use tapeworm_sim::{run_trial_observed, ComponentSet, ObsConfig, SystemConfig};
 use tapeworm_stats::table::Table;
 use tapeworm_stats::trials::TrialScheduler;
 use tapeworm_stats::SeedSeq;
@@ -44,18 +47,19 @@ fn main() {
     let frac_user = Workload::MpegPlay.spec().frac_user;
 
     // One cell per cache size: (miss ratio, Tapeworm slowdown,
-    // Cache2000 slowdown), committed in ladder order.
+    // Cache2000 slowdown, observability metrics), committed in ladder
+    // order.
     let points = TrialScheduler::new(threads()).run(PAPER.len(), |i| {
         let (kb, ..) = PAPER[i];
         let cache = dm4(kb);
         let cfg = SystemConfig::cache(Workload::MpegPlay, cache)
             .with_components(ComponentSet::user_only())
             .with_scale(scale);
-        let tw = run_trial(&cfg, base, trial);
+        let (tw, metrics) = run_trial_observed(&cfg, base, trial, ObsConfig::default());
         let tw_ratio = tw.misses(Component::User) / (tw.instructions as f64 * frac_user);
         let c2k = run_trace_driven(&cfg, cache, TracePolicy::Lru, base)
             .expect("mpeg_play is single-task");
-        (tw_ratio, tw.slowdown(), c2k.slowdown)
+        (tw_ratio, tw.slowdown(), c2k.slowdown, metrics)
     });
 
     let mut t = Table::new(
@@ -75,7 +79,7 @@ fn main() {
         "Figure 2: mpeg_play user task, direct-mapped, 4-word lines (scale 1/{scale})"
     ));
 
-    for ((kb, p_ratio, p_c2k, p_tw), (tw_ratio, tw_slow, c2k_slow)) in
+    for ((kb, p_ratio, p_c2k, p_tw), (tw_ratio, tw_slow, c2k_slow, _)) in
         PAPER.into_iter().zip(&points)
     {
         t.row(vec![
@@ -97,8 +101,8 @@ fn main() {
     // The figure itself, as an ASCII chart over the measured series.
     let labels: Vec<String> = PAPER.iter().map(|(kb, ..)| format!("{kb}K")).collect();
     let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-    let tapeworm: Vec<f64> = points.iter().map(|&(_, tw, _)| tw).collect();
-    let cache2000: Vec<f64> = points.iter().map(|&(_, _, c2k)| c2k).collect();
+    let tapeworm: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let cache2000: Vec<f64> = points.iter().map(|p| p.2).collect();
     println!(
         "{}",
         tapeworm_stats::table::ascii_chart(
@@ -110,4 +114,13 @@ fn main() {
             46,
         )
     );
+
+    let mut report = MetricsReport::new("fig2_slowdowns", "full");
+    for ((kb, ..), point) in PAPER.into_iter().zip(points) {
+        report.push(&format!("dm-{kb}k"), 1, point.3);
+    }
+    report
+        .write(Path::new("results/METRICS_fig2.json"))
+        .expect("results/METRICS_fig2.json must be writable");
+    println!("wrote results/METRICS_fig2.json");
 }

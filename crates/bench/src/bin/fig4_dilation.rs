@@ -10,8 +10,11 @@
 //! All trial cells — undilated baseline, sampled points, and the
 //! unsampled point — fan out over one scheduler batch.
 
+use std::path::Path;
+
 use tapeworm_bench::{base_seed, dm4, scale, threads};
-use tapeworm_sim::{run_trial, SystemConfig, TrialResult};
+use tapeworm_obs::{MetricsReport, TrialMetrics};
+use tapeworm_sim::{run_trial_observed, ObsConfig, SystemConfig, TrialResult};
 use tapeworm_stats::table::Table;
 use tapeworm_stats::trials::TrialScheduler;
 use tapeworm_stats::SeedSeq;
@@ -54,50 +57,86 @@ fn main() {
         row_bounds.push(cells.len() - dilated_start);
     }
 
-    let results: Vec<TrialResult> = TrialScheduler::new(threads()).run(cells.len(), |i| {
-        match cells[i] {
-            (None, k) => run_trial(&undilated_cfg, base, SeedSeq::new(40 + k)),
+    let results: Vec<(TrialResult, TrialMetrics)> =
+        TrialScheduler::new(threads()).run(cells.len(), |i| match cells[i] {
+            (None, k) => run_trial_observed(
+                &undilated_cfg,
+                base,
+                SeedSeq::new(40 + k),
+                ObsConfig::default(),
+            ),
             (Some(den), k) => {
                 let cfg = SystemConfig::cache(Workload::MpegPlay, dm4(4))
                     .with_scale(scale)
                     .with_sampling(den);
-                run_trial(&cfg, base, SeedSeq::new(100 + k))
+                run_trial_observed(&cfg, base, SeedSeq::new(100 + k), ObsConfig::default())
             }
-        }
-    });
+        });
 
     let baseline: f64 = results[..dilated_start]
         .iter()
-        .map(|r| r.total_misses())
+        .map(|(r, _)| r.total_misses())
         .sum::<f64>()
         / BASELINE_TRIALS as f64;
 
     let mut t = Table::new(
-        ["Dilation (slowdown)", "Misses (x10^6 est.)", "Increase %", "paper row"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Dilation (slowdown)",
+            "Misses (x10^6 est.)",
+            "Increase %",
+            "Phase dilation",
+            "paper row",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     t.numeric().title(format!(
         "Figure 4: error due to time dilation (mpeg_play, all activity, 4K DM, scale 1/{scale})"
     ));
 
+    let mut report = MetricsReport::new("fig4_dilation", "full");
+    let mut undilated = TrialMetrics::new();
+    for (_, m) in &results[..dilated_start] {
+        undilated.merge(m);
+    }
+    report.push("undilated", BASELINE_TRIALS, undilated);
+
     let dilated = &results[dilated_start..];
+    let densities = [16u64, 8, 4, 2, 1];
     let mut row_start = 0;
     for (i, &row_end) in row_bounds.iter().enumerate() {
         let rows = &dilated[row_start..row_end];
         row_start = row_end;
         let trials = rows.len() as f64;
-        let misses = rows.iter().map(|r| r.total_misses()).sum::<f64>() / trials;
-        let slow = rows.iter().map(|r| r.slowdown()).sum::<f64>() / trials;
+        let misses = rows.iter().map(|(r, _)| r.total_misses()).sum::<f64>() / trials;
+        let slow = rows.iter().map(|(r, _)| r.slowdown()).sum::<f64>() / trials;
         let increase = 100.0 * (misses - baseline) / baseline;
+        // The live per-phase account: merged over the row's trials, its
+        // dilation (1 + overhead/workload) independently reproduces the
+        // x axis of the figure.
+        let mut row_metrics = TrialMetrics::new();
+        for (_, m) in rows {
+            row_metrics.merge(m);
+        }
+        let phase_dilation = row_metrics.phases.dilation();
+        report.push(
+            &format!("sample-{}", densities[i]),
+            rows.len() as u64,
+            row_metrics,
+        );
         let (p_slow, p_misses, p_inc) = PAPER[i];
         t.row(vec![
             format!("{slow:.2}"),
             format!("{:.2}", misses / 1.0e6),
             format!("{increase:.1}%"),
+            format!("{phase_dilation:.2}x"),
             format!("({p_slow:.2} -> {p_misses:.2}M, {p_inc:.1}%)"),
         ]);
     }
     println!("{t}");
     println!("Baseline (undilated) misses: {:.2}M", baseline / 1.0e6);
+    report
+        .write(Path::new("results/METRICS_fig4.json"))
+        .expect("results/METRICS_fig4.json must be writable");
+    println!("wrote results/METRICS_fig4.json");
 }

@@ -4,8 +4,10 @@
 //! ladder's end points plus the R3000 TLB) at 1, 2 and N worker
 //! threads, measuring wall time and simulated references per second —
 //! the number every hot-path optimisation must move. Results are
-//! written machine-readably to `results/BENCH.json` so future PRs have
-//! a recorded trajectory to beat.
+//! written machine-readably (and atomically: temp file + rename) to
+//! `results/BENCH.json` so future PRs have a recorded trajectory to
+//! beat, and the per-config observability metrics go to
+//! `results/METRICS.json` (`tapeworm-metrics-v1`).
 //!
 //! Self-contained: no criterion, no external dependencies. The JSON is
 //! emitted by hand.
@@ -14,16 +16,21 @@
 //! * default — the full matrix (tens of seconds; used by `run_all.sh`).
 //! * `--smoke` — a tiny matrix (~seconds; used by `ci.sh` to prove the
 //!   harness and the JSON stay well-formed).
+//! * `--gate` — a mid-sized matrix (a few seconds) whose wall times are
+//!   long enough to compare against `results/BENCH_baseline.json` in
+//!   the ci.sh regression gate without timer noise dominating.
 //!
 //! Environment: `TW_SEED` (base seed), `TW_THREADS` (the "N" of the
 //! thread ladder), `TW_BASELINE` (override the recorded pre-change
 //! baseline, refs/sec).
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 use tapeworm_bench::{base_seed, threads};
 use tapeworm_core::{CacheConfig, TlbSimConfig};
+use tapeworm_obs::{write_atomic, MetricsReport};
 use tapeworm_sim::{run_sweep, SystemConfig};
 use tapeworm_workload::Workload;
 
@@ -67,7 +74,21 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (scale, trials) = if smoke { (20_000, 1) } else { (100, 3) };
+    let gate = std::env::args().any(|a| a == "--gate");
+    let (scale, trials) = if smoke {
+        (20_000, 1)
+    } else if gate {
+        (200, 3)
+    } else {
+        (100, 3)
+    };
+    let mode = if smoke {
+        "smoke"
+    } else if gate {
+        "gate"
+    } else {
+        "full"
+    };
     let baseline = std::env::var("TW_BASELINE")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -88,13 +109,14 @@ fn main() {
         configs.len(),
         trials,
         scale,
-        if smoke { "smoke" } else { "full" }
+        mode
     );
 
     // Per-config breakdown (single-threaded) so regressions are
     // attributable: the cache ladder and the TLB stress very different
     // paths (line misses vs page-trap handling).
     let mut per_config = Vec::new();
+    let mut metrics_report = MetricsReport::new("perf_throughput", mode);
     for (name, cfg) in &configs {
         let start = Instant::now();
         let out = run_sweep(std::slice::from_ref(cfg), trials, seed, 1);
@@ -106,6 +128,7 @@ fn main() {
             .sum();
         let refs_per_sec = instructions as f64 / wall;
         println!("  config {name:<12} wall={wall:8.3}s  refs/sec={refs_per_sec:12.0}");
+        metrics_report.push(name, trials as u64, out[0].metrics().clone());
         per_config.push((name.clone(), wall, instructions, refs_per_sec));
     }
 
@@ -144,11 +167,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"tapeworm-perf-throughput-v1\",");
-    let _ = writeln!(
-        json,
-        "  \"mode\": \"{}\",",
-        if smoke { "smoke" } else { "full" }
-    );
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"workload\": \"mpeg_play\",");
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"trials\": {trials},");
@@ -192,7 +211,11 @@ fn main() {
     let _ = writeln!(json, "  \"speedup_vs_baseline\": {speedup:.3}");
     let _ = writeln!(json, "}}");
 
-    std::fs::create_dir_all("results").expect("results/ must be creatable");
-    std::fs::write("results/BENCH.json", &json).expect("results/BENCH.json must be writable");
+    write_atomic(Path::new("results/BENCH.json"), json.as_bytes())
+        .expect("results/BENCH.json must be writable");
     println!("wrote results/BENCH.json");
+    metrics_report
+        .write(Path::new("results/METRICS.json"))
+        .expect("results/METRICS.json must be writable");
+    println!("wrote results/METRICS.json");
 }

@@ -40,12 +40,11 @@ fn main() {
     let crates = root.join("crates");
 
     // Machine-dependent: the hardware-mechanism layer.
-    let machine_dep = loc(&crates.join("mem").join("src"))
-        + loc(&crates.join("machine").join("src"));
+    let machine_dep =
+        loc(&crates.join("mem").join("src")) + loc(&crates.join("machine").join("src"));
     // Machine-independent kernel-resident code: the simulator + VM
     // hooks.
-    let kernel_indep = loc(&crates.join("core").join("src"))
-        + loc(&crates.join("os").join("src"));
+    let kernel_indep = loc(&crates.join("core").join("src")) + loc(&crates.join("os").join("src"));
     // User-level code: workloads, trace tools, experiment layer,
     // statistics, benches, examples.
     let user = loc(&crates.join("workload").join("src"))

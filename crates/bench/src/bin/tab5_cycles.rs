@@ -44,14 +44,22 @@ fn main() {
 
     // Geometry sensitivity, as the paper describes qualitatively.
     let mut t = Table::new(
-        ["Geometry", "Instructions", "Cycles/miss"].map(String::from).to_vec(),
+        ["Geometry", "Instructions", "Cycles/miss"]
+            .map(String::from)
+            .to_vec(),
     );
     t.numeric()
         .title("\nHandler cost sensitivity (\"higher associativity ... longer lines\")");
     for (label, cache) in [
         ("DM, 4-word", CacheConfig::new(4096, 16, 1).expect("valid")),
-        ("2-way, 4-word", CacheConfig::new(4096, 16, 2).expect("valid")),
-        ("4-way, 4-word", CacheConfig::new(4096, 16, 4).expect("valid")),
+        (
+            "2-way, 4-word",
+            CacheConfig::new(4096, 16, 2).expect("valid"),
+        ),
+        (
+            "4-way, 4-word",
+            CacheConfig::new(4096, 16, 4).expect("valid"),
+        ),
         ("DM, 8-word", CacheConfig::new(4096, 32, 1).expect("valid")),
         ("DM, 16-word", CacheConfig::new(4096, 64, 1).expect("valid")),
     ] {

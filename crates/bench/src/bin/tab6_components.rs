@@ -52,8 +52,10 @@ fn main() {
         let servers = run(ComponentSet::servers_only());
         let kernel = run(ComponentSet::kernel_only());
         let all = run(ComponentSet::all());
-        let interference =
-            all.total_misses() - user.total_misses() - servers.total_misses() - kernel.total_misses();
+        let interference = all.total_misses()
+            - user.total_misses()
+            - servers.total_misses()
+            - kernel.total_misses();
         let instr = all.instructions as f64;
 
         let from_traces = {
@@ -61,10 +63,7 @@ fn main() {
             match run_trace_driven(&cfg, cache, TracePolicy::Fifo, base) {
                 Ok(r) => {
                     let ratio = r.misses as f64 / instr;
-                    format!(
-                        "{:.2} ({ratio:.3})",
-                        paper_millions(r.misses as f64, scale)
-                    )
+                    format!("{:.2} ({ratio:.3})", paper_millions(r.misses as f64, scale))
                 }
                 Err(_) => String::new(), // multi-task: no trace possible
             }

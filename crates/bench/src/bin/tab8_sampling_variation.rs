@@ -21,16 +21,9 @@ fn main() {
     let base = base_seed();
     let scale = scale();
     let mut t = Table::new(
-        [
-            "Cache",
-            "1/8 sampled x̄",
-            "s",
-            "(s%)",
-            "unsampled x̄",
-            "s",
-        ]
-        .map(String::from)
-        .to_vec(),
+        ["Cache", "1/8 sampled x̄", "s", "(s%)", "unsampled x̄", "s"]
+            .map(String::from)
+            .to_vec(),
     );
     t.numeric().title(format!(
         "Table 8: sampling-only variance, espresso, virtually-indexed DM,\n\

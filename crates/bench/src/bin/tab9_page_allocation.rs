@@ -31,7 +31,13 @@ fn main() {
     let scale = scale();
     let mut t = Table::new(
         [
-            "Size", "Phys x̄", "Phys s", "(paper x̄/s)", "Virt x̄", "Virt s", "(paper x̄)",
+            "Size",
+            "Phys x̄",
+            "Phys s",
+            "(paper x̄/s)",
+            "Virt x̄",
+            "Virt s",
+            "(paper x̄)",
         ]
         .map(String::from)
         .to_vec(),
@@ -50,7 +56,12 @@ fn main() {
     // Interleaved grid: (phys, virt) per size.
     let configs: Vec<SystemConfig> = PAPER
         .iter()
-        .flat_map(|&(kb, ..)| [cfg_for(kb, Indexing::Physical), cfg_for(kb, Indexing::Virtual)])
+        .flat_map(|&(kb, ..)| {
+            [
+                cfg_for(kb, Indexing::Physical),
+                cfg_for(kb, Indexing::Virtual),
+            ]
+        })
         .collect();
     let cells = run_sweep(&configs, TRIALS, base, threads());
 

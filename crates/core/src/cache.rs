@@ -1,7 +1,7 @@
 //! The software data structure behind `tw_replace`.
 
-use tapeworm_os::Tid;
 use tapeworm_mem::{PhysAddr, VirtAddr};
+use tapeworm_os::Tid;
 use tapeworm_stats::{Rng, SeedSeq};
 
 use crate::config::{CacheConfig, Indexing, Replacement};

@@ -250,7 +250,10 @@ mod tests {
             Err(CacheConfigError::TooSmall)
         ));
         assert!(CacheConfig::new(4096, 16, 3).is_err());
-        assert!(!CacheConfig::new(16, 16, 4).unwrap_err().to_string().is_empty());
+        assert!(!CacheConfig::new(16, 16, 4)
+            .unwrap_err()
+            .to_string()
+            .is_empty());
     }
 
     #[test]

@@ -29,7 +29,8 @@ const TW_REPLACE: u64 = 20;
 const TW_SET_TRAP: u64 = 35;
 const TW_CLEAR_TRAP: u64 = 6;
 /// Total instructions in the baseline handler.
-const BASE_INSTRUCTIONS: u64 = TRAP_AND_RETURN + TW_CACHE_MISS + TW_REPLACE + TW_SET_TRAP + TW_CLEAR_TRAP;
+const BASE_INSTRUCTIONS: u64 =
+    TRAP_AND_RETURN + TW_CACHE_MISS + TW_REPLACE + TW_SET_TRAP + TW_CLEAR_TRAP;
 /// Table 5's measured total for that baseline.
 const BASE_CYCLES: u64 = 246;
 
@@ -106,15 +107,35 @@ impl CostModel {
         let extra_ways = u64::from(cfg.associativity()) - 1;
         let groups = cfg.line_words().div_ceil(4);
         let extra_groups = groups - 1;
-        let instr = BASE_INSTRUCTIONS
-            + extra_ways * REPLACE_PER_WAY
-            + extra_groups * TRAP_PER_GROUP;
+        let instr =
+            BASE_INSTRUCTIONS + extra_ways * REPLACE_PER_WAY + extra_groups * TRAP_PER_GROUP;
         (instr as f64 * self.bloat).round() as u64
     }
 
     /// Handler cycles per simulated miss for a given geometry.
     pub fn cycles_per_miss(&self, cfg: &CacheConfig) -> u64 {
         (self.instructions_per_miss(cfg) as f64 * self.cpi).round() as u64
+    }
+
+    /// Splits [`CostModel::cycles_per_miss`] into `(handler,
+    /// replacement)` cycles for per-phase accounting: *handler* is the
+    /// trap entry and miss bookkeeping (`kernel trap and return` +
+    /// `tw_cache_miss()`), *replacement* is victim selection and
+    /// re-trapping (`tw_replace()` + `tw_set_trap()` +
+    /// `tw_clear_trap()`, with their geometry surcharges). The two
+    /// parts always sum to `cycles_per_miss` exactly.
+    pub fn cycles_per_miss_split(&self, cfg: &CacheConfig) -> (u64, u64) {
+        let total = self.cycles_per_miss(cfg);
+        let extra_ways = u64::from(cfg.associativity()) - 1;
+        let extra_groups = cfg.line_words().div_ceil(4) - 1;
+        let replace_instr = TW_REPLACE
+            + extra_ways * REPLACE_PER_WAY
+            + TW_SET_TRAP
+            + TW_CLEAR_TRAP
+            + extra_groups * TRAP_PER_GROUP;
+        let replacement =
+            ((replace_instr as f64 * self.bloat * self.cpi).round() as u64).min(total);
+        (total - replacement, replacement)
     }
 
     /// Cycles for `tw_register_page`: setting traps across a page of
@@ -193,6 +214,27 @@ mod tests {
     fn hardware_assist_hits_50_cycles() {
         let cycles = CostModel::hardware_assisted().cycles_per_miss(&dm4());
         assert!((45..=55).contains(&cycles), "got {cycles}");
+    }
+
+    #[test]
+    fn miss_split_preserves_the_total() {
+        for (cost, cfg) in [
+            (CostModel::optimized(), dm4()),
+            (
+                CostModel::optimized(),
+                CacheConfig::new(4096, 64, 4).unwrap(),
+            ),
+            (CostModel::unoptimized_c(), dm4()),
+            (CostModel::hardware_assisted(), dm4()),
+        ] {
+            let (handler, replacement) = cost.cycles_per_miss_split(&cfg);
+            assert_eq!(handler + replacement, cost.cycles_per_miss(&cfg));
+            assert!(handler > 0 && replacement > 0);
+        }
+        // Baseline geometry: 61 replace-side instructions of 137 ≈ 110
+        // of the 246 cycles.
+        let (handler, replacement) = CostModel::optimized().cycles_per_miss_split(&dm4());
+        assert_eq!((handler, replacement), (136, 110));
     }
 
     #[test]

@@ -83,7 +83,10 @@ pub struct ProcessorSupport {
 impl ProcessorSupport {
     /// Support status for one operation.
     pub fn support(&self, op: PrivilegedOp) -> Support {
-        let i = PrivilegedOp::ALL.iter().position(|&o| o == op).expect("op in ALL");
+        let i = PrivilegedOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("op in ALL");
         self.entries[i]
     }
 
@@ -102,16 +105,46 @@ use Support::{No, Unknown, Yes};
 /// Table 12, transcribed. Rows per processor:
 /// `[ECC, I-bkpt, D-bkpt, invalid-page, var-page-size, instr-counters]`.
 pub const TABLE12: [ProcessorSupport; 10] = [
-    ProcessorSupport { name: "MIPS R3000", entries: [Yes, Yes, No, Yes, No, No] },
-    ProcessorSupport { name: "MIPS R4000", entries: [Yes, Yes, No, Yes, Yes, No] },
-    ProcessorSupport { name: "SPARC", entries: [Yes, Yes, No, Yes, No, No] },
-    ProcessorSupport { name: "DEC Alpha", entries: [Yes, Yes, No, Yes, Yes, Yes] },
-    ProcessorSupport { name: "Tera", entries: [Yes, Yes, Yes, Yes, Unknown, Unknown] },
-    ProcessorSupport { name: "Intel i486", entries: [Unknown, Yes, No, Yes, No, No] },
-    ProcessorSupport { name: "Intel Pentium", entries: [Yes, Yes, No, Yes, Yes, Yes] },
-    ProcessorSupport { name: "AMD 29050", entries: [Unknown, Yes, No, Yes, Yes, No] },
-    ProcessorSupport { name: "HP PA-RISC", entries: [Unknown, Yes, No, Yes, Yes, Unknown] },
-    ProcessorSupport { name: "PowerPC", entries: [Unknown, Yes, No, Yes, Yes, No] },
+    ProcessorSupport {
+        name: "MIPS R3000",
+        entries: [Yes, Yes, No, Yes, No, No],
+    },
+    ProcessorSupport {
+        name: "MIPS R4000",
+        entries: [Yes, Yes, No, Yes, Yes, No],
+    },
+    ProcessorSupport {
+        name: "SPARC",
+        entries: [Yes, Yes, No, Yes, No, No],
+    },
+    ProcessorSupport {
+        name: "DEC Alpha",
+        entries: [Yes, Yes, No, Yes, Yes, Yes],
+    },
+    ProcessorSupport {
+        name: "Tera",
+        entries: [Yes, Yes, Yes, Yes, Unknown, Unknown],
+    },
+    ProcessorSupport {
+        name: "Intel i486",
+        entries: [Unknown, Yes, No, Yes, No, No],
+    },
+    ProcessorSupport {
+        name: "Intel Pentium",
+        entries: [Yes, Yes, No, Yes, Yes, Yes],
+    },
+    ProcessorSupport {
+        name: "AMD 29050",
+        entries: [Unknown, Yes, No, Yes, Yes, No],
+    },
+    ProcessorSupport {
+        name: "HP PA-RISC",
+        entries: [Unknown, Yes, No, Yes, Yes, Unknown],
+    },
+    ProcessorSupport {
+        name: "PowerPC",
+        entries: [Unknown, Yes, No, Yes, Yes, No],
+    },
 ];
 
 #[cfg(test)]
@@ -140,7 +173,12 @@ mod tests {
     fn only_tera_has_data_breakpoints() {
         for p in &TABLE12 {
             let expect = if p.name == "Tera" { Yes } else { No };
-            assert_eq!(p.support(PrivilegedOp::DataBreakpoint), expect, "{}", p.name);
+            assert_eq!(
+                p.support(PrivilegedOp::DataBreakpoint),
+                expect,
+                "{}",
+                p.name
+            );
         }
     }
 

@@ -52,7 +52,9 @@ impl SetSample {
         let offset = if denominator == 1 {
             0
         } else {
-            seed.derive("set-sample", denominator).rng().gen_range(0..denominator)
+            seed.derive("set-sample", denominator)
+                .rng()
+                .gen_range(0..denominator)
         };
         SetSample {
             denominator,

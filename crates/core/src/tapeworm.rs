@@ -64,7 +64,13 @@ pub struct Tapeworm {
     /// Frames with a non-zero refcount.
     live_pages: usize,
     overhead_cycles: u64,
+    /// Trap-entry + miss-bookkeeping share of `overhead_cycles`.
+    handler_cycles: u64,
+    /// Victim-selection/re-trap + page registration share.
+    replacement_cycles: u64,
     pages_registered: u64,
+    /// Victim displaced by the most recent `handle_miss`, if any.
+    last_victim: Option<PhysAddr>,
 }
 
 impl Tapeworm {
@@ -89,7 +95,10 @@ impl Tapeworm {
             page_refs: Vec::new(),
             live_pages: 0,
             overhead_cycles: 0,
+            handler_cycles: 0,
+            replacement_cycles: 0,
             pages_registered: 0,
+            last_victim: None,
             cfg,
         }
     }
@@ -97,10 +106,7 @@ impl Tapeworm {
     /// Current registration refcount of a frame.
     #[inline]
     fn refs_of(&self, pfn: Pfn) -> u32 {
-        self.page_refs
-            .get(pfn.raw() as usize)
-            .copied()
-            .unwrap_or(0)
+        self.page_refs.get(pfn.raw() as usize).copied().unwrap_or(0)
     }
 
     /// Enables set sampling (must be set before any pages are
@@ -150,6 +156,26 @@ impl Tapeworm {
         self.overhead_cycles
     }
 
+    /// The trap-entry + miss-bookkeeping share of
+    /// [`Tapeworm::overhead_cycles`] (per-phase accounting).
+    pub fn handler_cycles(&self) -> u64 {
+        self.handler_cycles
+    }
+
+    /// The victim-selection, re-trap and page registration share of
+    /// [`Tapeworm::overhead_cycles`]. Together with
+    /// [`Tapeworm::handler_cycles`] it accounts for every overhead
+    /// cycle.
+    pub fn replacement_cycles(&self) -> u64 {
+        self.replacement_cycles
+    }
+
+    /// The victim line displaced by the most recent
+    /// [`Tapeworm::handle_miss`], if that miss evicted one.
+    pub fn last_victim(&self) -> Option<PhysAddr> {
+        self.last_victim
+    }
+
     /// Pages currently registered (live refcounts).
     pub fn registered_pages(&self) -> usize {
         self.live_pages
@@ -172,13 +198,7 @@ impl Tapeworm {
     /// entries brought into the cache by another task" (§3.2).
     ///
     /// Returns the cycles charged for trap setting.
-    pub fn tw_register_page(
-        &mut self,
-        traps: &mut TrapMap,
-        tid: Tid,
-        pfn: Pfn,
-        vpn: u64,
-    ) -> u64 {
+    pub fn tw_register_page(&mut self, traps: &mut TrapMap, tid: Tid, pfn: Pfn, vpn: u64) -> u64 {
         let i = pfn.raw() as usize;
         if i >= self.page_refs.len() {
             self.page_refs.resize(i + 1, 0);
@@ -217,6 +237,7 @@ impl Tapeworm {
         };
         let cycles = self.cost.cycles_per_register(self.page_bytes, fraction);
         self.overhead_cycles += cycles;
+        self.replacement_cycles += cycles;
         cycles
     }
 
@@ -247,6 +268,7 @@ impl Tapeworm {
             .cost
             .cycles_per_register(self.page_bytes, self.sample.fraction());
         self.overhead_cycles += cycles;
+        self.replacement_cycles += cycles;
         cycles
     }
 
@@ -270,7 +292,9 @@ impl Tapeworm {
         self.stats.count_miss(component);
         let line = self.cfg.line_bytes();
         traps.clear_range(pa.line_base(line), line);
+        self.last_victim = None;
         if let Some(displaced) = self.tw_replace(tid, va, pa) {
+            self.last_victim = Some(displaced.pa);
             // Re-arm the trap only while the displaced page is still
             // registered (it always is — removal flushes — but shared
             // teardown ordering makes the check cheap insurance).
@@ -278,7 +302,10 @@ impl Tapeworm {
                 traps.set_range(displaced.pa, line);
             }
         }
-        let cycles = self.cost.cycles_per_miss(&self.cfg);
+        let (handler, replacement) = self.cost.cycles_per_miss_split(&self.cfg);
+        self.handler_cycles += handler;
+        self.replacement_cycles += replacement;
+        let cycles = handler + replacement;
         self.overhead_cycles += cycles;
         cycles
     }
@@ -318,7 +345,9 @@ impl Tapeworm {
             let base = pfn.base(self.page_bytes);
             for i in 0..self.page_bytes / line {
                 let pa = PhysAddr::new(base.raw() + i * line);
-                let sampled = self.sample.is_sampled(self.cfg.set_of_line(pa.line_index(line)));
+                let sampled = self
+                    .sample
+                    .is_sampled(self.cfg.set_of_line(pa.line_index(line)));
                 let trapped = traps.is_trapped(pa);
                 let resident = self.cache.contains_physical(pa);
                 let expect_trap = sampled && !resident;
@@ -337,6 +366,8 @@ impl Tapeworm {
     pub fn reset_counters(&mut self) {
         self.stats.reset();
         self.overhead_cycles = 0;
+        self.handler_cycles = 0;
+        self.replacement_cycles = 0;
     }
 }
 
@@ -405,7 +436,13 @@ mod tests {
         let (mut tw, mut traps) = setup(64 * 1024); // big cache: no displacement
         let tid = Tid::new(1);
         tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
-        tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(0), PhysAddr::new(0));
+        tw.handle_miss(
+            &mut traps,
+            Component::User,
+            tid,
+            VirtAddr::new(0),
+            PhysAddr::new(0),
+        );
         tw.tw_remove_page(&mut traps, tid, Pfn::new(0), 0);
         // Re-register: the page returns fully trapped (it was flushed).
         tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
@@ -436,7 +473,13 @@ mod tests {
         // Miss on the first trapped line we can find.
         let g = traps.iter_trapped().next().unwrap();
         let pa = PhysAddr::new(g * 16);
-        tw.handle_miss(&mut traps, Component::User, Tid::new(1), VirtAddr::new(pa.raw()), pa);
+        tw.handle_miss(
+            &mut traps,
+            Component::User,
+            Tid::new(1),
+            VirtAddr::new(pa.raw()),
+            pa,
+        );
         assert_eq!(tw.stats().raw_total(), 1);
         assert_eq!(tw.stats().estimated_total(), 4.0);
     }
@@ -446,10 +489,35 @@ mod tests {
         let (mut tw, mut traps) = setup(1024);
         let tid = Tid::new(1);
         let reg = tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
-        let miss =
-            tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(0), PhysAddr::new(0));
+        let miss = tw.handle_miss(
+            &mut traps,
+            Component::User,
+            tid,
+            VirtAddr::new(0),
+            PhysAddr::new(0),
+        );
         assert_eq!(miss, 246);
         assert_eq!(tw.overhead_cycles(), reg + miss);
+    }
+
+    #[test]
+    fn phase_split_accounts_for_every_overhead_cycle() {
+        let (mut tw, mut traps) = setup(1024); // 64 lines
+        let tid = Tid::new(1);
+        tw.tw_register_page(&mut traps, tid, Pfn::new(0), 0);
+        let a = PhysAddr::new(0);
+        tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(0), a);
+        assert_eq!(tw.last_victim(), None, "cold miss displaces nothing");
+        // Conflicting line in a 1K DM cache evicts line 0.
+        let b = PhysAddr::new(1024);
+        tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(1024), b);
+        assert_eq!(tw.last_victim(), Some(a));
+        assert_eq!(
+            tw.handler_cycles() + tw.replacement_cycles(),
+            tw.overhead_cycles(),
+            "phase split must account for every overhead cycle"
+        );
+        assert!(tw.handler_cycles() > 0 && tw.replacement_cycles() > 0);
     }
 
     #[test]

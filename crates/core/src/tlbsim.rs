@@ -105,6 +105,8 @@ pub struct TlbSim {
     groups: HashMap<(Tid, u64), Vec<u64>>,
     stats: MissStats,
     overhead_cycles: u64,
+    /// Simulated VPN displaced by the most recent page trap, if any.
+    last_victim: Option<u64>,
     _seed: SeedSeq,
 }
 
@@ -132,6 +134,7 @@ impl TlbSim {
             groups: HashMap::new(),
             stats: MissStats::new(1.0),
             overhead_cycles: 0,
+            last_victim: None,
             _seed: seed,
             cfg,
             os_page,
@@ -152,6 +155,12 @@ impl TlbSim {
     /// Total handler overhead charged, in cycles.
     pub fn overhead_cycles(&self) -> u64 {
         self.overhead_cycles
+    }
+
+    /// The simulated VPN displaced by the most recent
+    /// [`TlbSim::handle_page_trap`], if that refill evicted an entry.
+    pub fn last_victim(&self) -> Option<u64> {
+        self.last_victim
     }
 
     /// Simulated entries currently valid.
@@ -254,6 +263,7 @@ impl TlbSim {
                 slots[way].replace(line)
             }
         };
+        self.last_victim = displaced.map(|v| v.sim_vpn);
         if let Some(victim) = displaced {
             self.set_group_valid(vm, victim.tid, victim.sim_vpn, false);
         }

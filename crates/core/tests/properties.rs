@@ -19,12 +19,7 @@ use tapeworm_stats::SeedSeq;
 const PAGE: u64 = 4096;
 const MEM: u64 = 1 << 20;
 
-fn drive(
-    tw: &mut Tapeworm,
-    traps: &mut TrapMap,
-    tid: Tid,
-    refs: &[u64],
-) -> u64 {
+fn drive(tw: &mut Tapeworm, traps: &mut TrapMap, tid: Tid, refs: &[u64]) -> u64 {
     // Simulate the hardware loop: trapped -> handler; else full speed.
     let mut misses = 0;
     for &addr in refs {

@@ -109,7 +109,10 @@ mod tests {
         let mut bp = Breakpoints::new(2);
         assert!(bp.set(VirtAddr::new(0)));
         assert!(bp.set(VirtAddr::new(4)));
-        assert!(!bp.set(VirtAddr::new(8)), "third breakpoint must be refused");
+        assert!(
+            !bp.set(VirtAddr::new(8)),
+            "third breakpoint must be refused"
+        );
         assert_eq!(bp.len(), 2);
         // Re-arming an existing one succeeds even when full.
         assert!(bp.set(VirtAddr::new(0)));

@@ -101,6 +101,8 @@ pub struct Machine {
     instret: u64,
     masked_ecc_skips: u64,
     write_traps_destroyed: u64,
+    trap_entries: u64,
+    breakpoint_checks: u64,
 }
 
 impl Machine {
@@ -119,6 +121,8 @@ impl Machine {
             instret: 0,
             masked_ecc_skips: 0,
             write_traps_destroyed: 0,
+            trap_entries: 0,
+            breakpoint_checks: 0,
             config,
         }
     }
@@ -163,19 +167,26 @@ impl Machine {
     /// Does **not** advance time; call [`Machine::advance`] with the
     /// access's cycle cost (hits and misses cost differently).
     pub fn access(&mut self, kind: AccessKind, va: VirtAddr, pa: PhysAddr) -> FetchOutcome {
-        if matches!(kind, AccessKind::IFetch) && self.breakpoints.check(va) {
-            return FetchOutcome::Breakpoint;
+        if matches!(kind, AccessKind::IFetch) {
+            self.breakpoint_checks += 1;
+            if self.breakpoints.check(va) {
+                return FetchOutcome::Breakpoint;
+            }
         }
         if !self.traps.is_trapped(pa) {
             return FetchOutcome::Run;
         }
         match (kind, self.config.write_policy) {
             (AccessKind::Store, WritePolicy::NoAllocateOnWrite) => {
-                self.traps.clear_range(pa.line_base(self.config.trap_granule), 1);
+                self.traps
+                    .clear_range(pa.line_base(self.config.trap_granule), 1);
                 self.write_traps_destroyed += 1;
                 FetchOutcome::WriteTrapDestroyed
             }
-            _ if self.interrupts_enabled => FetchOutcome::EccTrap,
+            _ if self.interrupts_enabled => {
+                self.trap_entries += 1;
+                FetchOutcome::EccTrap
+            }
             _ => {
                 self.masked_ecc_skips += 1;
                 FetchOutcome::MaskedEccSkipped
@@ -224,6 +235,16 @@ impl Machine {
     /// Traps silently destroyed by stores under no-allocate-on-write.
     pub fn write_traps_destroyed(&self) -> u64 {
         self.write_traps_destroyed
+    }
+
+    /// ECC trap entries taken (each one vectored into the miss handler).
+    pub fn trap_entries(&self) -> u64 {
+        self.trap_entries
+    }
+
+    /// Breakpoint-register comparisons performed on the fetch path.
+    pub fn breakpoint_checks(&self) -> u64 {
+        self.breakpoint_checks
     }
 }
 
@@ -304,7 +325,10 @@ mod tests {
         let mut m = machine();
         m.breakpoints_mut().set(VA);
         m.traps_mut().set_range(PA, 16);
-        assert_eq!(m.access(AccessKind::IFetch, VA, PA), FetchOutcome::Breakpoint);
+        assert_eq!(
+            m.access(AccessKind::IFetch, VA, PA),
+            FetchOutcome::Breakpoint
+        );
     }
 
     #[test]
@@ -313,6 +337,21 @@ mod tests {
         assert_eq!(m.advance(1000), 1);
         m.set_interrupts_enabled(false);
         assert_eq!(m.advance(1000), 0);
+    }
+
+    #[test]
+    fn observability_counters_track_traps_and_checks() {
+        let mut m = machine();
+        m.traps_mut().set_range(PA, 16);
+        assert_eq!(m.access(AccessKind::IFetch, VA, PA), FetchOutcome::EccTrap);
+        assert_eq!(m.access(AccessKind::Load, VA, PA), FetchOutcome::EccTrap);
+        assert_eq!(m.trap_entries(), 2);
+        // Only instruction fetches consult the breakpoint registers.
+        assert_eq!(m.breakpoint_checks(), 1);
+        // Masked and destroyed traps are not handler entries.
+        m.set_interrupts_enabled(false);
+        m.access(AccessKind::Load, VA, PA);
+        assert_eq!(m.trap_entries(), 2);
     }
 
     #[test]

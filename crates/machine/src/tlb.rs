@@ -65,7 +65,10 @@ impl Tlb {
     pub fn new(entries: usize, wired: usize, page_bytes: u64, seed: SeedSeq) -> Self {
         assert!(entries > 0, "tlb must have at least one entry");
         assert!(wired < entries, "wired entries must leave room for refills");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries: vec![None; entries],
             wired,
@@ -196,7 +199,10 @@ mod tests {
     fn same_page_different_offset_hits() {
         let mut t = tlb(8);
         t.refill(1, VirtAddr::new(0x4000), Pfn::new(2));
-        assert_eq!(t.probe(1, VirtAddr::new(0x4FFC)), TlbOutcome::Hit(Pfn::new(2)));
+        assert_eq!(
+            t.probe(1, VirtAddr::new(0x4FFC)),
+            TlbOutcome::Hit(Pfn::new(2))
+        );
     }
 
     #[test]
@@ -217,7 +223,10 @@ mod tests {
         t.refill(2, VirtAddr::new(0x1000), Pfn::new(2));
         t.flush_asid(1);
         assert_eq!(t.probe(1, VirtAddr::new(0x1000)), TlbOutcome::Miss);
-        assert_eq!(t.probe(2, VirtAddr::new(0x1000)), TlbOutcome::Hit(Pfn::new(2)));
+        assert_eq!(
+            t.probe(2, VirtAddr::new(0x1000)),
+            TlbOutcome::Hit(Pfn::new(2))
+        );
     }
 
     #[test]

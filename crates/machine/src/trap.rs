@@ -56,9 +56,7 @@ impl Trap {
     pub fn is_maskable(self) -> bool {
         matches!(
             self,
-            Trap::Ecc { .. }
-                | Trap::TrueEccError { .. }
-                | Trap::ClockInterrupt
+            Trap::Ecc { .. } | Trap::TrueEccError { .. } | Trap::ClockInterrupt
         )
     }
 }

@@ -6,7 +6,9 @@
 //! Property-based tests for the machine crate.
 
 use proptest::prelude::*;
-use tapeworm_machine::{AccessKind, FetchOutcome, IntervalClock, Machine, MachineConfig, Tlb, TlbOutcome};
+use tapeworm_machine::{
+    AccessKind, FetchOutcome, IntervalClock, Machine, MachineConfig, Tlb, TlbOutcome,
+};
 use tapeworm_mem::{Pfn, PhysAddr, VirtAddr, WritePolicy};
 use tapeworm_stats::SeedSeq;
 

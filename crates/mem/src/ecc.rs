@@ -244,7 +244,10 @@ mod tests {
         for bit in 0..32 {
             let corrupted = data ^ (1 << bit);
             match c.decode(corrupted, check) {
-                Decoded::CorrectedData { data: fixed, bit: b } => {
+                Decoded::CorrectedData {
+                    data: fixed,
+                    bit: b,
+                } => {
                     assert_eq!(fixed, data);
                     assert_eq!(b, bit as u8);
                 }

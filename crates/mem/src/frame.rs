@@ -68,10 +68,7 @@ pub trait FrameAllocator: fmt::Debug {
 }
 
 fn assert_not_free(free: &[Pfn], pfn: Pfn) {
-    assert!(
-        !free.contains(&pfn),
-        "double free of physical frame {pfn}"
-    );
+    assert!(!free.contains(&pfn), "double free of physical frame {pfn}");
 }
 
 /// Random-order frame allocation (the paper's OS behaviour).
@@ -276,7 +273,10 @@ mod tests {
     fn sequential_allocator_is_lowest_first() {
         let mut a = SequentialAllocator::new(4);
         let got = drain(&mut a);
-        assert_eq!(got, vec![Pfn::new(0), Pfn::new(1), Pfn::new(2), Pfn::new(3)]);
+        assert_eq!(
+            got,
+            vec![Pfn::new(0), Pfn::new(1), Pfn::new(2), Pfn::new(3)]
+        );
         a.free(Pfn::new(2));
         a.free(Pfn::new(0));
         assert_eq!(a.allocate(0), Some(Pfn::new(0)));

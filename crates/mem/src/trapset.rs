@@ -26,13 +26,29 @@ use crate::addr::PhysAddr;
 /// traps.set_range_filtered(PhysAddr::new(0), 64, |line| line % 2 == 0);
 /// assert_eq!(traps.count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct TrapMap {
     bits: Vec<u64>,
     granule: u64,
     granules: u64,
     count: u64,
+    set_events: u64,
+    clear_events: u64,
 }
+
+/// Equality is over trap *state* (geometry and armed granules), not
+/// the lifetime set/clear event counters — two maps that arrived at
+/// the same state along different paths compare equal.
+impl PartialEq for TrapMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.granule == other.granule
+            && self.granules == other.granules
+            && self.count == other.count
+            && self.bits == other.bits
+    }
+}
+
+impl Eq for TrapMap {}
 
 impl TrapMap {
     /// Creates an all-clear map over `mem_bytes` of memory at `granule`
@@ -58,6 +74,8 @@ impl TrapMap {
             granule,
             granules,
             count: 0,
+            set_events: 0,
+            clear_events: 0,
         }
     }
 
@@ -106,6 +124,7 @@ impl TrapMap {
         if was_clear {
             self.bits[w] |= 1 << b;
             self.count += 1;
+            self.set_events += 1;
         }
         was_clear
     }
@@ -123,6 +142,7 @@ impl TrapMap {
         if was_set {
             self.bits[w] &= !(1 << b);
             self.count -= 1;
+            self.clear_events += 1;
         }
         was_set
     }
@@ -184,8 +204,19 @@ impl TrapMap {
 
     /// Clears every trap.
     pub fn clear_all(&mut self) {
+        self.clear_events += self.count;
         self.bits.fill(0);
         self.count = 0;
+    }
+
+    /// Lifetime clear→set granule transitions (`tw_set_trap` events).
+    pub fn set_events(&self) -> u64 {
+        self.set_events
+    }
+
+    /// Lifetime set→clear granule transitions (`tw_clear_trap` events).
+    pub fn clear_events(&self) -> u64 {
+        self.clear_events
     }
 }
 
@@ -270,6 +301,32 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_granule_panics() {
         let _ = TrapMap::new(100, 10);
+    }
+
+    #[test]
+    fn event_counters_track_transitions_only() {
+        let mut t = TrapMap::new(256, 16);
+        t.set_range(PhysAddr::new(0), 64); // 4 transitions
+        t.set_range(PhysAddr::new(0), 64); // idempotent: no new events
+        assert_eq!(t.set_events(), 4);
+        t.clear_range(PhysAddr::new(0), 32); // 2 transitions
+        t.clear_range(PhysAddr::new(0), 32);
+        assert_eq!(t.clear_events(), 2);
+        t.clear_all(); // remaining 2 armed granules
+        assert_eq!(t.clear_events(), 4);
+        assert_eq!(t.set_events(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_event_history() {
+        let mut a = TrapMap::new(256, 16);
+        let mut b = TrapMap::new(256, 16);
+        a.set_range(PhysAddr::new(0), 16);
+        b.set_range(PhysAddr::new(0), 16);
+        b.clear_range(PhysAddr::new(0), 16);
+        b.set_range(PhysAddr::new(0), 16);
+        assert_ne!(a.set_events(), b.set_events());
+        assert_eq!(a, b, "same armed state must compare equal");
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The event-counter registry.
+//!
+//! Every layer of the simulator keeps its own plain `u64` event
+//! counters — a single predictable increment on the hot path, no
+//! atomics, no locks — and the trial engine snapshots them into one
+//! [`Counters`] registry when the trial finishes. Each worker thread
+//! owns the registry of the trial it is running, so counting is
+//! lock-free by construction; the sweep committer then merges
+//! registries strictly in `(config, trial)` commit order, making the
+//! merged totals bit-identical for every worker count. Merging is a
+//! per-counter sum, so the totals are also independent of completion
+//! order — pinned by a unit test below.
+
+use std::fmt;
+
+/// The events the observability layer counts, one slot per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterId {
+    /// ECC/valid-bit trap entries taken (each vectors into a handler).
+    TrapEntries,
+    /// Trap granules armed (`tw_set_trap` granule transitions).
+    TrapsSet,
+    /// Trap granules disarmed (`tw_clear_trap` granule transitions).
+    TrapsCleared,
+    /// Software translation-cache hits.
+    TcacheHits,
+    /// Software translation-cache misses.
+    TcacheMisses,
+    /// Full page-table walks performed.
+    PageWalks,
+    /// Breakpoint-register checks on the fetch path.
+    BreakpointChecks,
+    /// Scheduler quanta dispatched by the experiment loop.
+    SchedQuanta,
+}
+
+impl CounterId {
+    /// All counters, in registry (and JSON) order.
+    pub const ALL: [CounterId; 8] = [
+        CounterId::TrapEntries,
+        CounterId::TrapsSet,
+        CounterId::TrapsCleared,
+        CounterId::TcacheHits,
+        CounterId::TcacheMisses,
+        CounterId::PageWalks,
+        CounterId::BreakpointChecks,
+        CounterId::SchedQuanta,
+    ];
+
+    /// Stable slot index for array-backed storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The counter's snake_case name, used as its METRICS.json key.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::TrapEntries => "trap_entries",
+            CounterId::TrapsSet => "traps_set",
+            CounterId::TrapsCleared => "traps_cleared",
+            CounterId::TcacheHits => "tcache_hits",
+            CounterId::TcacheMisses => "tcache_misses",
+            CounterId::PageWalks => "page_walks",
+            CounterId::BreakpointChecks => "breakpoint_checks",
+            CounterId::SchedQuanta => "sched_quanta",
+        }
+    }
+}
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One trial's event counts, indexed by [`CounterId`].
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_obs::{CounterId, Counters};
+///
+/// let mut c = Counters::new();
+/// c.inc(CounterId::TrapEntries);
+/// c.add(CounterId::TcacheHits, 10);
+/// assert_eq!(c.get(CounterId::TcacheHits), 10);
+///
+/// let mut merged = Counters::new();
+/// merged.merge(&c);
+/// merged.merge(&c);
+/// assert_eq!(merged.get(CounterId::TrapEntries), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    counts: [u64; CounterId::ALL.len()],
+}
+
+impl Counters {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` events to one counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counts[id.index()] += n;
+    }
+
+    /// Counts one event.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counts[id.index()] += 1;
+    }
+
+    /// Current value of one counter.
+    #[inline]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counts[id.index()]
+    }
+
+    /// Sum of all counters (a quick "anything recorded?" probe).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another registry into this one. Per-counter addition:
+    /// commutative and associative, so merged totals are independent of
+    /// the order workers complete in.
+    pub fn merge(&mut self, other: &Counters) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(id, value)` in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = (CounterId, u64)> + '_ {
+        CounterId::ALL.iter().map(|&id| (id, self.get(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_distinct() {
+        let mut seen = [false; CounterId::ALL.len()];
+        for id in CounterId::ALL {
+            assert!(!seen[id.index()], "duplicate index for {id}");
+            seen[id.index()] = true;
+            assert!(!id.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn add_inc_get_roundtrip() {
+        let mut c = Counters::new();
+        c.inc(CounterId::PageWalks);
+        c.add(CounterId::PageWalks, 4);
+        assert_eq!(c.get(CounterId::PageWalks), 5);
+        assert_eq!(c.get(CounterId::TrapsSet), 0);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn merge_is_completion_order_independent() {
+        // Three "workers" with distinct counts, merged in every
+        // permutation: identical result. This is what lets the sweep
+        // committer's merge be bit-identical for any thread schedule.
+        let mut parts = Vec::new();
+        for k in 1u64..=3 {
+            let mut c = Counters::new();
+            for (i, id) in CounterId::ALL.into_iter().enumerate() {
+                c.add(id, k * 10 + i as u64);
+            }
+            parts.push(c);
+        }
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let reference = {
+            let mut m = Counters::new();
+            for p in &parts {
+                m.merge(p);
+            }
+            m
+        };
+        for order in orders {
+            let mut m = Counters::new();
+            for &i in &order {
+                m.merge(&parts[i]);
+            }
+            assert_eq!(m, reference, "merge diverged for order {order:?}");
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_counter_once() {
+        let mut c = Counters::new();
+        for (i, id) in CounterId::ALL.into_iter().enumerate() {
+            c.add(id, i as u64 + 1);
+        }
+        let got: Vec<(CounterId, u64)> = c.iter().collect();
+        assert_eq!(got.len(), CounterId::ALL.len());
+        for (i, (id, v)) in got.into_iter().enumerate() {
+            assert_eq!(id, CounterId::ALL[i]);
+            assert_eq!(v, i as u64 + 1);
+        }
+    }
+}

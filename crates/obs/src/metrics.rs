@@ -1,0 +1,72 @@
+//! The per-trial metrics aggregate the simulator hands back.
+
+use crate::{Counters, PhaseCycles, TrapEvent};
+
+/// Everything the observability layer recorded over one trial: the
+/// counter registry, the phase cycle account, and the trap-event ring
+/// summary (plus the drained events themselves when the ring was
+/// enabled).
+///
+/// Merging is field-wise addition (events concatenate in merge order),
+/// so a sweep's per-config metrics are deterministic as long as trials
+/// are merged in commit order — which the committer guarantees.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrialMetrics {
+    /// Event counts from every layer.
+    pub counters: Counters,
+    /// Where the cycles went.
+    pub phases: PhaseCycles,
+    /// Trap events drained from the ring (empty when disabled).
+    pub events: Vec<TrapEvent>,
+    /// Lifetime events the ring saw (including overwritten ones).
+    pub events_recorded: u64,
+    /// Events lost to the ring's bound.
+    pub events_dropped: u64,
+}
+
+impl TrialMetrics {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        TrialMetrics::default()
+    }
+
+    /// Merges another trial's metrics into this one.
+    pub fn merge(&mut self, other: &TrialMetrics) {
+        self.counters.merge(&other.counters);
+        self.phases.merge(&other.phases);
+        self.events.extend_from_slice(&other.events);
+        self.events_recorded += other.events_recorded;
+        self.events_dropped += other.events_dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterId, Phase, TrapKind};
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = TrialMetrics::new();
+        a.counters.add(CounterId::TrapEntries, 3);
+        a.phases.add(Phase::Handler, 100);
+        a.events.push(TrapEvent {
+            cycle: 1,
+            tid: 0,
+            vpn: 2,
+            kind: TrapKind::IFetch,
+            victim: None,
+        });
+        a.events_recorded = 5;
+        a.events_dropped = 4;
+
+        let mut m = TrialMetrics::new();
+        m.merge(&a);
+        m.merge(&a);
+        assert_eq!(m.counters.get(CounterId::TrapEntries), 6);
+        assert_eq!(m.phases.get(Phase::Handler), 200);
+        assert_eq!(m.events.len(), 2);
+        assert_eq!(m.events_recorded, 10);
+        assert_eq!(m.events_dropped, 8);
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-phase cycle accounting: where a trial's cycles actually go.
+//!
+//! The paper's Figure 4 plots time dilation — how much slower the
+//! monitored system runs than the native one — as trap overhead
+//! accumulates. [`PhaseCycles`] extends the `Monster` per-component
+//! counts and the Table 5 `CostModel` into that live view by
+//! splitting every cycle of a trial into four phases:
+//!
+//! * **User** — workload cycles spent in user-mode components
+//!   (User, BSD server, X server).
+//! * **Kernel** — workload cycles spent in the kernel component.
+//! * **Handler** — trap-entry and miss-accounting overhead (the
+//!   `TRAP_AND_RETURN` + `TW_CACHE_MISS` share of Table 5, and the
+//!   full R3000 refill cost for TLB trials).
+//! * **Replacement** — victim selection and re-trap overhead (the
+//!   `TW_REPLACE`/`TW_SET_TRAP` share of Table 5, plus page
+//!   registration and removal work).
+//!
+//! User + Kernel reproduces the workload's native runtime; Handler +
+//! Replacement is exactly the simulator's overhead cycles, so
+//! [`PhaseCycles::dilation`] is the Figure 4 dilation factor.
+
+use std::fmt;
+
+/// The four cycle-accounting phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// User-mode workload execution (User, BSD server, X server).
+    User,
+    /// Kernel-mode workload execution.
+    Kernel,
+    /// Trap entry and miss accounting.
+    Handler,
+    /// Victim selection, re-trapping, page registration/removal.
+    Replacement,
+}
+
+impl Phase {
+    /// All phases, in accounting (and JSON) order.
+    pub const ALL: [Phase; 4] = [
+        Phase::User,
+        Phase::Kernel,
+        Phase::Handler,
+        Phase::Replacement,
+    ];
+
+    /// Stable slot index for array-backed storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The phase's snake_case name, used as its METRICS.json key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::User => "user",
+            Phase::Kernel => "kernel",
+            Phase::Handler => "handler",
+            Phase::Replacement => "replacement",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cycles attributed to each [`Phase`] over one trial (or a merged
+/// set of trials).
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_obs::{Phase, PhaseCycles};
+///
+/// let mut p = PhaseCycles::new();
+/// p.add(Phase::User, 800);
+/// p.add(Phase::Kernel, 200);
+/// p.add(Phase::Handler, 400);
+/// p.add(Phase::Replacement, 100);
+/// assert_eq!(p.workload(), 1000);
+/// assert_eq!(p.overhead(), 500);
+/// assert_eq!(p.dilation(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseCycles {
+    cycles: [u64; Phase::ALL.len()],
+}
+
+impl PhaseCycles {
+    /// A zeroed account.
+    pub fn new() -> Self {
+        PhaseCycles::default()
+    }
+
+    /// Adds `cycles` to one phase.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, cycles: u64) {
+        self.cycles[phase.index()] += cycles;
+    }
+
+    /// Cycles recorded for one phase.
+    #[inline]
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.cycles[phase.index()]
+    }
+
+    /// All cycles across the four phases.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Native workload cycles (User + Kernel).
+    pub fn workload(&self) -> u64 {
+        self.get(Phase::User) + self.get(Phase::Kernel)
+    }
+
+    /// Simulation overhead cycles (Handler + Replacement).
+    pub fn overhead(&self) -> u64 {
+        self.get(Phase::Handler) + self.get(Phase::Replacement)
+    }
+
+    /// Figure 4 time-dilation factor: monitored runtime over native
+    /// runtime. `1.0` when nothing has been recorded.
+    pub fn dilation(&self) -> f64 {
+        let workload = self.workload();
+        if workload == 0 {
+            return 1.0;
+        }
+        1.0 + self.overhead() as f64 / workload as f64
+    }
+
+    /// Paper-style slowdown: overhead cycles per workload cycle
+    /// (`dilation - 1`).
+    pub fn slowdown(&self) -> f64 {
+        let workload = self.workload();
+        if workload == 0 {
+            return 0.0;
+        }
+        self.overhead() as f64 / workload as f64
+    }
+
+    /// Merges another account into this one (per-phase sum, so merge
+    /// order never matters).
+    pub fn merge(&mut self, other: &PhaseCycles) {
+        for (a, b) in self.cycles.iter_mut().zip(&other.cycles) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(phase, cycles)` in accounting order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.iter().map(|&p| (p, self.get(p)))
+    }
+}
+
+/// The live dilation report: `Display` renders a one-line Figure 4
+/// style summary.
+impl fmt::Display for PhaseCycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dilation {:.3}x (user {} + kernel {} workload cycles, \
+             handler {} + replacement {} overhead cycles)",
+            self.dilation(),
+            self.get(Phase::User),
+            self.get(Phase::Kernel),
+            self.get(Phase::Handler),
+            self.get(Phase::Replacement),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_account_is_identity() {
+        let p = PhaseCycles::new();
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.dilation(), 1.0);
+        assert_eq!(p.slowdown(), 0.0);
+    }
+
+    #[test]
+    fn workload_overhead_split() {
+        let mut p = PhaseCycles::new();
+        p.add(Phase::User, 600);
+        p.add(Phase::Kernel, 400);
+        p.add(Phase::Handler, 250);
+        p.add(Phase::Replacement, 250);
+        assert_eq!(p.workload(), 1000);
+        assert_eq!(p.overhead(), 500);
+        assert_eq!(p.total(), 1500);
+        assert_eq!(p.dilation(), 1.5);
+        assert_eq!(p.slowdown(), 0.5);
+    }
+
+    #[test]
+    fn merge_sums_per_phase_in_any_order() {
+        let mut a = PhaseCycles::new();
+        a.add(Phase::User, 10);
+        a.add(Phase::Handler, 5);
+        let mut b = PhaseCycles::new();
+        b.add(Phase::Kernel, 7);
+        b.add(Phase::Handler, 3);
+
+        let mut ab = PhaseCycles::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = PhaseCycles::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(Phase::Handler), 8);
+        assert_eq!(ab.total(), 25);
+    }
+
+    #[test]
+    fn display_reads_like_a_dilation_report() {
+        let mut p = PhaseCycles::new();
+        p.add(Phase::User, 100);
+        p.add(Phase::Handler, 50);
+        let s = p.to_string();
+        assert!(s.contains("dilation 1.500x"), "{s}");
+        assert!(s.contains("handler 50"), "{s}");
+    }
+}

@@ -187,7 +187,10 @@ impl Os {
 
     /// `true` when the task's pages belong in the Tapeworm domain.
     pub fn is_simulated(&self, tid: Tid) -> bool {
-        self.tasks.get(tid).map(|t| t.attrs.simulate).unwrap_or(false)
+        self.tasks
+            .get(tid)
+            .map(|t| t.attrs.simulate)
+            .unwrap_or(false)
     }
 
     /// Routes one memory reference through the VM system, demand-mapping
@@ -322,9 +325,7 @@ mod tests {
             .unwrap();
         assert_eq!(events.len(), 2);
         // Turning it off removes them again.
-        let events = os
-            .tw_attributes(t, TapewormAttrs::default())
-            .unwrap();
+        let events = os.tw_attributes(t, TapewormAttrs::default()).unwrap();
         assert_eq!(events.len(), 2);
         assert!(matches!(events[0], VmEvent::PageRemoved { .. }));
     }

@@ -27,6 +27,7 @@
 //!   matching slot, keeping TLB-mode valid-bit traps and pageout
 //!   semantics bit-exact.
 
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 
@@ -202,9 +203,7 @@ impl PageTable {
     }
 
     fn remove(&mut self, vpn: u64) -> Option<Pte> {
-        let removed = if vpn >= self.base_vpn
-            && vpn < self.base_vpn + self.dense.len() as u64
-        {
+        let removed = if vpn >= self.base_vpn && vpn < self.base_vpn + self.dense.len() as u64 {
             self.dense[(vpn - self.base_vpn) as usize].take()
         } else {
             match self.sparse.binary_search_by_key(&vpn, |&(v, _)| v) {
@@ -292,6 +291,10 @@ pub struct Vm {
     frame_refs: Vec<u32>,
     tcache: Vec<TcEntry>,
     faults: u64,
+    tc_hits: u64,
+    tc_misses: u64,
+    /// Full walks; a `Cell` because [`Vm::translate`] is `&self`.
+    walks: Cell<u64>,
 }
 
 impl Vm {
@@ -305,6 +308,9 @@ impl Vm {
             tables: Vec::new(),
             tcache: vec![TcEntry::EMPTY; TCACHE_SLOTS],
             faults: 0,
+            tc_hits: 0,
+            tc_misses: 0,
+            walks: Cell::new(0),
         }
     }
 
@@ -316,6 +322,21 @@ impl Vm {
     /// Real page faults handled so far.
     pub fn faults(&self) -> u64 {
         self.faults
+    }
+
+    /// Software translation-cache hits so far.
+    pub fn tc_hits(&self) -> u64 {
+        self.tc_hits
+    }
+
+    /// Software translation-cache misses so far.
+    pub fn tc_misses(&self) -> u64 {
+        self.tc_misses
+    }
+
+    /// Full page-table walks performed so far.
+    pub fn walks(&self) -> u64 {
+        self.walks.get()
     }
 
     /// Free physical frames remaining.
@@ -347,10 +368,12 @@ impl Vm {
         let idx = Self::tc_index(tid, vpn);
         let entry = self.tcache[idx];
         if entry.vpn == vpn && entry.tid == tid.raw() {
+            self.tc_hits += 1;
             return Translation::Mapped(PhysAddr::new(
                 entry.pa_base + va.page_offset(self.page_bytes),
             ));
         }
+        self.tc_misses += 1;
         let t = self.translate(tid, va);
         if let Translation::Mapped(pa) = t {
             self.tcache[idx] = TcEntry {
@@ -364,6 +387,7 @@ impl Vm {
 
     /// Hardware translation of `(tid, va)` (full page-table walk).
     pub fn translate(&self, tid: Tid, va: VirtAddr) -> Translation {
+        self.walks.set(self.walks.get() + 1);
         let vpn = va.page_number(self.page_bytes);
         match self.pte(tid, vpn) {
             Some(pte) if pte.valid => Translation::Mapped(self.frame_addr(pte.pfn, va)),
@@ -381,9 +405,7 @@ impl Vm {
     /// The PTE for `(tid, vpn)`, if any.
     #[inline]
     pub fn pte(&self, tid: Tid, vpn: u64) -> Option<Pte> {
-        self.tables
-            .get(tid.raw() as usize)
-            .and_then(|t| t.get(vpn))
+        self.tables.get(tid.raw() as usize).and_then(|t| t.get(vpn))
     }
 
     fn table_mut(&mut self, tid: Tid) -> &mut PageTable {
@@ -590,7 +612,10 @@ mod tests {
         vm.set_valid(T1, va.page_number(4096), true);
         assert!(matches!(vm.translate(T1, va), Translation::Mapped(_)));
         // An unmapped address is a *real* fault, not a trap.
-        assert_eq!(vm.translate(T1, VirtAddr::new(0x9_0000)), Translation::NotMapped);
+        assert_eq!(
+            vm.translate(T1, VirtAddr::new(0x9_0000)),
+            Translation::NotMapped
+        );
     }
 
     #[test]
@@ -688,7 +713,10 @@ mod tests {
         let vpn = va.page_number(4096);
         vm.map_new(T1, vpn).unwrap();
         // Prime the cache.
-        assert!(matches!(vm.translate_cached(T1, va), Translation::Mapped(_)));
+        assert!(matches!(
+            vm.translate_cached(T1, va),
+            Translation::Mapped(_)
+        ));
         // Valid-bit clear must not be hidden by the cache (TLB mode).
         vm.set_valid(T1, vpn, false);
         assert!(matches!(
@@ -696,10 +724,27 @@ mod tests {
             Translation::TapewormPageTrap(_)
         ));
         vm.set_valid(T1, vpn, true);
-        assert!(matches!(vm.translate_cached(T1, va), Translation::Mapped(_)));
+        assert!(matches!(
+            vm.translate_cached(T1, va),
+            Translation::Mapped(_)
+        ));
         // Unmap (pageout) must not be hidden either.
         vm.unmap(T1, vpn);
         assert_eq!(vm.translate_cached(T1, va), Translation::NotMapped);
+    }
+
+    #[test]
+    fn translation_counters_track_hits_misses_and_walks() {
+        let mut vm = vm(8);
+        let va = VirtAddr::new(0x3000);
+        vm.map_new(T1, va.page_number(4096)).unwrap();
+        assert_eq!(vm.translate_cached(T1, va), vm.translate(T1, va));
+        vm.translate_cached(T1, va);
+        vm.translate_cached(T1, va);
+        assert_eq!(vm.tc_misses(), 1, "first caching lookup walks");
+        assert_eq!(vm.tc_hits(), 2, "repeat lookups hit the cache");
+        // Walks: the caching miss, the direct translate() above.
+        assert_eq!(vm.walks(), 2);
     }
 
     #[test]

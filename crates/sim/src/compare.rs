@@ -68,8 +68,7 @@ pub fn run_trace_driven(
 
     let overhead = sim.overhead_cycles() + sim.references() * TRACE_IO_CYCLES_PER_ADDRESS;
     // Normal workload run time covers ALL components at the base CPI.
-    let workload_cycles =
-        (total_instructions as f64 * cfg.base_cpi()).round() as u64;
+    let workload_cycles = (total_instructions as f64 * cfg.base_cpi()).round() as u64;
     Ok(TraceRunResult {
         references: sim.references(),
         misses: sim.misses(),

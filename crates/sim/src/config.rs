@@ -22,7 +22,9 @@ impl ComponentSet {
 
     /// Only the BSD and X servers.
     pub fn servers_only() -> Self {
-        Self::empty().with(Component::BsdServer).with(Component::XServer)
+        Self::empty()
+            .with(Component::BsdServer)
+            .with(Component::XServer)
     }
 
     /// Only the kernel.
@@ -269,14 +271,11 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let cfg = SystemConfig::cache(
-            Workload::MpegPlay,
-            CacheConfig::new(4096, 16, 1).unwrap(),
-        )
-        .with_components(ComponentSet::user_only())
-        .with_sampling(8)
-        .with_scale(500)
-        .with_alloc(AllocPolicy::Sequential);
+        let cfg = SystemConfig::cache(Workload::MpegPlay, CacheConfig::new(4096, 16, 1).unwrap())
+            .with_components(ComponentSet::user_only())
+            .with_sampling(8)
+            .with_scale(500)
+            .with_alloc(AllocPolicy::Sequential);
         assert_eq!(cfg.sample_denominator, 8);
         assert_eq!(cfg.scale, 500);
         assert_eq!(cfg.alloc, AllocPolicy::Sequential);

@@ -44,5 +44,7 @@ pub use config::{AllocPolicy, ComponentSet, CostKind, SimModel, SystemConfig};
 pub use result::TrialResult;
 pub use sweep::{run_sweep, TrialSummary};
 pub use system::{
-    run_trial, run_trial_windowed, try_run_trial, try_run_trial_windowed, TrialError, WindowSample,
+    run_trial, run_trial_observed, run_trial_windowed, try_run_trial, try_run_trial_observed,
+    try_run_trial_windowed, ObsConfig, TrialError, WindowSample,
 };
+pub use tapeworm_obs::TrialMetrics;

@@ -15,12 +15,13 @@
 //! `base.derive("sweep-config", c).derive("trial", t)`, so trial `t` of
 //! configuration `c` is reproducible in isolation.
 
+use tapeworm_obs::TrialMetrics;
 use tapeworm_stats::trials::TrialScheduler;
 use tapeworm_stats::{OnlineStats, SeedSeq, Summary};
 
 use crate::config::SystemConfig;
 use crate::result::TrialResult;
-use crate::system::run_trial;
+use crate::system::{run_trial_observed, ObsConfig};
 
 /// Per-configuration outcome of a sweep: the raw trial results in trial
 /// order plus ready-made summaries of the two headline metrics.
@@ -29,6 +30,7 @@ pub struct TrialSummary {
     results: Vec<TrialResult>,
     misses: Summary,
     slowdowns: Summary,
+    metrics: TrialMetrics,
 }
 
 impl TrialSummary {
@@ -45,6 +47,12 @@ impl TrialSummary {
     /// Summary of [`TrialResult::slowdown`] over the trials.
     pub fn slowdowns(&self) -> &Summary {
         &self.slowdowns
+    }
+
+    /// Observability metrics merged over the trials in commit (trial)
+    /// order — deterministic for every thread count.
+    pub fn metrics(&self) -> &TrialMetrics {
+        &self.metrics
     }
 
     /// Summary of an arbitrary per-trial metric.
@@ -87,6 +95,7 @@ pub fn run_sweep(
     let mut results: Vec<TrialResult> = Vec::with_capacity(trials);
     let mut misses = OnlineStats::new();
     let mut slowdowns = OnlineStats::new();
+    let mut metrics = TrialMetrics::new();
 
     scheduler.run_committed(
         n,
@@ -94,19 +103,23 @@ pub fn run_sweep(
             let c = i / trials;
             let t = (i % trials) as u64;
             let trial = base.derive("sweep-config", c as u64).derive("trial", t);
-            run_trial(&configs[c], base, trial)
+            run_trial_observed(&configs[c], base, trial, ObsConfig::default())
         },
-        |i, result| {
+        |i, (result, trial_metrics)| {
             // Commits arrive strictly in index order, i.e. config-major:
             // all trials of config c before any trial of config c + 1.
+            // Merging metrics here (not at completion) keeps them
+            // deterministic for every thread count.
             misses.push(result.total_misses());
             slowdowns.push(result.slowdown());
             results.push(result);
+            metrics.merge(&trial_metrics);
             if i % trials == trials - 1 {
                 out.push(TrialSummary {
                     results: std::mem::take(&mut results),
                     misses: misses.summary().expect("trials > 0"),
                     slowdowns: slowdowns.summary().expect("trials > 0"),
+                    metrics: std::mem::take(&mut metrics),
                 });
                 misses = OnlineStats::new();
                 slowdowns = OnlineStats::new();
@@ -153,6 +166,18 @@ mod tests {
             let par = run_sweep(&configs(), 3, SeedSeq::new(7), threads);
             for (a, b) in serial.iter().zip(&par) {
                 assert_eq!(a.results(), b.results(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_metrics_are_merged_and_thread_count_invariant() {
+        let serial = run_sweep(&configs(), 3, SeedSeq::new(7), 1);
+        assert!(serial[0].metrics().counters.total() > 0);
+        for threads in [2, 4] {
+            let par = run_sweep(&configs(), 3, SeedSeq::new(7), threads);
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.metrics(), b.metrics(), "threads={threads}");
             }
         }
     }

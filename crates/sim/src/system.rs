@@ -14,13 +14,16 @@ use std::error::Error;
 use std::fmt;
 
 use tapeworm_core::{SetSample, Tapeworm, TlbSim, TwoLevelTapeworm};
-use tapeworm_trace::{Cache2000Config, KernelTraceBuffer, KernelTraceBufferConfig};
 use tapeworm_machine::{AccessKind, Component, FetchOutcome, Machine, MachineConfig, Monster};
 use tapeworm_mem::{
     ColoringAllocator, FrameAllocator, PhysAddr, RandomAllocator, SequentialAllocator, VirtAddr,
 };
+use tapeworm_obs::{
+    CounterId, Counters, Phase, PhaseCycles, TrapEvent, TrapKind, TrapRing, TrialMetrics,
+};
 use tapeworm_os::{Os, OsConfig, OutOfMemoryError, TapewormAttrs, Tid, Translation, VmEvent};
 use tapeworm_stats::SeedSeq;
+use tapeworm_trace::{Cache2000Config, KernelTraceBuffer, KernelTraceBufferConfig};
 use tapeworm_workload::{
     DataParams, DataRef, DataStream, ProcStream, RefStream, WorkloadSpec, BSD_TEXT_BASE,
     DATA_SEGMENT_OFFSET, KERNEL_TEXT_BASE, USER_TEXT_BASE, X_TEXT_BASE,
@@ -97,6 +100,71 @@ pub fn try_run_trial(
     Ok(Engine::new(cfg, base, trial)?.run_collect()?.0)
 }
 
+/// Observability options for [`run_trial_observed`].
+///
+/// Counter and phase-cycle collection is always on (the underlying
+/// counters are plain branch-free integer increments); this only
+/// controls the optional trap-event ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsConfig {
+    /// Capacity of the bounded trap-event ring. `0` (the default)
+    /// disables event recording entirely; a full ring overwrites its
+    /// oldest events and counts the loss.
+    pub ring_capacity: usize,
+}
+
+impl ObsConfig {
+    /// An observability configuration recording up to `capacity` trap
+    /// events.
+    pub fn with_ring(capacity: usize) -> Self {
+        ObsConfig {
+            ring_capacity: capacity,
+        }
+    }
+}
+
+/// Like [`run_trial`], additionally returning the trial's
+/// [`TrialMetrics`]: the layered counter registry, the per-phase cycle
+/// account, and (when `obs.ring_capacity > 0`) the drained trap-event
+/// ring.
+///
+/// The [`TrialResult`] is bit-identical to [`run_trial`]'s — metrics
+/// collection never perturbs the simulation.
+///
+/// # Panics
+///
+/// Panics if the configuration is infeasible — see
+/// [`try_run_trial_observed`] for the non-panicking form.
+pub fn run_trial_observed(
+    cfg: &SystemConfig,
+    base: SeedSeq,
+    trial: SeedSeq,
+    obs: ObsConfig,
+) -> (TrialResult, TrialMetrics) {
+    match try_run_trial_observed(cfg, base, trial, obs) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run_trial_observed`], but surfaces infeasible configurations
+/// as a typed [`TrialError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`TrialError::OutOfFrames`] when the workload's footprint exceeds
+/// `SystemConfig::frames`.
+pub fn try_run_trial_observed(
+    cfg: &SystemConfig,
+    base: SeedSeq,
+    trial: SeedSeq,
+    obs: ObsConfig,
+) -> Result<(TrialResult, TrialMetrics), TrialError> {
+    let mut engine = Engine::new(cfg, base, trial)?;
+    engine.ring = TrapRing::new(obs.ring_capacity);
+    engine.run_collect().map(|(r, _, m)| (r, m))
+}
+
 /// One continuous-monitoring window (§5: "the use of continuous
 /// monitoring and simulation opens up the possibility of using these
 /// results to perform real-time hardware and software tuning").
@@ -161,7 +229,7 @@ pub fn try_run_trial_windowed(
     assert!(window_instructions > 0, "window must be positive");
     let mut engine = Engine::new(cfg, base, trial)?;
     engine.window = Some((window_instructions, Vec::new()));
-    engine.run_collect()
+    engine.run_collect().map(|(r, w, _)| (r, w))
 }
 
 enum Sim {
@@ -231,6 +299,10 @@ struct Engine<'c> {
     /// Continuous-monitoring state: window length and collected
     /// samples.
     window: Option<(u64, Vec<crate::system::WindowSample>)>,
+    /// Bounded trap-event ring (capacity 0 = disabled, the default).
+    ring: TrapRing,
+    /// Scheduler quanta dispatched by the round-robin loop.
+    sched_quanta: u64,
 }
 
 impl<'c> Engine<'c> {
@@ -301,15 +373,13 @@ impl<'c> Engine<'c> {
                     .with_cost(cfg.cost.model()),
             },
             SimModel::Tlb(t) => Sim::Tlb(TlbSim::new(t, page, base.derive("tlbsim", 0))),
-            SimModel::KernelTraceBuffer(c) => {
-                Sim::Buffer(KernelTraceBuffer::new(KernelTraceBufferConfig::with_cache(
-                    Cache2000Config::with_geometry(
-                        c.size_bytes(),
-                        c.line_bytes(),
-                        c.associativity(),
-                    ),
-                )))
-            }
+            SimModel::KernelTraceBuffer(c) => Sim::Buffer(KernelTraceBuffer::new(
+                KernelTraceBufferConfig::with_cache(Cache2000Config::with_geometry(
+                    c.size_bytes(),
+                    c.line_bytes(),
+                    c.associativity(),
+                )),
+            )),
         };
         let split = matches!(cfg.model, SimModel::SplitCache { .. });
 
@@ -368,9 +438,8 @@ impl<'c> Engine<'c> {
             budget(spec.frac_user),
         ];
 
-        let user_quota = (budgets[Component::User.index()]
-            / u64::from(spec.user_task_count.max(1)))
-        .max(1);
+        let user_quota =
+            (budgets[Component::User.index()] / u64::from(spec.user_task_count.max(1))).max(1);
         let mut engine = Engine {
             cfg,
             spec,
@@ -425,6 +494,8 @@ impl<'c> Engine<'c> {
             page_bytes: page.bytes(),
             data_scratch: Vec::new(),
             window: None,
+            ring: TrapRing::new(0),
+            sched_quanta: 0,
         };
         let initial = spec.concurrent_tasks.min(spec.user_task_count.max(1));
         for _ in 0..initial {
@@ -522,13 +593,11 @@ impl<'c> Engine<'c> {
                 FetchOutcome::Run => {}
                 FetchOutcome::EccTrap => {
                     if let Sim::Split { dcache, .. } = &mut self.sim {
-                        overhead = dcache.handle_miss(
-                            self.machine.traps_mut(),
-                            component,
-                            tid,
-                            r.va,
-                            pa,
-                        );
+                        overhead =
+                            dcache.handle_miss(self.machine.traps_mut(), component, tid, r.va, pa);
+                    }
+                    if self.ring.enabled() {
+                        self.record_trap(TrapKind::Data, tid, r.va);
                     }
                 }
                 FetchOutcome::MaskedEccSkipped => {
@@ -563,11 +632,12 @@ impl<'c> Engine<'c> {
                 Translation::TapewormPageTrap(_) => {
                     let vpn = va.page_number(self.page_bytes);
                     let cycles = match &mut self.sim {
-                        Sim::Tlb(ts) => {
-                            ts.handle_page_trap(self.os.vm_mut(), component, tid, vpn)
-                        }
+                        Sim::Tlb(ts) => ts.handle_page_trap(self.os.vm_mut(), component, tid, vpn),
                         _ => unreachable!("valid bits are only cleared in TLB mode"),
                     };
+                    if self.ring.enabled() {
+                        self.record_trap(TrapKind::Tlb, tid, va);
+                    }
                     self.advance(0, cycles)?;
                 }
                 Translation::NotMapped => {
@@ -595,6 +665,28 @@ impl<'c> Engine<'c> {
         }
     }
 
+    /// Records one trap event in the ring, pulling the victim from
+    /// whichever simulator just handled the miss. Called only on the
+    /// (cold) trap path, and only when the ring is enabled.
+    fn record_trap(&mut self, kind: TrapKind, tid: Tid, va: VirtAddr) {
+        let victim = match (&self.sim, kind) {
+            (Sim::Cache(tw), _) => tw.last_victim().map(|pa| pa.raw()),
+            (Sim::Split { dcache, .. }, TrapKind::Data) => dcache.last_victim().map(|pa| pa.raw()),
+            (Sim::Split { icache, .. }, _) => icache.last_victim().map(|pa| pa.raw()),
+            (Sim::Tlb(ts), _) => ts.last_victim(),
+            // No victim tracking for the two-level hierarchy or the
+            // annotated trace buffer.
+            (Sim::TwoLevel(_) | Sim::Buffer(_), _) => None,
+        };
+        self.ring.record(TrapEvent {
+            cycle: self.machine.now(),
+            tid: tid.raw(),
+            vpn: va.page_number(self.page_bytes),
+            kind,
+            victim,
+        });
+    }
+
     /// Executes `words` sequential fetches starting at `va` for a
     /// component, charging workload time and handling traps.
     fn exec_words(
@@ -620,9 +712,7 @@ impl<'c> Engine<'c> {
             let w = remaining.min(words_to_end);
             let vpn = va.page_number(self.page_bytes);
             let pa = match memo {
-                Some((m_vpn, delta)) if m_vpn == vpn => {
-                    PhysAddr::new(va.raw().wrapping_add(delta))
-                }
+                Some((m_vpn, delta)) if m_vpn == vpn => PhysAddr::new(va.raw().wrapping_add(delta)),
                 _ => {
                     let pa = self.touch(component, tid, va)?;
                     memo = Some((vpn, pa.raw().wrapping_sub(va.raw())));
@@ -653,6 +743,9 @@ impl<'c> Engine<'c> {
                             }
                             Sim::Tlb(_) | Sim::Buffer(_) => unreachable!(),
                         };
+                        if self.ring.enabled() {
+                            self.record_trap(TrapKind::IFetch, tid, va);
+                        }
                     }
                     FetchOutcome::MaskedEccSkipped => match &mut self.sim {
                         Sim::Cache(tw) => tw.note_masked_miss(),
@@ -680,12 +773,7 @@ impl<'c> Engine<'c> {
 
     /// Advances wall-clock time and services any clock interrupts.
     fn advance(&mut self, workload_cycles: u64, overhead_cycles: u64) -> Result<(), TrialError> {
-        let dilated = workload_cycles
-            + if self.cfg.dilate {
-                overhead_cycles
-            } else {
-                0
-            };
+        let dilated = workload_cycles + if self.cfg.dilate { overhead_cycles } else { 0 };
         let fired = self.machine.advance(dilated);
         if fired > 0 && !self.in_interrupt {
             for _ in 0..fired.min(4) {
@@ -834,9 +922,59 @@ impl<'c> Engine<'c> {
         }
     }
 
+    /// Assembles the trial's observability metrics: counters from every
+    /// layer, the per-phase cycle account, and the drained event ring.
+    fn collect_metrics(&mut self) -> TrialMetrics {
+        let mut counters = Counters::new();
+        counters.add(CounterId::TrapEntries, self.machine.trap_entries());
+        counters.add(CounterId::TrapsSet, self.machine.traps().set_events());
+        counters.add(CounterId::TrapsCleared, self.machine.traps().clear_events());
+        counters.add(CounterId::TcacheHits, self.os.vm().tc_hits());
+        counters.add(CounterId::TcacheMisses, self.os.vm().tc_misses());
+        counters.add(CounterId::PageWalks, self.os.vm().walks());
+        counters.add(
+            CounterId::BreakpointChecks,
+            self.machine.breakpoint_checks(),
+        );
+        counters.add(CounterId::SchedQuanta, self.sched_quanta);
+
+        let mut phases = PhaseCycles::new();
+        phases.add(Phase::Kernel, self.monster.cycles(Component::Kernel));
+        phases.add(
+            Phase::User,
+            self.monster.cycles(Component::BsdServer)
+                + self.monster.cycles(Component::XServer)
+                + self.monster.cycles(Component::User),
+        );
+        let (handler, replacement) = match &self.sim {
+            Sim::Cache(tw) => (tw.handler_cycles(), tw.replacement_cycles()),
+            Sim::Split { icache, dcache } => (
+                icache.handler_cycles() + dcache.handler_cycles(),
+                icache.replacement_cycles() + dcache.replacement_cycles(),
+            ),
+            // These simulators model no handler/replacement split; all
+            // their overhead is booked as handler time.
+            Sim::TwoLevel(tw) => (tw.overhead_cycles(), 0),
+            Sim::Tlb(ts) => (ts.overhead_cycles(), 0),
+            Sim::Buffer(kt) => (kt.overhead_cycles(), 0),
+        };
+        phases.add(Phase::Handler, handler);
+        phases.add(Phase::Replacement, replacement);
+
+        let events_recorded = self.ring.recorded();
+        let events_dropped = self.ring.dropped();
+        TrialMetrics {
+            counters,
+            phases,
+            events: self.ring.drain(),
+            events_recorded,
+            events_dropped,
+        }
+    }
+
     fn run_collect(
         mut self,
-    ) -> Result<(TrialResult, Vec<crate::system::WindowSample>), TrialError> {
+    ) -> Result<(TrialResult, Vec<crate::system::WindowSample>, TrialMetrics), TrialError> {
         // Smooth weighted round-robin over the components, by the
         // Table 4 time fractions.
         let weights = self.spec.component_weights();
@@ -858,6 +996,7 @@ impl<'c> Engine<'c> {
                 .expect("non-empty wrr");
             wrr[best].2 -= total;
             let component = wrr[best].0;
+            self.sched_quanta += 1;
             let executed = self.run_quantum(component)?;
             if self.window.is_some() {
                 self.sample_windows();
@@ -923,8 +1062,9 @@ impl<'c> Engine<'c> {
             self.os.vm().faults(),
             u64::from(self.users_created),
         );
+        let metrics = self.collect_metrics();
         let windows = self.window.take().map(|(_, s)| s).unwrap_or_default();
-        Ok((result, windows))
+        Ok((result, windows, metrics))
     }
 }
 
@@ -946,5 +1086,66 @@ impl std::fmt::Debug for Engine<'_> {
             .field("workload", &self.spec.name)
             .field("users", &self.users.len())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeworm_core::CacheConfig;
+    use tapeworm_workload::Workload;
+
+    fn small_cfg() -> SystemConfig {
+        let cache = CacheConfig::new(4096, 16, 1).expect("valid geometry");
+        SystemConfig::cache(Workload::Espresso, cache).with_scale(20_000)
+    }
+
+    #[test]
+    fn observed_trial_matches_plain_and_collects_metrics() {
+        let cfg = small_cfg();
+        let (base, trial) = (SeedSeq::new(1), SeedSeq::new(2));
+        let plain = run_trial(&cfg, base, trial);
+        let (observed, metrics) = run_trial_observed(&cfg, base, trial, ObsConfig::with_ring(64));
+        // Observation never perturbs the simulation.
+        assert_eq!(plain, observed);
+        // Every handler entry produced exactly one ring event.
+        assert_eq!(
+            metrics.events_recorded,
+            metrics.counters.get(CounterId::TrapEntries)
+        );
+        assert!(metrics.events_recorded > 0);
+        assert_eq!(
+            metrics.events.len() as u64 + metrics.events_dropped,
+            metrics.events_recorded
+        );
+        // The phase account books every cycle of the trial.
+        assert_eq!(metrics.phases.overhead(), observed.overhead_cycles);
+        assert_eq!(metrics.phases.workload(), observed.workload_cycles);
+        // A disabled ring records nothing but counts stay on.
+        let (_, quiet) = run_trial_observed(&cfg, base, trial, ObsConfig::default());
+        assert_eq!(quiet.events_recorded, 0);
+        assert!(quiet.events.is_empty());
+        assert_eq!(quiet.counters, metrics.counters);
+        assert_eq!(quiet.phases, metrics.phases);
+    }
+
+    #[test]
+    fn ring_events_are_ordered_and_well_formed() {
+        let cfg = small_cfg();
+        let (_, metrics) = run_trial_observed(
+            &cfg,
+            SeedSeq::new(1),
+            SeedSeq::new(2),
+            ObsConfig::with_ring(128),
+        );
+        let cycles: Vec<u64> = metrics.events.iter().map(|e| e.cycle).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "events in time order"
+        );
+        assert!(metrics
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, TrapKind::IFetch)));
     }
 }

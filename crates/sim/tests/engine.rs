@@ -24,7 +24,11 @@ fn trial_executes_the_instruction_budget() {
     let r = run_trial(&c, SeedSeq::new(1), SeedSeq::new(10));
     let expected = Workload::MpegPlay.spec().scaled_instructions(SCALE);
     // Interrupt handlers add a little work on top of the budget.
-    assert!(r.instructions >= expected, "{} < {expected}", r.instructions);
+    assert!(
+        r.instructions >= expected,
+        "{} < {expected}",
+        r.instructions
+    );
     assert!(
         (r.instructions as f64) < expected as f64 * 1.3,
         "interrupt overhead exploded: {}",
@@ -91,8 +95,12 @@ fn interference_all_activity_exceeds_sum_of_parts() {
     let base = SeedSeq::new(11);
     let trial = SeedSeq::new(12);
     let run = |set: ComponentSet| {
-        run_trial(&cfg(Workload::MpegPlay, 4096).with_components(set), base, trial)
-            .total_misses()
+        run_trial(
+            &cfg(Workload::MpegPlay, 4096).with_components(set),
+            base,
+            trial,
+        )
+        .total_misses()
     };
     let user = run(ComponentSet::user_only());
     let servers = run(ComponentSet::servers_only());
@@ -183,7 +191,11 @@ fn tlb_simulation_counts_tlb_misses() {
     let r = run_trial(&c, SeedSeq::new(51), SeedSeq::new(52));
     assert!(r.total_misses() > 0.0);
     // TLB misses are far rarer than 1K-cache misses.
-    assert!(r.total_miss_ratio() < 0.05, "ratio {}", r.total_miss_ratio());
+    assert!(
+        r.total_miss_ratio() < 0.05,
+        "ratio {}",
+        r.total_miss_ratio()
+    );
 }
 
 #[test]
@@ -216,8 +228,7 @@ fn model_selection_is_visible_in_config() {
 
 #[test]
 fn kernel_trace_buffer_sees_all_components_at_trace_cost() {
-    let c = SystemConfig::kernel_trace_buffer(Workload::Ousterhout, cache(4096))
-        .with_scale(SCALE);
+    let c = SystemConfig::kernel_trace_buffer(Workload::Ousterhout, cache(4096)).with_scale(SCALE);
     let buffer = run_trial(&c, SeedSeq::new(95), SeedSeq::new(96));
     // Complete coverage, like Tapeworm:
     assert!(buffer.misses(Component::Kernel) > 0.0);
@@ -255,10 +266,7 @@ fn split_cache_counts_data_misses_only_on_allocating_hosts() {
     let r_bad = run_trial(&bad, SeedSeq::new(91), SeedSeq::new(92));
     let d_bad = r_bad.total_data_misses().expect("split run reports D");
     assert!(r_bad.write_traps_destroyed > 0, "hazard must be observed");
-    assert!(
-        d_bad < d_good,
-        "undercount expected: {d_bad} !< {d_good}"
-    );
+    assert!(d_bad < d_good, "undercount expected: {d_bad} !< {d_good}");
     // Instruction-side counts are unaffected by the write policy.
     assert_eq!(r_bad.total_misses(), r_good.total_misses());
 }

@@ -160,8 +160,7 @@ mod tests {
             acc.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((acc.mean() - mean).abs() < 1e-12);
         assert!((acc.sample_variance() - var).abs() < 1e-12);
     }

@@ -236,8 +236,8 @@ where
 {
     assert!(n > 0, "an experiment needs at least one trial");
     let values: Vec<f64> = (0..n as u64).map(|i| f(base.derive("trial", i))).collect();
-    let summary = Summary::from_values(values.iter().copied())
-        .expect("n > 0 guarantees a non-empty sample");
+    let summary =
+        Summary::from_values(values.iter().copied()).expect("n > 0 guarantees a non-empty sample");
     TrialSet { values, summary }
 }
 
@@ -318,9 +318,7 @@ mod tests {
         sched.run_committed(
             16,
             |i| {
-                std::thread::sleep(std::time::Duration::from_micros(
-                    ((16 - i) * 200) as u64,
-                ));
+                std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 200) as u64));
                 i * 10
             },
             |i, v| seen.push((i, v)),

@@ -103,8 +103,14 @@ impl Cache2000 {
     /// Panics on degenerate geometry (zero sets or non-power-of-two
     /// fields).
     pub fn new(cfg: Cache2000Config) -> Self {
-        assert!(cfg.size_bytes.is_power_of_two(), "size must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line must be a power of two");
+        assert!(
+            cfg.size_bytes.is_power_of_two(),
+            "size must be a power of two"
+        );
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line must be a power of two"
+        );
         assert!(
             cfg.size_bytes >= cfg.line_bytes * u64::from(cfg.associativity),
             "cache must hold at least one set"
@@ -248,7 +254,7 @@ mod tests {
     #[test]
     fn direct_mapped_conflicts_thrash() {
         let mut c = dm(256); // 16 sets
-        // Two lines 256 bytes apart share set 0 and evict each other.
+                             // Two lines 256 bytes apart share set 0 and evict each other.
         for _ in 0..10 {
             c.reference(VirtAddr::new(0));
             c.reference(VirtAddr::new(256));
@@ -262,11 +268,7 @@ mod tests {
         let mut c = Cache2000::new(Cache2000Config::with_geometry(512, 16, 2));
         // Three conflicting lines in one 2-way set; LRU access pattern
         // a b a c -> c evicts b, not a.
-        let (a, b, x) = (
-            VirtAddr::new(0),
-            VirtAddr::new(256),
-            VirtAddr::new(512),
-        );
+        let (a, b, x) = (VirtAddr::new(0), VirtAddr::new(256), VirtAddr::new(512));
         c.reference(a);
         c.reference(b);
         c.reference(a);
@@ -280,11 +282,7 @@ mod tests {
         let mut cfg = Cache2000Config::with_geometry(512, 16, 2);
         cfg.policy = TracePolicy::Fifo;
         let mut c = Cache2000::new(cfg);
-        let (a, b, x) = (
-            VirtAddr::new(0),
-            VirtAddr::new(256),
-            VirtAddr::new(512),
-        );
+        let (a, b, x) = (VirtAddr::new(0), VirtAddr::new(256), VirtAddr::new(512));
         c.reference(a);
         c.reference(b);
         c.reference(a); // does not refresh FIFO order

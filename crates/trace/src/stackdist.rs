@@ -106,11 +106,7 @@ impl StackDistance {
     /// lines: cold misses plus re-references with stack distance ≥
     /// capacity.
     pub fn misses_for_capacity(&self, capacity_lines: usize) -> u64 {
-        let deep: u64 = self
-            .hist
-            .iter()
-            .skip(capacity_lines)
-            .sum();
+        let deep: u64 = self.hist.iter().skip(capacity_lines).sum();
         self.cold + deep
     }
 
@@ -175,7 +171,8 @@ mod tests {
             .collect();
         let s = refs(&addrs);
         for cap_lines in [4usize, 8, 16] {
-            let mut cfg = Cache2000Config::with_geometry(16 * cap_lines as u64, 16, cap_lines as u32);
+            let mut cfg =
+                Cache2000Config::with_geometry(16 * cap_lines as u64, 16, cap_lines as u32);
             cfg.policy = crate::cache2000::TracePolicy::Lru;
             let mut c2k = Cache2000::new(cfg);
             c2k.run(addrs.iter().map(|&a| VirtAddr::new(a)));

@@ -257,7 +257,9 @@ mod tests {
 
     #[test]
     fn sequential_fetches_compress_to_one_byte_each() {
-        let t: Trace = (0..1000u64).map(|i| VirtAddr::new(0x1000 + 4 * i)).collect();
+        let t: Trace = (0..1000u64)
+            .map(|i| VirtAddr::new(0x1000 + 4 * i))
+            .collect();
         let bytes = t.to_bytes();
         // First record takes a few bytes; the rest are delta=4 = 1 byte.
         assert!(bytes.len() < 1005, "got {} bytes", bytes.len());

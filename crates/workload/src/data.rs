@@ -9,7 +9,6 @@
 //! at classic RISC densities (roughly a quarter of instructions load,
 //! under a tenth store).
 
-
 use tapeworm_mem::VirtAddr;
 use tapeworm_stats::{Rng, SeedSeq, Zipf};
 

@@ -305,10 +305,7 @@ mod tests {
         for w in Workload::ALL {
             let s = w.spec();
             let total = s.frac_kernel + s.frac_bsd + s.frac_x + s.frac_user;
-            assert!(
-                (total - 1.0).abs() < 0.005,
-                "{w}: fractions sum to {total}"
-            );
+            assert!((total - 1.0).abs() < 0.005, "{w}: fractions sum to {total}");
         }
     }
 
@@ -353,10 +350,7 @@ mod tests {
     #[test]
     fn scaling_floors_at_one() {
         assert_eq!(Workload::Kenbus.spec().scaled_instructions(1), 176_000_000);
-        assert_eq!(
-            Workload::Kenbus.spec().scaled_instructions(u64::MAX),
-            1
-        );
+        assert_eq!(Workload::Kenbus.spec().scaled_instructions(u64::MAX), 1);
     }
 
     #[test]

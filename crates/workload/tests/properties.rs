@@ -7,29 +7,29 @@
 
 use proptest::prelude::*;
 use tapeworm_stats::SeedSeq;
-use tapeworm_workload::{
-    DataParams, DataStream, ProcStream, RefStream, StreamParams, Workload,
-};
+use tapeworm_workload::{DataParams, DataStream, ProcStream, RefStream, StreamParams, Workload};
 
 fn arb_params() -> impl Strategy<Value = StreamParams> {
     (
-        1u64..64,                 // footprint KiB
+        1u64..64, // footprint KiB
         prop_oneof![Just(64u64), Just(128), Just(256), Just(512)],
-        0.0f64..2.0,              // zipf
-        0.05f64..1.0,             // hot fraction
-        0.0f64..1.0,              // hot prob
+        0.0f64..2.0,  // zipf
+        0.05f64..1.0, // hot fraction
+        0.0f64..1.0,  // hot prob
         1u32..4,
         0u32..8,
     )
-        .prop_map(|(kb, proc_bytes, zipf, hf, hp, lmin, lextra)| StreamParams {
-            footprint_bytes: (kb * 1024).max(proc_bytes),
-            proc_bytes,
-            zipf_exponent: zipf,
-            hot_fraction: hf,
-            hot_prob: hp,
-            loop_min: lmin,
-            loop_max: lmin + lextra,
-        })
+        .prop_map(
+            |(kb, proc_bytes, zipf, hf, hp, lmin, lextra)| StreamParams {
+                footprint_bytes: (kb * 1024).max(proc_bytes),
+                proc_bytes,
+                zipf_exponent: zipf,
+                hot_fraction: hf,
+                hot_prob: hp,
+                loop_min: lmin,
+                loop_max: lmin + lextra,
+            },
+        )
 }
 
 proptest! {

@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         println!(
             "w{:02} @{:>8} instr  {:.4}  {bar}{flag}",
-            i,
-            w.end_instructions,
-            r
+            i, w.end_instructions, r
         );
     }
 

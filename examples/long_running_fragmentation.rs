@@ -58,9 +58,7 @@ fn main() {
         tlb.on_vm_event(&mut vm, ev);
     }
 
-    println!(
-        "server heap: {OBJECTS} objects, 64-entry TLB, {REFS_PER_EPOCH} refs/epoch\n"
-    );
+    println!("server heap: {OBJECTS} objects, 64-entry TLB, {REFS_PER_EPOCH} refs/epoch\n");
     println!(
         "{:>6}  {:>11}  {:>12}  {:>14}",
         "epoch", "live pages", "TLB misses", "misses/1k refs"
@@ -95,7 +93,10 @@ fn main() {
         for _ in 0..OBJECTS / 3 {
             let obj = rng.gen_range(0..OBJECTS);
             let old = heap.home[obj];
-            let occ = heap.occupancy.get_mut(&old).expect("object lives somewhere");
+            let occ = heap
+                .occupancy
+                .get_mut(&old)
+                .expect("object lives somewhere");
             *occ -= 1;
             if *occ == 0 {
                 heap.occupancy.remove(&old);

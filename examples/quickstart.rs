@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let va = VirtAddr::new((step * 4) % 2048);
         let pa = PhysAddr::new(va.raw()); // identity-mapped for the demo
         if traps.is_trapped(pa) {
-            handler_cycles +=
-                tapeworm.handle_miss(&mut traps, Component::User, tid, va, pa);
+            handler_cycles += tapeworm.handle_miss(&mut traps, Component::User, tid, va, pa);
         }
     }
     println!(

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trial = SeedSeq::new(5);
 
     println!("ousterhout TLB simulation (fully associative, 4K pages)\n");
-    println!("{:>8}  {:>12}  {:>10}", "entries", "TLB misses", "per 1K instr");
+    println!(
+        "{:>8}  {:>12}  {:>10}",
+        "entries", "TLB misses", "per 1K instr"
+    );
     for entries in [16u32, 32, 64, 128, 256] {
         let tlb = TlbSimConfig {
             entries,
@@ -39,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n64-entry TLB with growing (super)page sizes:");
-    println!("{:>8}  {:>12}  {:>10}", "page", "TLB misses", "per 1K instr");
+    println!(
+        "{:>8}  {:>12}  {:>10}",
+        "page", "TLB misses", "per 1K instr"
+    );
     for page_kb in [4u64, 8, 16, 64] {
         let tlb = TlbSimConfig {
             entries: 64,

@@ -16,6 +16,8 @@
 //!   simulator, its Table 1 primitives, set sampling, cost models and
 //!   TLB simulation.
 //! * [`trace`] — the Pixie + Cache2000 trace-driven baseline.
+//! * [`obs`] — the Monster II observability layer: counter registry,
+//!   trap-event ring, phase cycle accounting, metrics export.
 //! * [`sim`] — the full-system experiment engine.
 //!
 //! # Quickstart
@@ -40,6 +42,7 @@
 pub use tapeworm_core as core;
 pub use tapeworm_machine as machine;
 pub use tapeworm_mem as mem;
+pub use tapeworm_obs as obs;
 pub use tapeworm_os as os;
 pub use tapeworm_sim as sim;
 pub use tapeworm_stats as stats;

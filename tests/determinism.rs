@@ -14,8 +14,8 @@
 
 use tapeworm::core::{CacheConfig, TlbSimConfig};
 use tapeworm::sim::{
-    run_sweep, run_trial, run_trial_windowed, ComponentSet, SystemConfig, TrialResult,
-    WindowSample,
+    run_sweep, run_trial, run_trial_observed, run_trial_windowed, ComponentSet, ObsConfig,
+    SystemConfig, TrialResult, WindowSample,
 };
 use tapeworm::stats::trials::{run_trials_parallel, TrialScheduler};
 use tapeworm::stats::SeedSeq;
@@ -227,4 +227,73 @@ fn repeated_sweeps_are_reproducible() {
     let a = run_sweep(&configs, 2, SeedSeq::new(3), 2);
     let b = run_sweep(&configs, 2, SeedSeq::new(3), 2);
     assert_eq!(flatten(&a), flatten(&b));
+}
+
+/// Observability metrics ride the same deterministic committer as
+/// `TrialResult`s: a sweep's per-config merged metrics (counters, phase
+/// cycles, trap-event summary) are bit-identical at 1 and 8 worker
+/// threads.
+#[test]
+fn sweep_metrics_are_bit_identical_across_thread_counts() {
+    let configs = sweep_configs();
+    let reference = run_sweep(&configs, 4, SeedSeq::new(1994), 1);
+    for threads in [2usize, 8] {
+        let other = run_sweep(&configs, 4, SeedSeq::new(1994), threads);
+        for (a, b) in reference.iter().zip(&other) {
+            assert_eq!(
+                a.metrics(),
+                b.metrics(),
+                "sweep metrics diverged at threads={threads}"
+            );
+        }
+    }
+    // The counters actually observed something.
+    assert!(reference[0].metrics().counters.total() > 0);
+}
+
+/// `run_trial_observed` returns the same `TrialResult` as `run_trial`
+/// for every simulator mode — observation never perturbs the
+/// simulation — and its metrics are reproducible run to run, with the
+/// ring on or off.
+#[test]
+fn observed_trials_match_plain_trials_and_reproduce() {
+    let dm = |kb: u64| CacheConfig::new(kb * 1024, 16, 1).expect("valid geometry");
+    let base = SeedSeq::new(1994);
+    let trial = base.derive("obs", 0).derive("trial", 0);
+    let cases: Vec<(&str, SystemConfig)> = vec![
+        (
+            "cache",
+            SystemConfig::cache(Workload::Espresso, dm(4)).with_scale(SCALE),
+        ),
+        (
+            "tlb",
+            SystemConfig::tlb(Workload::MpegPlay, TlbSimConfig::r3000()).with_scale(SCALE),
+        ),
+        (
+            "split",
+            SystemConfig::split(Workload::JpegPlay, dm(4), dm(4)).with_scale(SCALE),
+        ),
+        (
+            "two-level",
+            SystemConfig::two_level(Workload::Espresso, dm(1), dm(8)).with_scale(SCALE),
+        ),
+    ];
+    for (label, cfg) in &cases {
+        let plain = run_trial(cfg, base, trial);
+        let (observed, m1) = run_trial_observed(cfg, base, trial, ObsConfig::default());
+        let (ringed, m2) = run_trial_observed(cfg, base, trial, ObsConfig::with_ring(256));
+        assert_eq!(plain, observed, "{label}: observation perturbed the trial");
+        assert_eq!(plain, ringed, "{label}: the event ring perturbed the trial");
+        // Counters and phases are identical whether or not events are
+        // recorded; only the event payload differs.
+        assert_eq!(m1.counters, m2.counters, "{label}");
+        assert_eq!(m1.phases, m2.phases, "{label}");
+        assert_eq!(m1.events_recorded, 0, "{label}: disabled ring recorded");
+        // Metrics are reproducible run to run.
+        let (_, m3) = run_trial_observed(cfg, base, trial, ObsConfig::with_ring(256));
+        assert_eq!(m2, m3, "{label}: metrics not reproducible");
+        // The phase account books exactly the trial's cycles.
+        assert_eq!(m1.phases.workload(), plain.workload_cycles, "{label}");
+        assert_eq!(m1.phases.overhead(), plain.overhead_cycles, "{label}");
+    }
 }

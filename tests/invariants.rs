@@ -46,9 +46,8 @@ fn drive_tapeworm(cfg: CacheConfig, seed: u64, pages: u64, refs: u64) {
         // Spot-check the full invariant periodically (it is O(lines)),
         // and always at the end.
         if i % 997 == 0 || i + 1 == refs {
-            tw.validate_invariant(&traps).unwrap_or_else(|e| {
-                panic!("invariant broken after {i} refs (seed {seed}): {e}")
-            });
+            tw.validate_invariant(&traps)
+                .unwrap_or_else(|e| panic!("invariant broken after {i} refs (seed {seed}): {e}"));
         }
     }
     assert_eq!(misses + hits, refs, "every reference is a hit or a miss");
@@ -151,5 +150,8 @@ fn tlb_accounts_every_probe() {
         }
     }
     assert_eq!(tlb.hits() + tlb.misses(), probes);
-    assert!(tlb.misses() >= 256 - 64, "cold misses at least footprint - capacity");
+    assert!(
+        tlb.misses() >= 256 - 64,
+        "cold misses at least footprint - capacity"
+    );
 }

@@ -31,8 +31,7 @@ fn slowdown_claim_from_the_abstract() {
             .with_components(ComponentSet::user_only())
             .with_scale(SCALE);
         let r = run_trial(&cfg, BASE(), SeedSeq::new(1));
-        let user_ratio =
-            r.misses(Component::User) / (r.instructions as f64 * 0.446);
+        let user_ratio = r.misses(Component::User) / (r.instructions as f64 * 0.446);
         if user_ratio < 0.10 {
             assert!(r.slowdown() < 10.0, "{kb}K: slowdown {}", r.slowdown());
         }
@@ -58,8 +57,11 @@ fn figure2_shape() {
             .with_components(ComponentSet::user_only())
             .with_scale(SCALE);
         tw_slowdowns.push(run_trial(&cfg, BASE(), SeedSeq::new(2)).slowdown());
-        tr_slowdowns
-            .push(run_trace_driven(&cfg, cache, TracePolicy::Lru, BASE()).unwrap().slowdown);
+        tr_slowdowns.push(
+            run_trace_driven(&cfg, cache, TracePolicy::Lru, BASE())
+                .unwrap()
+                .slowdown,
+        );
     }
     for (tw, tr) in tw_slowdowns.iter().zip(&tr_slowdowns) {
         assert!(tw < tr, "tapeworm {tw} must beat trace {tr}");
@@ -148,24 +150,18 @@ fn variance_taxonomy() {
     assert!(phys > 1.0, "physical indexing must vary, s% = {phys}");
     // Sampling on a virtual cache: sampling variance.
     let sampled = spread(
-        SystemConfig::cache(
-            Workload::MpegPlay,
-            dm4(2).with_indexing(Indexing::Virtual),
-        )
-        .with_components(ComponentSet::user_only())
-        .with_scale(SCALE)
-        .with_sampling(8),
+        SystemConfig::cache(Workload::MpegPlay, dm4(2).with_indexing(Indexing::Virtual))
+            .with_components(ComponentSet::user_only())
+            .with_scale(SCALE)
+            .with_sampling(8),
         1,
     );
     assert!(sampled > 0.5, "sampling must vary, s% = {sampled}");
     // Virtual + unsampled: zero variance.
     let clean = spread(
-        SystemConfig::cache(
-            Workload::MpegPlay,
-            dm4(32).with_indexing(Indexing::Virtual),
-        )
-        .with_components(ComponentSet::user_only())
-        .with_scale(SCALE),
+        SystemConfig::cache(Workload::MpegPlay, dm4(32).with_indexing(Indexing::Virtual))
+            .with_components(ComponentSet::user_only())
+            .with_scale(SCALE),
         2,
     );
     assert_eq!(clean, 0.0, "virtual unsampled must be deterministic");
@@ -210,7 +206,10 @@ fn golden_miss_counts_at_scale_2000() {
             raw,
             "{workload:?} {kb}K raw user misses"
         );
-        assert_eq!(r.instructions, instructions, "{workload:?} {kb}K instructions");
+        assert_eq!(
+            r.instructions, instructions,
+            "{workload:?} {kb}K instructions"
+        );
         // user_only measurement: all observed misses belong to User.
         assert_eq!(r.total_misses(), raw as f64);
     }
