@@ -63,13 +63,28 @@ echo "=== tier 2: METRICS.json schema gate ==="
 test -s results/METRICS.json || { echo "ci.sh: results/METRICS.json missing or empty" >&2; exit 1; }
 for key in schema source mode per_config totals counters phases dilation slowdown trap_events \
            trap_entries traps_set traps_cleared tcache_hits tcache_misses page_walks \
-           breakpoint_checks sched_quanta user kernel handler replacement recorded dropped; do
+           breakpoint_checks sched_quanta trial_retries trial_panics trials_failed \
+           workers_respawned user kernel handler replacement recorded dropped; do
   grep -q "\"$key\"" results/METRICS.json || {
     echo "ci.sh: results/METRICS.json lacks \"$key\"" >&2; exit 1;
   }
 done
 grep -q '"schema": "tapeworm-metrics-v1"' results/METRICS.json || {
   echo "ci.sh: results/METRICS.json has wrong schema id" >&2; exit 1;
+}
+
+echo "=== tier 2: chaos gate (fault-tolerant sweep engine) ==="
+# Fixed fault seed, fixed scenario: injected panics, hangs, a simulated
+# mid-run kill + resume and a failed checkpoint write must all converge
+# on the fault-free digest. The golden value is pinned in
+# tests/determinism.rs (CHAOS_GOLDEN_DIGEST); regenerate both together.
+CHAOS_GOLDEN_DIGEST="0x76fee05ac899b1d3"
+./target/release/chaos_sweep | tee results/chaos_sweep.txt
+grep -q "digest: $CHAOS_GOLDEN_DIGEST" results/chaos_sweep.txt || {
+  echo "ci.sh: chaos_sweep digest does not match golden $CHAOS_GOLDEN_DIGEST" >&2; exit 1;
+}
+test -s results/METRICS_chaos.json || {
+  echo "ci.sh: results/METRICS_chaos.json missing or empty" >&2; exit 1;
 }
 
 echo "ci.sh: all gates passed"

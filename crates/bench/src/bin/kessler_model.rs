@@ -46,7 +46,8 @@ fn main() {
             .with_scale(scale);
         let set = run_trials_parallel(base.derive("kessler", kb), TRIALS, threads(), |trial| {
             run_trial(&cfg, base, trial).total_misses()
-        });
+        })
+        .expect("TRIALS > 0");
         let s = set.summary();
         t.row(vec![
             format!("{kb}K"),

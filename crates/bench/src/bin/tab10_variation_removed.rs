@@ -44,7 +44,8 @@ fn main() {
         let cfg = SystemConfig::cache(w, cache).with_scale(scale);
         let set = run_trials_parallel(base.derive("tab10", w as u64), TRIALS, threads(), |trial| {
             run_trial(&cfg, base, trial).total_misses()
-        });
+        })
+        .expect("TRIALS > 0");
         let s = set.summary();
         t.row(vec![
             w.to_string(),

@@ -7,8 +7,8 @@
 //! out over the sweep engine (`TW_THREADS` workers); output is
 //! bit-identical for any thread count.
 
-use tapeworm_bench::{base_seed, dm4, paper_millions, scale, threads};
-use tapeworm_sim::{run_sweep, SystemConfig};
+use tapeworm_bench::{base_seed, dm4, paper_millions, run_sweep_env, scale};
+use tapeworm_sim::SystemConfig;
 use tapeworm_stats::table::Table;
 use tapeworm_workload::Workload;
 
@@ -48,7 +48,7 @@ fn main() {
                 .with_sampling(8)
         })
         .collect();
-    let cells = run_sweep(&configs, TRIALS, base, threads());
+    let cells = run_sweep_env(&configs, TRIALS, base);
     for (w, cell) in order.iter().zip(&cells) {
         let s = cell.misses();
         t.row(vec![

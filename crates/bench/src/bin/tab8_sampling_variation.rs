@@ -8,9 +8,9 @@
 //! All 12 configurations (6 sizes × {sampled, unsampled}) × 16 trials
 //! fan out over one sweep; output is thread-count invariant.
 
-use tapeworm_bench::{base_seed, paper_millions, scale, threads};
+use tapeworm_bench::{base_seed, paper_millions, run_sweep_env, scale};
 use tapeworm_core::{CacheConfig, Indexing};
-use tapeworm_sim::{run_sweep, ComponentSet, SystemConfig};
+use tapeworm_sim::{ComponentSet, SystemConfig};
 use tapeworm_stats::table::Table;
 use tapeworm_workload::Workload;
 
@@ -45,7 +45,7 @@ fn main() {
     let mut configs: Vec<SystemConfig> = SIZES_KB.iter().map(|&kb| cfg_for(kb, 8)).collect();
     configs.extend(SIZES_KB.iter().map(|&kb| cfg_for(kb, 1)));
 
-    let cells = run_sweep(&configs, TRIALS, base, threads());
+    let cells = run_sweep_env(&configs, TRIALS, base);
     let (sampled, full) = cells.split_at(SIZES_KB.len());
     for ((kb, s_cell), f_cell) in SIZES_KB.iter().zip(sampled).zip(full) {
         let (s, f) = (s_cell.misses(), f_cell.misses());

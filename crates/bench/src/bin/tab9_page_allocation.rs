@@ -8,9 +8,9 @@
 //!
 //! The 12-configuration × 4-trial grid fans out over one sweep.
 
-use tapeworm_bench::{base_seed, dm4, paper_millions, scale, threads};
+use tapeworm_bench::{base_seed, dm4, paper_millions, run_sweep_env, scale};
 use tapeworm_core::Indexing;
-use tapeworm_sim::{run_sweep, ComponentSet, SystemConfig};
+use tapeworm_sim::{ComponentSet, SystemConfig};
 use tapeworm_stats::table::Table;
 use tapeworm_workload::Workload;
 
@@ -63,7 +63,7 @@ fn main() {
             ]
         })
         .collect();
-    let cells = run_sweep(&configs, TRIALS, base, threads());
+    let cells = run_sweep_env(&configs, TRIALS, base);
 
     for (&(kb, p_phys, p_s, p_virt), pair) in PAPER.iter().zip(cells.chunks(2)) {
         let (phys, virt) = (pair[0].misses(), pair[1].misses());

@@ -10,6 +10,9 @@
 #![warn(missing_docs)]
 
 use tapeworm_core::CacheConfig;
+use tapeworm_sim::{
+    run_sweep_resilient, CheckpointConfig, SweepOptions, SystemConfig, TrialSummary,
+};
 use tapeworm_stats::SeedSeq;
 
 /// The base seed all experiment binaries use, so their outputs are
@@ -45,6 +48,63 @@ pub fn threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(4)
         })
+}
+
+/// Sweep options from the environment: `TW_THREADS` workers, the
+/// default retry budget, and checkpointing when `TW_CHECKPOINT` (a
+/// path) or `TW_RESUME=1` is set. `TW_RESUME=1` also resumes from the
+/// checkpoint; the path defaults to `results/CHECKPOINT.json` and the
+/// rewrite interval to 16 commits (`TW_CHECKPOINT_EVERY`).
+pub fn sweep_options() -> SweepOptions {
+    let mut options = SweepOptions::default().with_threads(threads());
+    let resume = std::env::var("TW_RESUME").is_ok_and(|v| v == "1");
+    let path = std::env::var("TW_CHECKPOINT").ok();
+    if resume || path.is_some() {
+        let mut ck =
+            CheckpointConfig::new(path.unwrap_or_else(|| "results/CHECKPOINT.json".into()));
+        if let Some(every) = std::env::var("TW_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            ck = ck.with_interval(every);
+        }
+        if resume {
+            ck = ck.resuming();
+        }
+        options = options.with_checkpoint(ck);
+    }
+    options
+}
+
+/// Runs a fault-tolerant sweep configured from the environment (see
+/// [`sweep_options`]) and returns the per-configuration cells,
+/// reporting resume and fault-recovery accounting on stderr.
+pub fn run_sweep_env(configs: &[SystemConfig], trials: usize, base: SeedSeq) -> Vec<TrialSummary> {
+    let options = sweep_options();
+    let outcome = run_sweep_resilient(configs, trials, base, &options);
+    if outcome.checkpoint_mismatch() {
+        eprintln!("warning: checkpoint belongs to a different sweep; starting fresh");
+    }
+    if outcome.resumed_trials() > 0 {
+        eprintln!(
+            "resumed {} committed trials from checkpoint",
+            outcome.resumed_trials()
+        );
+    }
+    let stats = outcome.fault_stats();
+    if !stats.is_clean() {
+        eprintln!(
+            "fault recovery: {} retries, {} panics contained, {} workers respawned",
+            stats.retries, stats.panics, stats.workers_respawned
+        );
+    }
+    for f in outcome.failed() {
+        eprintln!(
+            "warning: config {} trial {} failed after {} attempts: {}",
+            f.config, f.trial, f.failure.attempts, f.failure.kind
+        );
+    }
+    outcome.into_cells()
 }
 
 /// A direct-mapped cache with 4-word (16-byte) lines — the paper's

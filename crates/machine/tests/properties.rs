@@ -7,9 +7,9 @@
 
 use proptest::prelude::*;
 use tapeworm_machine::{
-    AccessKind, FetchOutcome, IntervalClock, Machine, MachineConfig, Tlb, TlbOutcome,
+    AccessKind, DmaEngine, FetchOutcome, IntervalClock, Machine, MachineConfig, Tlb, TlbOutcome,
 };
-use tapeworm_mem::{Pfn, PhysAddr, VirtAddr, WritePolicy};
+use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr, WritePolicy};
 use tapeworm_stats::SeedSeq;
 
 proptest! {
@@ -87,5 +87,40 @@ proptest! {
             (true, _, _, false) => FetchOutcome::MaskedEccSkipped,
         };
         prop_assert_eq!(out, expect);
+    }
+
+    /// DMA destroys exactly the armed granules its window overlaps —
+    /// no more, no fewer — and re-arming precisely those granules
+    /// restores the trap set bit-exactly (the §4.3 OS recovery
+    /// contract the failure-injection suite exercises end to end).
+    #[test]
+    fn dma_destroys_exactly_the_overlap_and_rearm_restores(
+        armed in proptest::collection::btree_set(0u64..64, 0..40),
+        start_g in 0u64..64,
+        len_g in 1u64..32,
+    ) {
+        const GRANULE: u64 = 16;
+        const GRANULES: u64 = 64;
+        let mut traps = TrapMap::new(GRANULES * GRANULE, GRANULE);
+        for &g in &armed {
+            traps.set_range(PhysAddr::new(g * GRANULE), GRANULE);
+        }
+        let snapshot = traps.clone();
+
+        let start = start_g * GRANULE;
+        let size = (len_g * GRANULE).min(GRANULES * GRANULE - start);
+        prop_assume!(size > 0);
+        let mut dma = DmaEngine::new();
+        let destroyed = dma.transfer(&mut traps, PhysAddr::new(start), size);
+
+        let touched = start_g..start_g + size / GRANULE;
+        let overlapped: Vec<u64> =
+            armed.iter().copied().filter(|g| touched.contains(g)).collect();
+        prop_assert_eq!(destroyed, overlapped.len() as u64, "destroyed = armed ∩ window");
+        for &g in &overlapped {
+            prop_assert!(!traps.is_trapped(PhysAddr::new(g * GRANULE)));
+            traps.set_range(PhysAddr::new(g * GRANULE), GRANULE);
+        }
+        prop_assert_eq!(&traps, &snapshot);
     }
 }

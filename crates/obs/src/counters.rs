@@ -32,11 +32,19 @@ pub enum CounterId {
     BreakpointChecks,
     /// Scheduler quanta dispatched by the experiment loop.
     SchedQuanta,
+    /// Trial attempts re-run by the fault-tolerant sweep engine.
+    TrialRetries,
+    /// Worker panics caught (and contained) by the sweep engine.
+    TrialPanics,
+    /// Trials that exhausted their retry budget.
+    TrialsFailed,
+    /// Workers respawned after a panic poisoned one.
+    WorkersRespawned,
 }
 
 impl CounterId {
     /// All counters, in registry (and JSON) order.
-    pub const ALL: [CounterId; 8] = [
+    pub const ALL: [CounterId; 12] = [
         CounterId::TrapEntries,
         CounterId::TrapsSet,
         CounterId::TrapsCleared,
@@ -45,6 +53,10 @@ impl CounterId {
         CounterId::PageWalks,
         CounterId::BreakpointChecks,
         CounterId::SchedQuanta,
+        CounterId::TrialRetries,
+        CounterId::TrialPanics,
+        CounterId::TrialsFailed,
+        CounterId::WorkersRespawned,
     ];
 
     /// Stable slot index for array-backed storage.
@@ -64,6 +76,10 @@ impl CounterId {
             CounterId::PageWalks => "page_walks",
             CounterId::BreakpointChecks => "breakpoint_checks",
             CounterId::SchedQuanta => "sched_quanta",
+            CounterId::TrialRetries => "trial_retries",
+            CounterId::TrialPanics => "trial_panics",
+            CounterId::TrialsFailed => "trials_failed",
+            CounterId::WorkersRespawned => "workers_respawned",
         }
     }
 }

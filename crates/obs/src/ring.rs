@@ -240,6 +240,62 @@ mod tests {
     }
 
     #[test]
+    fn exactly_capacity_records_everything_in_order() {
+        // The boundary where the ring is full but has not yet wrapped:
+        // head must still be 0, nothing dropped, order preserved.
+        let mut ring = TrapRing::new(4);
+        for c in 0..4 {
+            ring.record(ev(c));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.recorded(), 4);
+        assert_eq!(ring.dropped(), 0, "exactly-capacity must drop nothing");
+        let cycles: Vec<u64> = ring.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3]);
+        // Drain-into-trace round-trip at the boundary.
+        let trace = ring.to_trace(4096);
+        let addrs: Vec<u64> = trace.iter().map(|va| va.raw()).collect();
+        let back = Trace::from_bytes(&trace.to_bytes()).expect("well-formed");
+        assert_eq!(back.iter().map(|va| va.raw()).collect::<Vec<_>>(), addrs);
+        let drained = ring.drain();
+        assert_eq!(drained.iter().map(|e| e.cycle).collect::<Vec<_>>(), cycles);
+        assert_eq!(ring.dropped(), 4, "drained events count as gone");
+    }
+
+    #[test]
+    fn capacity_plus_one_overwrites_exactly_the_oldest() {
+        // The first wraparound: one record past capacity must evict
+        // event 0 and only event 0, and head must wrap the drain order.
+        let mut ring = TrapRing::new(4);
+        for c in 0..5 {
+            ring.record(ev(c));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 1, "capacity+1 drops exactly one event");
+        let cycles: Vec<u64> = ring.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 2, 3, 4], "oldest-first across the wrap");
+        // to_trace sees the same wrapped order, and the wire format
+        // round-trips it.
+        let trace = ring.to_trace(4096);
+        let expected: Vec<u64> = ring.iter().map(|e| e.vpn * 4096).collect();
+        assert_eq!(
+            trace.iter().map(|va| va.raw()).collect::<Vec<_>>(),
+            expected
+        );
+        let back = Trace::from_bytes(&trace.to_bytes()).expect("well-formed");
+        assert_eq!(back.iter().map(|va| va.raw()).collect::<Vec<_>>(), expected);
+        // Drain returns the wrapped order and accounting survives.
+        let drained = ring.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(ring.recorded(), 5, "lifetime total survives the wrap");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
     fn to_trace_round_trips_page_addresses() {
         let page_bytes = 4096;
         let mut ring = TrapRing::new(8);

@@ -1,0 +1,529 @@
+//! Versioned sweep checkpoints: serialize the committed prefix, resume
+//! bit-identically.
+//!
+//! The deterministic committer releases `(config, trial)` cells
+//! strictly in index order, so a sweep's progress is always a
+//! contiguous prefix `0..k` of committed trials. The checkpoint file
+//! (`results/CHECKPOINT.json` by convention, schema
+//! [`CHECKPOINT_SCHEMA`]) stores exactly that prefix: one record per
+//! committed trial, every float as raw IEEE-754 bits in hex `u64`
+//! words, so a resumed sweep replays the prefix **bit-identically** —
+//! for any `TW_THREADS` — and only computes the remaining cells.
+//!
+//! The file is rewritten in full every `interval` commits through the
+//! observability layer's [`write_atomic`](tapeworm_obs::write_atomic)
+//! (temp file + rename), so a run killed mid-write can never leave a
+//! truncated checkpoint behind: on restart the previous complete
+//! prefix is still there.
+//!
+//! A checkpoint is only trusted when its `sweep_id` — a fingerprint of
+//! the configurations, trial count and base seed — matches the resuming
+//! sweep. A stale or foreign file is reported and ignored, never
+//! silently merged.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tapeworm_obs::{CounterId, Phase, TrapEvent, TrapKind, TrialMetrics};
+use tapeworm_stats::trials::{FailureKind, TrialFailure};
+use tapeworm_stats::SeedSeq;
+
+use crate::config::SystemConfig;
+use crate::result::TrialResult;
+
+/// Schema identifier stamped into every checkpoint file.
+pub const CHECKPOINT_SCHEMA: &str = "tapeworm-checkpoint-v1";
+
+/// Where, how often, and whether to resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path. `results/CHECKPOINT.json` by convention.
+    pub path: PathBuf,
+    /// Commits between rewrites (min 1). The file always holds a
+    /// complete committed prefix.
+    pub interval: usize,
+    /// Load the file at startup and skip its committed prefix.
+    pub resume: bool,
+    /// Stop scheduling after this many total commits — deterministic
+    /// stand-in for a mid-run kill, used by the chaos harness.
+    pub stop_after: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing to `path`, every 16 commits, no resume.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            interval: 16,
+            resume: false,
+            stop_after: None,
+        }
+    }
+
+    /// Sets the rewrite interval (clamped to at least 1).
+    pub fn with_interval(mut self, interval: usize) -> Self {
+        self.interval = interval.max(1);
+        self
+    }
+
+    /// Enables resuming from an existing checkpoint.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Simulates a kill after `commits` total commits.
+    pub fn with_stop_after(mut self, commits: usize) -> Self {
+        self.stop_after = Some(commits);
+        self
+    }
+}
+
+impl Default for CheckpointConfig {
+    /// The conventional location: `results/CHECKPOINT.json`.
+    fn default() -> Self {
+        CheckpointConfig::new("results/CHECKPOINT.json")
+    }
+}
+
+/// One committed trial as stored in (or loaded from) a checkpoint.
+pub(crate) type StoredOutcome = Result<(TrialResult, TrialMetrics), TrialFailure>;
+
+/// A parsed checkpoint document.
+pub(crate) struct CheckpointDoc {
+    pub sweep_id: u64,
+    pub total: usize,
+    /// Committed prefix outcomes, in index order `0..records.len()`.
+    pub records: Vec<StoredOutcome>,
+}
+
+/// What loading a checkpoint file produced.
+pub(crate) enum LoadResult {
+    /// No file at the path.
+    Missing,
+    /// A file exists but is unreadable, unparseable or inconsistent.
+    Corrupt,
+    /// A well-formed document (identity still unchecked).
+    Doc(CheckpointDoc),
+}
+
+/// Fingerprint tying a checkpoint to one exact sweep: configurations,
+/// trial count and base seed — everything that determines the committed
+/// values except `TW_THREADS`, which must NOT participate (resume has
+/// to work across thread counts).
+pub(crate) fn sweep_fingerprint(configs: &[SystemConfig], trials: usize, base: SeedSeq) -> u64 {
+    fnv1a(format!("{configs:?}|trials={trials}|seed={:x}", base.value()).as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn encode_metrics(m: &TrialMetrics, out: &mut Vec<u64>) {
+    out.push(CounterId::ALL.len() as u64);
+    out.extend(CounterId::ALL.iter().map(|&id| m.counters.get(id)));
+    out.push(Phase::ALL.len() as u64);
+    out.extend(Phase::ALL.iter().map(|&p| m.phases.get(p)));
+    out.push(m.events_recorded);
+    out.push(m.events_dropped);
+    out.push(m.events.len() as u64);
+    for ev in &m.events {
+        let kind = match ev.kind {
+            TrapKind::IFetch => 0,
+            TrapKind::Data => 1,
+            TrapKind::Tlb => 2,
+        };
+        let (has_victim, victim) = match ev.victim {
+            Some(v) => (1, v),
+            None => (0, 0),
+        };
+        out.extend([
+            ev.cycle,
+            u64::from(ev.tid),
+            ev.vpn,
+            kind,
+            has_victim,
+            victim,
+        ]);
+    }
+}
+
+fn decode_metrics<I: Iterator<Item = u64>>(words: &mut I) -> Option<TrialMetrics> {
+    let mut m = TrialMetrics::new();
+    if words.next()? != CounterId::ALL.len() as u64 {
+        return None; // written by a different registry layout
+    }
+    for id in CounterId::ALL {
+        m.counters.add(id, words.next()?);
+    }
+    if words.next()? != Phase::ALL.len() as u64 {
+        return None;
+    }
+    for p in Phase::ALL {
+        m.phases.add(p, words.next()?);
+    }
+    m.events_recorded = words.next()?;
+    m.events_dropped = words.next()?;
+    let n_events = usize::try_from(words.next()?).ok()?;
+    for _ in 0..n_events {
+        let cycle = words.next()?;
+        let tid = u16::try_from(words.next()?).ok()?;
+        let vpn = words.next()?;
+        let kind = match words.next()? {
+            0 => TrapKind::IFetch,
+            1 => TrapKind::Data,
+            2 => TrapKind::Tlb,
+            _ => return None,
+        };
+        let has_victim = words.next()?;
+        let victim_value = words.next()?;
+        m.events.push(TrapEvent {
+            cycle,
+            tid,
+            vpn,
+            kind,
+            victim: (has_victim == 1).then_some(victim_value),
+        });
+    }
+    Some(m)
+}
+
+fn hex_words(words: &[u64]) -> String {
+    let mut s = String::with_capacity(words.len() * 9);
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        let _ = write!(s, "{w:x}");
+    }
+    s
+}
+
+fn parse_hex_words(s: &str) -> Option<Vec<u64>> {
+    s.split_whitespace()
+        .map(|w| u64::from_str_radix(w, 16).ok())
+        .collect()
+}
+
+fn hex_bytes(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for b in s.as_bytes() {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+fn parse_hex_bytes(s: &str) -> Option<String> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> = (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect();
+    String::from_utf8(bytes?).ok()
+}
+
+/// Extracts the value of `"key": <value>` from a single-record line.
+/// Values are either quoted strings (hex payloads and tags — never
+/// containing escapes) or bare integers.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn field_usize(line: &str, key: &str) -> Option<usize> {
+    field(line, key)?.parse().ok()
+}
+
+/// Renders one committed trial as a single record line.
+pub(crate) fn encode_record(index: usize, outcome: &StoredOutcome) -> String {
+    match outcome {
+        Ok((result, metrics)) => {
+            let mut words = Vec::new();
+            result.encode_words(&mut words);
+            encode_metrics(metrics, &mut words);
+            format!("{{\"index\": {index}, \"ok\": \"{}\"}}", hex_words(&words))
+        }
+        Err(failure) => {
+            let (tag, message) = match &failure.kind {
+                FailureKind::Panic(m) => ("panic", m),
+                FailureKind::Error(m) => ("error", m),
+            };
+            format!(
+                "{{\"index\": {index}, \"failed\": {{\"attempts\": {}, \"backoff\": \"{:x}\", \
+                 \"kind\": \"{tag}\", \"message\": \"{}\"}}}}",
+                failure.attempts,
+                failure.backoff_units,
+                hex_bytes(message)
+            )
+        }
+    }
+}
+
+fn decode_record(line: &str) -> Option<(usize, StoredOutcome)> {
+    let index = field_usize(line, "index")?;
+    if let Some(words) = field(line, "ok") {
+        let words = parse_hex_words(words)?;
+        let mut it = words.into_iter();
+        let result = TrialResult::decode_words(&mut it)?;
+        let metrics = decode_metrics(&mut it)?;
+        if it.next().is_some() {
+            return None; // trailing words: layout mismatch
+        }
+        return Some((index, Ok((result, metrics))));
+    }
+    if line.contains("\"failed\"") {
+        let attempts = field_usize(line, "attempts")?.try_into().ok()?;
+        let backoff_units = u64::from_str_radix(field(line, "backoff")?, 16).ok()?;
+        let message = parse_hex_bytes(field(line, "message")?)?;
+        let kind = match field(line, "kind")? {
+            "panic" => FailureKind::Panic(message),
+            "error" => FailureKind::Error(message),
+            _ => return None,
+        };
+        return Some((
+            index,
+            Err(TrialFailure {
+                index,
+                attempts,
+                backoff_units,
+                kind,
+            }),
+        ));
+    }
+    None
+}
+
+/// Renders the whole checkpoint document from pre-encoded record lines.
+pub(crate) fn render(sweep_id: u64, total: usize, record_lines: &[String]) -> String {
+    let mut out = String::with_capacity(256 + record_lines.iter().map(String::len).sum::<usize>());
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{CHECKPOINT_SCHEMA}\",");
+    let _ = writeln!(out, "  \"sweep_id\": \"{sweep_id:x}\",");
+    let _ = writeln!(out, "  \"total\": {total},");
+    let _ = writeln!(out, "  \"committed\": {},", record_lines.len());
+    out.push_str("  \"records\": [\n");
+    for (i, line) in record_lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(line);
+        if i + 1 < record_lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Loads and parses a checkpoint file. Identity (`sweep_id`, `total`)
+/// is for the caller to verify.
+pub(crate) fn load(path: &Path) -> LoadResult {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadResult::Missing,
+        Err(_) => return LoadResult::Corrupt,
+    };
+    if !text.contains(&format!("\"schema\": \"{CHECKPOINT_SCHEMA}\"")) {
+        return LoadResult::Corrupt;
+    }
+    let Some(sweep_id) = field(&text, "sweep_id").and_then(|s| u64::from_str_radix(s, 16).ok())
+    else {
+        return LoadResult::Corrupt;
+    };
+    let Some(total) = field(&text, "total") else {
+        return LoadResult::Corrupt;
+    };
+    let Ok(total) = total.parse::<usize>() else {
+        return LoadResult::Corrupt;
+    };
+    let Some(committed) = text.lines().find_map(|l| {
+        l.trim_start()
+            .starts_with("\"committed\"")
+            .then(|| field_usize(l, "committed"))
+            .flatten()
+    }) else {
+        return LoadResult::Corrupt;
+    };
+
+    let mut records = Vec::with_capacity(committed);
+    for line in text.lines() {
+        if !line.contains("\"index\"") {
+            continue;
+        }
+        let Some((index, outcome)) = decode_record(line) else {
+            return LoadResult::Corrupt;
+        };
+        // The committer releases strictly in index order, so a valid
+        // checkpoint is always the contiguous prefix 0..k.
+        if index != records.len() {
+            return LoadResult::Corrupt;
+        }
+        records.push(outcome);
+    }
+    if records.len() != committed || committed > total {
+        return LoadResult::Corrupt;
+    }
+    LoadResult::Doc(CheckpointDoc {
+        sweep_id,
+        total,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeworm_obs::write_atomic;
+
+    fn sample_outcomes() -> Vec<StoredOutcome> {
+        let result = TrialResult::new(
+            [10.5, 0.25, -0.0, 3.0e-12],
+            [10, 2, 0, u64::MAX],
+            Some([1.0, 2.0, 3.0, 4.0]),
+            None,
+            1,
+            1000,
+            1700,
+            24600,
+            3,
+            1,
+            7,
+            2,
+        );
+        let mut metrics = TrialMetrics::new();
+        metrics.counters.add(CounterId::TrapEntries, 42);
+        metrics.counters.add(CounterId::SchedQuanta, 7);
+        metrics.phases.add(Phase::User, 1000);
+        metrics.phases.add(Phase::Handler, 500);
+        metrics.events_recorded = 3;
+        metrics.events_dropped = 1;
+        metrics.events.push(TrapEvent {
+            cycle: 9,
+            tid: 4,
+            vpn: 0x33,
+            kind: TrapKind::Data,
+            victim: Some(0x4000),
+        });
+        metrics.events.push(TrapEvent {
+            cycle: 11,
+            tid: 4,
+            vpn: 0x34,
+            kind: TrapKind::Tlb,
+            victim: None,
+        });
+        vec![
+            Ok((result, metrics)),
+            Err(TrialFailure {
+                index: 1,
+                attempts: 3,
+                backoff_units: 750,
+                kind: FailureKind::Panic("injected fault: trial 1 \"quoted\"\npayload".into()),
+            }),
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        for (i, outcome) in sample_outcomes().iter().enumerate() {
+            let line = encode_record(i, outcome);
+            let (index, back) = decode_record(&line).expect("well-formed record");
+            assert_eq!(index, i);
+            assert_eq!(format!("{outcome:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn document_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("tapeworm-sim-test-checkpoint");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("CHECKPOINT.json");
+        let outcomes = sample_outcomes();
+        let lines: Vec<String> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| encode_record(i, o))
+            .collect();
+        write_atomic(&path, render(0xDEAD_BEEF, 8, &lines).as_bytes()).unwrap();
+        let LoadResult::Doc(doc) = load(&path) else {
+            panic!("expected a document");
+        };
+        assert_eq!(doc.sweep_id, 0xDEAD_BEEF);
+        assert_eq!(doc.total, 8);
+        assert_eq!(format!("{:?}", doc.records), format!("{outcomes:?}"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_are_distinguished() {
+        let dir = std::env::temp_dir().join("tapeworm-sim-test-checkpoint-bad");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(matches!(
+            load(&dir.join("absent.json")),
+            LoadResult::Missing
+        ));
+        for (name, contents) in [
+            ("garbage.json", "not json at all".to_string()),
+            (
+                "wrong-schema.json",
+                "{\n  \"schema\": \"something-else\"\n}\n".to_string(),
+            ),
+            (
+                "gap.json",
+                // Record index 1 without 0: prefix contiguity violated.
+                render(
+                    1,
+                    4,
+                    &[encode_record(1, &sample_outcomes()[0])
+                        .replace("\"index\": 1", "\"index\": 1")],
+                ),
+            ),
+        ] {
+            let path = dir.join(name);
+            write_atomic(&path, contents.as_bytes()).unwrap();
+            assert!(matches!(load(&path), LoadResult::Corrupt), "{name}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_separates_sweeps_but_not_thread_counts() {
+        use tapeworm_core::CacheConfig;
+        use tapeworm_workload::Workload;
+        let cfg = |kb: u64| {
+            SystemConfig::cache(
+                Workload::Espresso,
+                CacheConfig::new(kb * 1024, 16, 1).unwrap(),
+            )
+        };
+        let a = sweep_fingerprint(&[cfg(4)], 4, SeedSeq::new(1));
+        assert_eq!(a, sweep_fingerprint(&[cfg(4)], 4, SeedSeq::new(1)));
+        assert_ne!(a, sweep_fingerprint(&[cfg(8)], 4, SeedSeq::new(1)));
+        assert_ne!(a, sweep_fingerprint(&[cfg(4)], 5, SeedSeq::new(1)));
+        assert_ne!(a, sweep_fingerprint(&[cfg(4)], 4, SeedSeq::new(2)));
+    }
+
+    #[test]
+    fn hex_helpers_round_trip() {
+        let words = vec![0, 1, u64::MAX, 0xDEAD_BEEF];
+        assert_eq!(parse_hex_words(&hex_words(&words)).unwrap(), words);
+        assert!(parse_hex_words("xyz").is_none());
+        let msg = "panic: \"x\"\n\\slash ünïcode";
+        assert_eq!(parse_hex_bytes(&hex_bytes(msg)).unwrap(), msg);
+        assert!(parse_hex_bytes("abc").is_none());
+    }
+}

@@ -21,6 +21,11 @@
 //!   pool with a deterministic, trial-index-ordered committer, returning
 //!   one [`TrialSummary`] per configuration — bit-identical output for
 //!   every thread count.
+//! * [`run_sweep_resilient`] is the fault-tolerant engine underneath:
+//!   per-trial retry with deterministic backoff ([`RetryPolicy`]),
+//!   graceful degradation ([`SweepOutcome::failed`]), versioned
+//!   checkpoint/resume ([`CheckpointConfig`]) and deterministic fault
+//!   injection ([`FaultPlan`]) for the chaos harness.
 //!
 //! Determinism contract: workload reference streams derive from the
 //! experiment's *base* seed and are identical across trials; only the
@@ -33,18 +38,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod checkpoint;
 pub mod compare;
 mod config;
+mod fault;
 pub mod kessler;
 mod result;
 mod sweep;
 mod system;
 
+pub use checkpoint::{CheckpointConfig, CHECKPOINT_SCHEMA};
 pub use config::{AllocPolicy, ComponentSet, CostKind, SimModel, SystemConfig};
+pub use fault::FaultPlan;
 pub use result::TrialResult;
-pub use sweep::{run_sweep, TrialSummary};
+pub use sweep::{
+    run_sweep, run_sweep_resilient, FailedTrial, SweepOptions, SweepOutcome, TrialSummary,
+};
 pub use system::{
     run_trial, run_trial_observed, run_trial_windowed, try_run_trial, try_run_trial_observed,
     try_run_trial_windowed, ObsConfig, TrialError, WindowSample,
 };
 pub use tapeworm_obs::TrialMetrics;
+pub use tapeworm_stats::trials::{FailureKind, FaultStats, RetryPolicy, TrialFailure};

@@ -65,6 +65,65 @@ impl TrialResult {
         }
     }
 
+    /// Serializes every field to `u64` words for the checkpoint codec.
+    /// Floats are stored as raw IEEE-754 bits, so the round-trip is
+    /// bit-exact. The layout is fixed and versioned by the checkpoint
+    /// schema id.
+    pub(crate) fn encode_words(&self, out: &mut Vec<u64>) {
+        out.extend(self.misses.iter().map(|m| m.to_bits()));
+        out.extend(self.raw_misses.iter().copied());
+        for opt in [&self.l2_misses, &self.data_misses] {
+            match opt {
+                Some(m) => {
+                    out.push(1);
+                    out.extend(m.iter().map(|v| v.to_bits()));
+                }
+                None => out.extend([0; 5]),
+            }
+        }
+        out.extend([
+            self.write_traps_destroyed,
+            self.instructions,
+            self.workload_cycles,
+            self.overhead_cycles,
+            self.clock_interrupts,
+            self.masked_misses,
+            self.page_faults,
+            self.tasks_created,
+        ]);
+    }
+
+    /// Inverse of [`encode_words`](Self::encode_words). Returns `None`
+    /// when the word stream is truncated.
+    pub(crate) fn decode_words<I: Iterator<Item = u64>>(words: &mut I) -> Option<TrialResult> {
+        fn quad<I: Iterator<Item = u64>>(words: &mut I) -> Option<[u64; 4]> {
+            Some([words.next()?, words.next()?, words.next()?, words.next()?])
+        }
+        let misses = quad(words)?.map(f64::from_bits);
+        let raw_misses = quad(words)?;
+        let optional = |words: &mut I| -> Option<Option<[f64; 4]>> {
+            let flag = words.next()?;
+            let values = quad(words)?.map(f64::from_bits);
+            Some((flag == 1).then_some(values))
+        };
+        let l2_misses = optional(words)?;
+        let data_misses = optional(words)?;
+        Some(TrialResult {
+            misses,
+            raw_misses,
+            l2_misses,
+            data_misses,
+            write_traps_destroyed: words.next()?,
+            instructions: words.next()?,
+            workload_cycles: words.next()?,
+            overhead_cycles: words.next()?,
+            clock_interrupts: words.next()?,
+            masked_misses: words.next()?,
+            page_faults: words.next()?,
+            tasks_created: words.next()?,
+        })
+    }
+
     /// Sampling-expanded miss estimate for one component.
     pub fn misses(&self, c: Component) -> f64 {
         self.misses[c.index()]
@@ -167,6 +226,57 @@ mod tests {
     fn slowdown_is_overhead_over_runtime() {
         let r = result();
         assert!((r.slowdown() - 24600.0 / 1700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_codec_round_trips_bit_exactly() {
+        let cases = [
+            result(),
+            TrialResult::new(
+                [0.1, f64::MAX, -0.0, 1.0e-308],
+                [u64::MAX, 0, 1, 2],
+                Some([1.5, 2.5, 3.5, 4.5]),
+                None,
+                9,
+                8,
+                7,
+                6,
+                5,
+                4,
+                3,
+                2,
+            ),
+            TrialResult::new(
+                [0.0; 4],
+                [0; 4],
+                None,
+                Some([0.25; 4]),
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+            ),
+        ];
+        for r in cases {
+            let mut words = Vec::new();
+            r.encode_words(&mut words);
+            let back = TrialResult::decode_words(&mut words.iter().copied())
+                .expect("complete word stream");
+            assert_eq!(
+                format!("{r:?}"),
+                format!("{back:?}"),
+                "bit-exact round trip"
+            );
+        }
+        // Truncated streams are rejected, not mis-decoded.
+        let mut words = Vec::new();
+        result().encode_words(&mut words);
+        words.pop();
+        assert!(TrialResult::decode_words(&mut words.iter().copied()).is_none());
     }
 
     #[test]

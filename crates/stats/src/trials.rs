@@ -11,11 +11,13 @@
 //! regardless of thread count. `threads == 1` takes a plain serial loop
 //! with no thread, channel or heap machinery at all.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
-use crate::{SeedSeq, Summary};
+use crate::{EmptySampleError, SeedSeq, Summary};
 
 /// The outcome of a multi-trial experiment: raw values in trial order and
 /// their summary statistics.
@@ -63,6 +65,162 @@ impl<T> Ord for Completed<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the smallest index.
         other.index.cmp(&self.index)
+    }
+}
+
+/// How one trial attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The trial closure panicked; the payload's message is captured.
+    Panic(String),
+    /// The trial closure returned a typed error.
+    Error(String),
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureKind::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+/// A trial that exhausted its retry budget. Committed in place of the
+/// trial's value, so a sweep degrades gracefully instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// Index of the failed trial.
+    pub index: usize,
+    /// Total attempts made (1 + retries).
+    pub attempts: u32,
+    /// Deterministic backoff units accumulated across the retries.
+    /// Virtual units, never wall-clock — results stay bit-identical.
+    pub backoff_units: u64,
+    /// The last attempt's failure.
+    pub kind: FailureKind,
+}
+
+impl fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trial {} failed after {} attempts ({})",
+            self.index, self.attempts, self.kind
+        )
+    }
+}
+
+/// Bounded-retry policy with a capped deterministic backoff schedule.
+///
+/// Backoff is accounted in *virtual units* — the schedule is recorded
+/// in [`FaultStats`] and [`TrialFailure`] but no thread ever sleeps, so
+/// committed results carry no wall-clock dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per trial (first run + retries). Minimum 1.
+    pub max_attempts: u32,
+    /// Backoff units charged for retrying after attempt 0; doubles per
+    /// attempt.
+    pub backoff_base: u64,
+    /// Ceiling on the per-retry backoff charge.
+    pub backoff_cap: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, failures are terminal.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: 0,
+            backoff_cap: 0,
+        }
+    }
+
+    /// Backoff units charged for retrying after `attempt` (0-based):
+    /// `min(cap, base << attempt)`.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.backoff_base
+            .checked_mul(factor)
+            .map_or(self.backoff_cap, |b| b.min(self.backoff_cap))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, exponential 250/500/… capped at 4000 units.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: 250,
+            backoff_cap: 4000,
+        }
+    }
+}
+
+/// Scheduler-level fault accounting for one resilient run. Every field
+/// is a sum of per-`(index, attempt)` events, so the totals are
+/// bit-identical for any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Attempts re-run after a failure (attempts beyond each trial's
+    /// first).
+    pub retries: u64,
+    /// Worker panics caught by the engine.
+    pub panics: u64,
+    /// Attempts that returned a typed error.
+    pub typed_failures: u64,
+    /// Trials that exhausted their retry budget.
+    pub failed_trials: u64,
+    /// Workers respawned after a panic poisoned one. A panic always
+    /// poisons its worker, so this equals `panics` by construction
+    /// (the serial path re-enters the loop in place and counts the
+    /// same).
+    pub workers_respawned: u64,
+    /// Total deterministic backoff units scheduled (virtual, never
+    /// slept).
+    pub backoff_units: u64,
+}
+
+impl FaultStats {
+    /// Whether the run saw no faults at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// Per-trial progress carried across retries: the attempt number being
+/// run, typed failures so far and backoff accumulated so far.
+#[derive(Debug, Clone, Copy, Default)]
+struct Progress {
+    attempt: u32,
+    typed_failures: u32,
+    backoff: u64,
+}
+
+/// What a worker reports to the committer.
+enum Report<T> {
+    /// Trial reached a terminal outcome (value or exhausted retries).
+    Done {
+        index: usize,
+        outcome: Result<T, FailureKind>,
+        progress: Progress,
+    },
+    /// The trial panicked; the sending worker has exited (poisoned).
+    Panicked {
+        index: usize,
+        progress: Progress,
+        message: String,
+    },
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -202,23 +360,239 @@ impl TrialScheduler {
         });
     }
 
+    /// Fault-tolerant variant of [`run_committed`](Self::run_committed).
+    ///
+    /// Each attempt of `job(index, attempt)` runs under
+    /// [`catch_unwind`], so a panicking trial poisons only its worker:
+    /// the committer respawns a replacement and the trial is retried
+    /// under `retry`'s budget with a capped deterministic backoff
+    /// schedule (virtual units — nothing sleeps, so results carry no
+    /// wall-clock). Typed errors (`Err(String)`) are retried in place
+    /// by the same worker. A trial that exhausts its budget commits a
+    /// [`TrialFailure`] instead of a value — the run completes and
+    /// reports instead of aborting.
+    ///
+    /// `commit(index, outcome)` is still invoked strictly in index
+    /// order on the calling thread, and both the committed sequence and
+    /// the returned [`FaultStats`] are bit-identical for every thread
+    /// count (every statistic is a sum over `(index, attempt)` events).
+    pub fn run_committed_resilient<T, F, C>(
+        &self,
+        n: usize,
+        retry: RetryPolicy,
+        job: F,
+        mut commit: C,
+    ) -> FaultStats
+    where
+        T: Send,
+        F: Fn(usize, u32) -> Result<T, String> + Sync,
+        C: FnMut(usize, Result<T, TrialFailure>),
+    {
+        let max_attempts = retry.max_attempts.max(1);
+        let mut stats = FaultStats::default();
+        if n == 0 {
+            return stats;
+        }
+
+        // Terminal bookkeeping shared by both paths: per-trial retries,
+        // typed failures and backoff are accounted exactly once, when
+        // the trial reaches a terminal outcome.
+        let finish = |stats: &mut FaultStats,
+                      index: usize,
+                      progress: Progress,
+                      outcome: Result<T, FailureKind>|
+         -> Result<T, TrialFailure> {
+            stats.retries += u64::from(progress.attempt);
+            stats.typed_failures += u64::from(progress.typed_failures);
+            stats.backoff_units += progress.backoff;
+            outcome.map_err(|kind| {
+                stats.failed_trials += 1;
+                TrialFailure {
+                    index,
+                    attempts: progress.attempt + 1,
+                    backoff_units: progress.backoff,
+                    kind,
+                }
+            })
+        };
+
+        if self.threads == 1 {
+            // Serial reference semantics: attempts loop in place. A
+            // caught panic "poisons" the lone worker and the loop
+            // re-enters immediately — counted as a respawn so the
+            // stats are thread-count invariant.
+            for index in 0..n {
+                let mut progress = Progress::default();
+                let outcome = loop {
+                    match catch_unwind(AssertUnwindSafe(|| job(index, progress.attempt))) {
+                        Ok(Ok(v)) => break Ok(v),
+                        Ok(Err(msg)) => {
+                            progress.typed_failures += 1;
+                            if progress.attempt + 1 >= max_attempts {
+                                break Err(FailureKind::Error(msg));
+                            }
+                        }
+                        Err(payload) => {
+                            stats.panics += 1;
+                            stats.workers_respawned += 1;
+                            if progress.attempt + 1 >= max_attempts {
+                                break Err(FailureKind::Panic(panic_message(&*payload)));
+                            }
+                        }
+                    }
+                    progress.backoff += retry.backoff_for(progress.attempt);
+                    progress.attempt += 1;
+                };
+                let outcome = finish(&mut stats, index, progress, outcome);
+                commit(index, outcome);
+            }
+            return stats;
+        }
+
+        let workers = self.threads.min(n);
+        let cursor = AtomicUsize::new(0);
+        let retry_queue: Mutex<VecDeque<(usize, Progress)>> = Mutex::new(VecDeque::new());
+        let (tx, rx) = mpsc::channel::<Report<T>>();
+        std::thread::scope(|scope| {
+            // One spawn per worker slot; also used to respawn after a
+            // panic poisons a worker.
+            let spawn_worker = |tx: mpsc::Sender<Report<T>>| {
+                let cursor = &cursor;
+                let retry_queue = &retry_queue;
+                let job = &job;
+                scope.spawn(move || loop {
+                    // Queued retries take priority over fresh indices.
+                    let work = retry_queue.lock().expect("retry queue").pop_front();
+                    let (index, mut progress) = match work {
+                        Some(w) => w,
+                        None => {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return;
+                            }
+                            (i, Progress::default())
+                        }
+                    };
+                    loop {
+                        match catch_unwind(AssertUnwindSafe(|| job(index, progress.attempt))) {
+                            Ok(Ok(v)) => {
+                                let _ = tx.send(Report::Done {
+                                    index,
+                                    outcome: Ok(v),
+                                    progress,
+                                });
+                                break;
+                            }
+                            Ok(Err(msg)) => {
+                                // Typed errors retry in place; the
+                                // worker is not poisoned.
+                                progress.typed_failures += 1;
+                                if progress.attempt + 1 >= max_attempts {
+                                    let _ = tx.send(Report::Done {
+                                        index,
+                                        outcome: Err(FailureKind::Error(msg)),
+                                        progress,
+                                    });
+                                    break;
+                                }
+                                progress.backoff += retry.backoff_for(progress.attempt);
+                                progress.attempt += 1;
+                            }
+                            Err(payload) => {
+                                // A panic may have corrupted this
+                                // worker's stack-local state: report
+                                // and exit; the committer respawns.
+                                let _ = tx.send(Report::Panicked {
+                                    index,
+                                    progress,
+                                    message: panic_message(&*payload),
+                                });
+                                return;
+                            }
+                        }
+                    }
+                });
+            };
+            for _ in 0..workers {
+                spawn_worker(tx.clone());
+            }
+
+            let mut pending: BinaryHeap<Completed<Result<T, TrialFailure>>> = BinaryHeap::new();
+            let mut next = 0usize;
+            while next < n {
+                let report = rx
+                    .recv()
+                    .expect("a worker exited without reporting its trial");
+                match report {
+                    Report::Done {
+                        index,
+                        outcome,
+                        progress,
+                    } => {
+                        let value = finish(&mut stats, index, progress, outcome);
+                        pending.push(Completed { index, value });
+                    }
+                    Report::Panicked {
+                        index,
+                        mut progress,
+                        message,
+                    } => {
+                        stats.panics += 1;
+                        stats.workers_respawned += 1;
+                        if progress.attempt + 1 >= max_attempts {
+                            let value = finish(
+                                &mut stats,
+                                index,
+                                progress,
+                                Err(FailureKind::Panic(message)),
+                            );
+                            pending.push(Completed { index, value });
+                        } else {
+                            progress.backoff += retry.backoff_for(progress.attempt);
+                            progress.attempt += 1;
+                            // Enqueue BEFORE spawning so the fresh
+                            // worker can never miss the retry and exit.
+                            retry_queue
+                                .lock()
+                                .expect("retry queue")
+                                .push_back((index, progress));
+                        }
+                        // Always respawn: idle workers may already have
+                        // exited, and unclaimed indices could otherwise
+                        // strand the committer.
+                        spawn_worker(tx.clone());
+                    }
+                }
+                while pending
+                    .peek()
+                    .is_some_and(|head: &Completed<Result<T, TrialFailure>>| head.index == next)
+                {
+                    let head = pending.pop().expect("peeked entry exists");
+                    commit(head.index, head.value);
+                    next += 1;
+                }
+            }
+            drop(tx);
+        });
+        stats
+    }
+
     /// Runs `n` seeded trials of `f` and folds them into a [`TrialSet`].
     ///
     /// Trial `i` always receives `base.derive("trial", i)`, so the set is
     /// reproducible in isolation and identical for every thread count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n == 0`.
-    pub fn run_trials<F>(&self, base: SeedSeq, n: usize, f: F) -> TrialSet
+    /// Returns [`EmptySampleError`] when `n == 0` — an experiment with
+    /// no trials has no summary.
+    pub fn run_trials<F>(&self, base: SeedSeq, n: usize, f: F) -> Result<TrialSet, EmptySampleError>
     where
         F: Fn(SeedSeq) -> f64 + Sync,
     {
-        assert!(n > 0, "an experiment needs at least one trial");
         let values = self.run(n, |i| f(base.derive("trial", i as u64)));
-        let summary = Summary::from_values(values.iter().copied())
-            .expect("n > 0 guarantees a non-empty sample");
-        TrialSet { values, summary }
+        let summary = Summary::from_values(values.iter().copied())?;
+        Ok(TrialSet { values, summary })
     }
 }
 
@@ -227,18 +601,17 @@ impl TrialScheduler {
 /// Each trial receives a [`SeedSeq`] derived as `base.derive("trial", i)`,
 /// so trial `i` is reproducible in isolation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n == 0`.
-pub fn run_trials<F>(base: SeedSeq, n: usize, mut f: F) -> TrialSet
+/// Returns [`EmptySampleError`] when `n == 0` — an experiment with no
+/// trials has no summary.
+pub fn run_trials<F>(base: SeedSeq, n: usize, mut f: F) -> Result<TrialSet, EmptySampleError>
 where
     F: FnMut(SeedSeq) -> f64,
 {
-    assert!(n > 0, "an experiment needs at least one trial");
     let values: Vec<f64> = (0..n as u64).map(|i| f(base.derive("trial", i))).collect();
-    let summary =
-        Summary::from_values(values.iter().copied()).expect("n > 0 guarantees a non-empty sample");
-    TrialSet { values, summary }
+    let summary = Summary::from_values(values.iter().copied())?;
+    Ok(TrialSet { values, summary })
 }
 
 /// Runs `n` trials of `f` across `threads` OS threads.
@@ -248,10 +621,15 @@ where
 /// wall-clock time changes. `threads == 0` selects the available
 /// parallelism; `1` degrades to the sequential path.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n == 0` or if a trial panics.
-pub fn run_trials_parallel<F>(base: SeedSeq, n: usize, threads: usize, f: F) -> TrialSet
+/// Returns [`EmptySampleError`] when `n == 0`.
+pub fn run_trials_parallel<F>(
+    base: SeedSeq,
+    n: usize,
+    threads: usize,
+    f: F,
+) -> Result<TrialSet, EmptySampleError>
 where
     F: Fn(SeedSeq) -> f64 + Sync,
 {
@@ -264,7 +642,7 @@ mod tests {
 
     #[test]
     fn trials_get_distinct_seeds() {
-        let set = run_trials(SeedSeq::new(5), 8, |seed| seed.value() as f64);
+        let set = run_trials(SeedSeq::new(5), 8, |seed| seed.value() as f64).unwrap();
         let mut vals = set.values().to_vec();
         vals.dedup();
         assert_eq!(vals.len(), 8);
@@ -275,15 +653,15 @@ mod tests {
         let f = |seed: SeedSeq| seed.rng().gen_range(0.0..1.0);
         let a = run_trials(SeedSeq::new(3), 16, f);
         let b = run_trials(SeedSeq::new(3), 16, f);
-        assert_eq!(a, b);
+        assert_eq!(a.unwrap(), b.unwrap());
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let f = |seed: SeedSeq| seed.rng().gen_range(0.0..100.0);
-        let seq = run_trials(SeedSeq::new(11), 13, f);
+        let seq = run_trials(SeedSeq::new(11), 13, f).unwrap();
         for threads in [2, 4, 8, 32] {
-            let par = run_trials_parallel(SeedSeq::new(11), 13, threads, f);
+            let par = run_trials_parallel(SeedSeq::new(11), 13, threads, f).unwrap();
             assert_eq!(seq.values(), par.values(), "threads={threads}");
         }
     }
@@ -291,20 +669,30 @@ mod tests {
     #[test]
     fn single_thread_parallel_degrades() {
         let f = |seed: SeedSeq| seed.value() as f64;
-        let seq = run_trials(SeedSeq::new(2), 5, f);
-        let par = run_trials_parallel(SeedSeq::new(2), 5, 1, f);
+        let seq = run_trials(SeedSeq::new(2), 5, f).unwrap();
+        let par = run_trials_parallel(SeedSeq::new(2), 5, 1, f).unwrap();
         assert_eq!(seq.values(), par.values());
     }
 
     #[test]
-    #[should_panic(expected = "at least one trial")]
-    fn zero_trials_panics() {
-        let _ = run_trials(SeedSeq::new(0), 0, |_| 0.0);
+    fn zero_trials_is_an_error_not_a_panic() {
+        assert_eq!(
+            run_trials(SeedSeq::new(0), 0, |_| 0.0),
+            Err(EmptySampleError)
+        );
+        assert_eq!(
+            run_trials_parallel(SeedSeq::new(0), 0, 4, |_| 0.0),
+            Err(EmptySampleError)
+        );
+        assert_eq!(
+            TrialScheduler::serial().run_trials(SeedSeq::new(0), 0, |_| 0.0),
+            Err(EmptySampleError)
+        );
     }
 
     #[test]
     fn summary_reflects_values() {
-        let set = run_trials(SeedSeq::new(1), 4, |s| (s.value() % 7) as f64);
+        let set = run_trials(SeedSeq::new(1), 4, |s| (s.value() % 7) as f64).unwrap();
         let expect = Summary::from_values(set.values().iter().copied()).unwrap();
         assert_eq!(*set.summary(), expect);
     }
@@ -352,5 +740,132 @@ mod tests {
         let sched = TrialScheduler::new(0);
         assert!(sched.threads() >= 1);
         assert_eq!(sched.run(5, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    /// A job that panics on given (index, attempt) pairs and errors on
+    /// others; succeeds otherwise with a pure function of the index.
+    fn faulty_job<'a>(
+        panics: &'a [(usize, u32)],
+        errors: &'a [(usize, u32)],
+    ) -> impl Fn(usize, u32) -> Result<u64, String> + Sync + 'a {
+        move |i, a| {
+            if panics.contains(&(i, a)) {
+                panic!("injected fault: trial {i} attempt {a}");
+            }
+            if errors.contains(&(i, a)) {
+                return Err(format!("injected error: trial {i} attempt {a}"));
+            }
+            Ok(i as u64 * 7 + 1)
+        }
+    }
+
+    fn run_resilient(
+        threads: usize,
+        n: usize,
+        retry: RetryPolicy,
+        panics: &[(usize, u32)],
+        errors: &[(usize, u32)],
+    ) -> (Vec<(usize, Result<u64, TrialFailure>)>, FaultStats) {
+        let mut committed = Vec::new();
+        let stats = TrialScheduler::new(threads).run_committed_resilient(
+            n,
+            retry,
+            faulty_job(panics, errors),
+            |i, v| committed.push((i, v)),
+        );
+        (committed, stats)
+    }
+
+    #[test]
+    fn resilient_retries_panics_and_typed_errors_to_success() {
+        for threads in [1, 4] {
+            let (committed, stats) = run_resilient(
+                threads,
+                8,
+                RetryPolicy::default(),
+                &[(2, 0)],
+                &[(5, 0), (5, 1)],
+            );
+            assert_eq!(committed.len(), 8, "threads={threads}");
+            for (i, v) in &committed {
+                assert_eq!(v.as_ref().unwrap(), &(*i as u64 * 7 + 1));
+            }
+            assert_eq!(stats.panics, 1, "threads={threads}");
+            assert_eq!(stats.workers_respawned, 1);
+            assert_eq!(stats.typed_failures, 2);
+            assert_eq!(stats.retries, 3);
+            assert_eq!(stats.failed_trials, 0);
+            // 250 (trial 2 attempt 0) + 250 + 500 (trial 5).
+            assert_eq!(stats.backoff_units, 1000);
+        }
+    }
+
+    #[test]
+    fn resilient_exhausted_budget_degrades_gracefully() {
+        // Trial 3 panics on every attempt; the run still completes and
+        // commits a TrialFailure in order.
+        for threads in [1, 3] {
+            let panics: Vec<(usize, u32)> = (0..3).map(|a| (3usize, a)).collect();
+            let (committed, stats) =
+                run_resilient(threads, 6, RetryPolicy::default(), &panics, &[]);
+            assert_eq!(committed.len(), 6, "threads={threads}");
+            assert_eq!(
+                committed.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                (0..6).collect::<Vec<_>>()
+            );
+            let failure = committed[3].1.as_ref().unwrap_err();
+            assert_eq!(failure.index, 3);
+            assert_eq!(failure.attempts, 3);
+            assert!(matches!(&failure.kind, FailureKind::Panic(m) if m.contains("trial 3")));
+            assert_eq!(stats.failed_trials, 1);
+            assert_eq!(stats.panics, 3);
+            assert_eq!(stats.workers_respawned, 3);
+        }
+    }
+
+    #[test]
+    fn resilient_stats_and_commits_are_thread_count_invariant() {
+        let panics = [(1usize, 0u32), (6, 0), (6, 1)];
+        let errors = [(4usize, 0u32)];
+        let (reference, ref_stats) = run_resilient(1, 12, RetryPolicy::default(), &panics, &errors);
+        for threads in [2, 4, 8] {
+            let (committed, stats) =
+                run_resilient(threads, 12, RetryPolicy::default(), &panics, &errors);
+            assert_eq!(committed, reference, "threads={threads}");
+            assert_eq!(stats, ref_stats, "threads={threads}");
+        }
+        assert!(!ref_stats.is_clean());
+    }
+
+    #[test]
+    fn resilient_without_faults_matches_run_committed() {
+        for threads in [1, 4] {
+            let mut plain = Vec::new();
+            TrialScheduler::new(threads).run_committed(9, |i| i * 2, |i, v| plain.push((i, v)));
+            let mut resilient = Vec::new();
+            let stats = TrialScheduler::new(threads).run_committed_resilient(
+                9,
+                RetryPolicy::none(),
+                |i, _attempt| Ok::<usize, String>(i * 2),
+                |i, v| resilient.push((i, v.unwrap())),
+            );
+            assert_eq!(plain, resilient, "threads={threads}");
+            assert!(stats.is_clean());
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base: 100,
+            backoff_cap: 350,
+        };
+        assert_eq!(p.backoff_for(0), 100);
+        assert_eq!(p.backoff_for(1), 200);
+        assert_eq!(p.backoff_for(2), 350);
+        assert_eq!(p.backoff_for(63), 350);
+        assert_eq!(p.backoff_for(64), 350, "shift overflow must hit the cap");
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
     }
 }

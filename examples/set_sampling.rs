@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let r = run_trial(&cfg, base, trial);
             slowdown = r.slowdown();
             r.total_misses()
-        });
+        })?;
         let s = trials.summary();
         println!(
             "{:>7}  {:>9.2}  {:>14.0}  {:>8.1}%",

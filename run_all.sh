@@ -26,7 +26,7 @@ BINS=(
   breakeven bias_masked_traps
   ablation_cost_models ablation_stackdist
   ext_multilevel ext_dcache ext_trace_buffer ext_tlb_costs
-  kessler_model calibrate
+  kessler_model calibrate chaos_sweep
 )
 
 for bin in "${BINS[@]}"; do

@@ -13,9 +13,11 @@
 //!    must be deliberate and visible in this file's diff.
 
 use tapeworm::core::{CacheConfig, TlbSimConfig};
+use tapeworm::obs::MetricsReport;
 use tapeworm::sim::{
-    run_sweep, run_trial, run_trial_observed, run_trial_windowed, ComponentSet, ObsConfig,
-    SystemConfig, TrialResult, WindowSample,
+    run_sweep, run_sweep_resilient, run_trial, run_trial_observed, run_trial_windowed,
+    CheckpointConfig, ComponentSet, FaultPlan, ObsConfig, SweepOptions, SystemConfig, TrialResult,
+    TrialSummary, WindowSample,
 };
 use tapeworm::stats::trials::{run_trials_parallel, TrialScheduler};
 use tapeworm::stats::SeedSeq;
@@ -70,11 +72,13 @@ fn run_trials_parallel_is_bit_identical_across_thread_counts() {
     let base = SeedSeq::new(7);
     let serial = run_trials_parallel(base, 6, 1, |trial| {
         run_trial(cfg, base, trial).total_misses()
-    });
+    })
+    .expect("six trials");
     for threads in [2usize, 8] {
         let par = run_trials_parallel(base, 6, threads, |trial| {
             run_trial(cfg, base, trial).total_misses()
-        });
+        })
+        .expect("six trials");
         assert_eq!(serial.values(), par.values(), "threads={threads}");
     }
 }
@@ -296,4 +300,140 @@ fn observed_trials_match_plain_trials_and_reproduce() {
         assert_eq!(m1.phases.workload(), plain.workload_cycles, "{label}");
         assert_eq!(m1.phases.overhead(), plain.overhead_cycles, "{label}");
     }
+}
+
+/// Renders a sweep's cells the way the experiment binaries export them,
+/// so "bit-identical" below covers the METRICS.json bytes too.
+fn metrics_json(cells: &[TrialSummary], trials: u64) -> String {
+    let mut report = MetricsReport::new("determinism", "test");
+    for (i, cell) in cells.iter().enumerate() {
+        report.push(&format!("config-{i}"), trials, cell.metrics().clone());
+    }
+    report.to_json()
+}
+
+/// The ISSUE acceptance bar: a sweep with injected panics on 2 of its
+/// trials (plus one simulated hang) completes with the retries
+/// succeeding, and its merged results *and* exported metrics are
+/// bit-identical to the fault-free run for `TW_THREADS` ∈ {1, 4, 8}.
+#[test]
+fn faulted_sweep_is_bit_identical_to_fault_free() {
+    let configs = sweep_configs();
+    let base = SeedSeq::new(1994);
+    let clean = run_sweep_resilient(&configs, 4, base, &SweepOptions::default());
+    assert!(clean.fault_stats().is_clean());
+    let faults = FaultPlan::new()
+        .with_panic(1, 0)
+        .with_panic(6, 0)
+        .with_budget_exhaustion(3, 0);
+    for threads in [1usize, 4, 8] {
+        let faulted = run_sweep_resilient(
+            &configs,
+            4,
+            base,
+            &SweepOptions::default()
+                .with_threads(threads)
+                .with_faults(faults.clone()),
+        );
+        assert!(
+            faulted.failed().is_empty(),
+            "threads={threads}: retries must succeed"
+        );
+        assert_eq!(faulted.fault_stats().panics, 2, "threads={threads}");
+        assert_eq!(faulted.fault_stats().typed_failures, 1);
+        assert_eq!(faulted.fault_stats().retries, 3);
+        assert_eq!(faulted.fault_stats().workers_respawned, 2);
+        assert_eq!(
+            flatten(clean.cells()),
+            flatten(faulted.cells()),
+            "threads={threads}: results diverged under faults"
+        );
+        assert_eq!(
+            metrics_json(clean.cells(), 4),
+            metrics_json(faulted.cells(), 4),
+            "threads={threads}: exported metrics diverged under faults"
+        );
+    }
+}
+
+/// A sweep "killed" mid-run (deterministically, via `stop_after`) and
+/// restarted with resume replays the committed prefix and produces
+/// results and metrics bit-identical to an uninterrupted run, for
+/// `TW_THREADS` ∈ {1, 4, 8}.
+#[test]
+fn interrupted_sweep_resumes_bit_identically() {
+    let configs = sweep_configs();
+    let base = SeedSeq::new(1994);
+    let clean = run_sweep_resilient(&configs, 4, base, &SweepOptions::default());
+    for threads in [1usize, 4, 8] {
+        let dir = std::env::temp_dir().join(format!("tapeworm-determinism-resume-{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("CHECKPOINT.json");
+        let first = run_sweep_resilient(
+            &configs,
+            4,
+            base,
+            &SweepOptions::default()
+                .with_threads(threads)
+                .with_checkpoint(
+                    CheckpointConfig::new(&path)
+                        .with_interval(2)
+                        .with_stop_after(5),
+                ),
+        );
+        assert_eq!(first.stopped_after(), Some(5), "threads={threads}");
+        assert!(path.exists(), "threads={threads}: prefix persisted");
+        let second = run_sweep_resilient(
+            &configs,
+            4,
+            base,
+            &SweepOptions::default()
+                .with_threads(threads)
+                .with_checkpoint(CheckpointConfig::new(&path).resuming()),
+        );
+        assert_eq!(second.resumed_trials(), 5, "threads={threads}");
+        assert!(!second.checkpoint_mismatch());
+        assert_eq!(
+            flatten(clean.cells()),
+            flatten(second.cells()),
+            "threads={threads}: resumed results diverged"
+        );
+        assert_eq!(
+            metrics_json(clean.cells(), 4),
+            metrics_json(second.cells(), 4),
+            "threads={threads}: resumed metrics diverged"
+        );
+        assert!(!path.exists(), "threads={threads}: checkpoint cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The chaos gate's golden digest. `chaos_sweep` computes the same
+/// digest over the same fixed scenario (sweep_configs × 4 trials, seed
+/// 1994) and `ci.sh` greps its output for this exact value, so the
+/// fault-free baseline, the faulted run and the resumed run are all
+/// pinned to one number. Regenerate by running
+/// `cargo run --release --bin chaos_sweep` after a deliberate
+/// behaviour-changing commit.
+const CHAOS_GOLDEN_DIGEST: u64 = 0x76fe_e05a_c899_b1d3;
+
+fn chaos_digest(cells: &[TrialSummary]) -> u64 {
+    let results: Vec<&TrialResult> = cells.iter().flat_map(|c| c.results()).collect();
+    let metrics: Vec<_> = cells.iter().map(|c| c.metrics()).collect();
+    fnv1a(format!("{results:?}|{metrics:?}").as_bytes())
+}
+
+#[test]
+fn chaos_scenario_digest_matches_golden() {
+    let outcome = run_sweep_resilient(
+        &sweep_configs(),
+        4,
+        SeedSeq::new(1994),
+        &SweepOptions::default(),
+    );
+    assert_eq!(
+        chaos_digest(outcome.cells()),
+        CHAOS_GOLDEN_DIGEST,
+        "chaos scenario digest moved; regenerate with chaos_sweep and update ci.sh"
+    );
 }

@@ -83,6 +83,50 @@ fn dma_transfer_breaks_and_reregistration_restores_the_invariant() {
     tw.validate_invariant(&traps).unwrap();
 }
 
+/// The §4.3 recovery discipline under stress: random DMA storms over a
+/// multi-page working set, each followed by the OS re-arming the pages
+/// the transfer touched, must restore the trap map to *exactly* its
+/// pre-DMA state — not just re-satisfy the invariant. (Re-registration
+/// derives trap state purely from simulated-cache residency, which DMA
+/// never changes, so the restored set must be bit-identical.)
+#[test]
+fn randomized_dma_storms_re_arm_to_the_exact_trap_set() {
+    const PAGE: u64 = 4096;
+    const PAGES: u64 = 8;
+    let cfg = CacheConfig::new(1024, 16, 1).unwrap();
+    let mut tw = Tapeworm::new(cfg, PAGE, SeedSeq::new(9));
+    let mut traps = TrapMap::new(1 << 20, 16);
+    let tid = Tid::new(1);
+    for p in 0..PAGES {
+        tw.tw_register_page(&mut traps, tid, Pfn::new(p), p);
+    }
+    tw.validate_invariant(&traps).unwrap();
+    let snapshot = traps.clone();
+    assert!(snapshot.count() > 0, "working set must arm traps");
+
+    let mut dma = DmaEngine::new();
+    let mut rng = SeedSeq::new(2024).rng();
+    let mut destroyed_total = 0;
+    for round in 0..50u32 {
+        let start = rng.gen_range(0..PAGES * PAGE);
+        let size = (1 + rng.gen_range(0..2 * PAGE)).min(PAGES * PAGE - start);
+        destroyed_total += dma.transfer(&mut traps, PhysAddr::new(start), size);
+        // After I/O completion the OS re-arms every page the window
+        // touched.
+        for p in (start / PAGE)..=((start + size - 1) / PAGE) {
+            tw.tw_remove_page(&mut traps, tid, Pfn::new(p), p);
+            tw.tw_register_page(&mut traps, tid, Pfn::new(p), p);
+        }
+        assert_eq!(
+            traps, snapshot,
+            "round {round}: re-arm must restore the exact trap set"
+        );
+        tw.validate_invariant(&traps).unwrap();
+    }
+    assert!(destroyed_total > 0, "the storm must actually destroy traps");
+    assert_eq!(dma.traps_destroyed(), destroyed_total);
+}
+
 /// Stores under no-allocate-on-write destroy traps without invoking
 /// the handler — why data-cache simulation failed on the 5000/200 —
 /// while allocate-on-write machines trap on stores too (§4.4).

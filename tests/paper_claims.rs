@@ -137,7 +137,8 @@ fn variance_taxonomy() {
     let spread = |cfg: SystemConfig, tag: u64| {
         let set = run_trials(BASE().derive("variance", tag), 5, |trial| {
             run_trial(&cfg, BASE(), trial).total_misses()
-        });
+        })
+        .expect("five trials");
         set.summary().stddev_pct_of_mean()
     };
     // Physically-indexed, cache > page: page-allocation variance.
