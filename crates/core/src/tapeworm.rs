@@ -71,6 +71,10 @@ pub struct Tapeworm {
     pages_registered: u64,
     /// Victim displaced by the most recent `handle_miss`, if any.
     last_victim: Option<PhysAddr>,
+    /// `cost.cycles_per_miss_split(&cfg)`, memoized: geometry and cost
+    /// model are fixed for the simulator's lifetime, and the float
+    /// math does not belong on the per-miss path.
+    miss_cost: (u64, u64),
 }
 
 impl Tapeworm {
@@ -86,10 +90,10 @@ impl Tapeworm {
             page_bytes % cfg.line_bytes() == 0,
             "page size must be a whole number of cache lines"
         );
+        let cost = CostModel::optimized();
         Tapeworm {
             cache: SimCache::new(cfg, seed),
             sample: SetSample::full(),
-            cost: CostModel::optimized(),
             stats: MissStats::new(1.0),
             page_bytes,
             page_refs: Vec::new(),
@@ -99,6 +103,8 @@ impl Tapeworm {
             replacement_cycles: 0,
             pages_registered: 0,
             last_victim: None,
+            miss_cost: cost.cycles_per_miss_split(&cfg),
+            cost,
             cfg,
         }
     }
@@ -127,6 +133,7 @@ impl Tapeworm {
 
     /// Replaces the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.miss_cost = cost.cycles_per_miss_split(&self.cfg);
         self.cost = cost;
         self
     }
@@ -302,7 +309,7 @@ impl Tapeworm {
                 traps.set_range(displaced.pa, line);
             }
         }
-        let (handler, replacement) = self.cost.cycles_per_miss_split(&self.cfg);
+        let (handler, replacement) = self.miss_cost;
         self.handler_cycles += handler;
         self.replacement_cycles += replacement;
         let cycles = handler + replacement;

@@ -87,6 +87,20 @@ impl Breakpoints {
     pub fn check(&self, va: VirtAddr) -> bool {
         !self.set.is_empty() && self.set.binary_search(&va.raw()).is_ok()
     }
+
+    /// `true` when any armed breakpoint lies in `[va, va + len)` — one
+    /// partition-point binary search over the sorted register file, the
+    /// whole-run equivalent of per-address [`Breakpoints::check`].
+    #[inline]
+    pub fn overlaps(&self, va: VirtAddr, len: u64) -> bool {
+        if self.set.is_empty() || len == 0 {
+            return false;
+        }
+        let start = va.raw();
+        let end = start.saturating_add(len);
+        let i = self.set.partition_point(|&b| b < start);
+        self.set.get(i).is_some_and(|&b| b < end)
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +152,30 @@ mod tests {
         assert!(bp.clear(VirtAddr::new(0x300)));
         assert!(!bp.check(VirtAddr::new(0x300)));
         assert_eq!(bp.len(), 3);
+    }
+
+    #[test]
+    fn overlaps_matches_per_address_check() {
+        let mut bp = Breakpoints::new(4);
+        for raw in [0x100, 0x204, 0x7fc] {
+            assert!(bp.set(VirtAddr::new(raw)));
+        }
+        // Brute-force oracle over a window of addresses and lengths.
+        for start in (0x0..0x900u64).step_by(4) {
+            for len in [0u64, 4, 16, 0x100, 0x500] {
+                let oracle = (start..start + len)
+                    .step_by(4)
+                    .any(|a| bp.check(VirtAddr::new(a)));
+                assert_eq!(
+                    bp.overlaps(VirtAddr::new(start), len),
+                    oracle,
+                    "[{start:#x}, +{len:#x})"
+                );
+            }
+        }
+        let empty = Breakpoints::new(4);
+        assert!(!empty.overlaps(VirtAddr::new(0), u64::MAX));
+        // Wrap-safe near the top of the address space.
+        assert!(!bp.overlaps(VirtAddr::new(u64::MAX - 3), u64::MAX));
     }
 }

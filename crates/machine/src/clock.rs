@@ -57,6 +57,16 @@ impl IntervalClock {
         self.fired
     }
 
+    /// Cycles until the next interrupt would fire — always ≥ 1, since
+    /// after any [`IntervalClock::advance`] the clock sits strictly
+    /// before its next firing point. Advancing by strictly fewer cycles
+    /// than this fires nothing; the fast path uses it to size batches
+    /// that provably cannot move an interrupt delivery.
+    #[inline]
+    pub fn cycles_until_fire(&self) -> u64 {
+        self.next_fire - self.now
+    }
+
     /// Advances time by `cycles` and returns how many interrupts fired
     /// during that span.
     pub fn advance(&mut self, cycles: u64) -> u64 {
@@ -127,5 +137,19 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         let _ = IntervalClock::new(0);
+    }
+
+    #[test]
+    fn cycles_until_fire_bounds_a_safe_advance() {
+        let mut c = IntervalClock::new(100);
+        assert_eq!(c.cycles_until_fire(), 100);
+        c.advance(73);
+        assert_eq!(c.cycles_until_fire(), 27);
+        // Advancing one fewer than the bound never fires...
+        assert_eq!(c.advance(c.cycles_until_fire() - 1), 0);
+        assert_eq!(c.cycles_until_fire(), 1);
+        // ...and the bound itself always does.
+        assert_eq!(c.advance(c.cycles_until_fire()), 1);
+        assert_eq!(c.cycles_until_fire(), 100);
     }
 }

@@ -37,7 +37,7 @@ pub mod trap;
 pub use bkpt::Breakpoints;
 pub use clock::IntervalClock;
 pub use dma::DmaEngine;
-pub use machine::{AccessKind, FetchOutcome, Machine, MachineConfig};
+pub use machine::{AccessKind, FetchOutcome, Machine, MachineConfig, MachineScratch};
 pub use monster::{Component, Monster};
 pub use tlb::{Tlb, TlbEntry, TlbOutcome};
 pub use trap::Trap;

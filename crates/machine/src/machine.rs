@@ -1,9 +1,17 @@
 //! The assembled host machine.
 
-use tapeworm_mem::{PhysAddr, TrapMap, VirtAddr, WritePolicy};
+use tapeworm_mem::{PhysAddr, TrapMap, TrapStorage, VirtAddr, WritePolicy};
 
 use crate::bkpt::Breakpoints;
 use crate::clock::IntervalClock;
+
+/// Reusable heap allocations salvaged from a retired [`Machine`] via
+/// [`Machine::into_scratch`]; hand them to [`Machine::new_reusing`] to
+/// build the next trial's machine without reallocating its trap bitmap.
+#[derive(Debug, Default)]
+pub struct MachineScratch {
+    traps: TrapStorage,
+}
 
 /// The kind of memory access being performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,8 +121,15 @@ impl Machine {
     /// Panics if the configuration is internally inconsistent (zero
     /// clock period, non-power-of-two granule, …).
     pub fn new(config: MachineConfig) -> Self {
+        Self::new_reusing(config, MachineScratch::default())
+    }
+
+    /// Like [`Machine::new`], but reuses the buffers of `scratch` (from
+    /// a previous machine's [`Machine::into_scratch`]). State is
+    /// identical to a freshly built machine.
+    pub fn new_reusing(config: MachineConfig, scratch: MachineScratch) -> Self {
         Machine {
-            traps: TrapMap::new(config.mem_bytes, config.trap_granule),
+            traps: TrapMap::with_storage(config.mem_bytes, config.trap_granule, scratch.traps),
             clock: IntervalClock::new(config.clock_period),
             breakpoints: Breakpoints::new(config.breakpoint_registers),
             interrupts_enabled: true,
@@ -124,6 +139,14 @@ impl Machine {
             trap_entries: 0,
             breakpoint_checks: 0,
             config,
+        }
+    }
+
+    /// Tears the machine down to its reusable allocations for
+    /// [`Machine::new_reusing`].
+    pub fn into_scratch(self) -> MachineScratch {
+        MachineScratch {
+            traps: self.traps.into_storage(),
         }
     }
 
@@ -210,6 +233,55 @@ impl Machine {
     /// primitive).
     pub fn retire(&mut self, instructions: u64) {
         self.instret += instructions;
+    }
+
+    /// `true` when the frame containing `pa` carries zero ECC traps —
+    /// one O(1) load against the trap map's per-frame counts. When this
+    /// holds, every access to the frame is [`FetchOutcome::Run`].
+    #[inline]
+    pub fn frame_clean(&self, pa: PhysAddr) -> bool {
+        self.traps.frame_clean(pa)
+    }
+
+    /// Length in bytes of the trap-free span starting at `pa`, capped
+    /// at `max_bytes` — [`TrapMap::clean_span`]'s word-at-a-time bitmap
+    /// scan. Every access whose probe point falls inside the span is
+    /// [`FetchOutcome::Run`], so the fast path can batch a resident run
+    /// even when the surrounding frame carries traps.
+    #[inline]
+    pub fn clean_span(&self, pa: PhysAddr, max_bytes: u64) -> u64 {
+        self.traps.clean_span(pa, max_bytes)
+    }
+
+    /// `true` when any armed breakpoint lies in `[va, va + len)` — one
+    /// binary search instead of a per-address probe.
+    #[inline]
+    pub fn breakpoints_in(&self, va: VirtAddr, len: u64) -> bool {
+        self.breakpoints.overlaps(va, len)
+    }
+
+    /// Cycles until the next clock interrupt would fire (always ≥ 1).
+    /// An [`Machine::advance`] of strictly fewer cycles delivers
+    /// nothing, so a batch sized below this bound cannot move an
+    /// interrupt.
+    #[inline]
+    pub fn cycles_until_tick(&self) -> u64 {
+        self.clock.cycles_until_fire()
+    }
+
+    /// Retires a *clean run* in one call: `instructions` retired plus
+    /// the `chunk_accesses` breakpoint-register probes the slow path
+    /// would have performed, so observability counters stay
+    /// bit-identical whichever path executed. Valid only when the run
+    /// is trap-free — its frame is clean ([`Machine::frame_clean`]) or
+    /// it lies inside a [`Machine::clean_span`] — and breakpoint-free
+    /// ([`Machine::breakpoints_in`]): then each skipped access would
+    /// have been [`FetchOutcome::Run`] with exactly one breakpoint
+    /// check.
+    #[inline]
+    pub fn retire_clean_run(&mut self, instructions: u64, chunk_accesses: u64) {
+        self.instret += instructions;
+        self.breakpoint_checks += chunk_accesses;
     }
 
     /// Total retired instructions.
@@ -360,5 +432,52 @@ mod tests {
         m.retire(10);
         m.retire(5);
         assert_eq!(m.instructions(), 15);
+    }
+
+    #[test]
+    fn frame_clean_tracks_trap_state() {
+        let mut m = machine();
+        assert!(m.frame_clean(PA));
+        m.traps_mut().set_range(PA, 16);
+        assert!(!m.frame_clean(PA));
+        // Same 4 KiB frame, different line.
+        assert!(!m.frame_clean(PhysAddr::new(0x2100)));
+        assert!(m.frame_clean(PhysAddr::new(0x3000)));
+        m.traps_mut().clear_range(PA, 16);
+        assert!(m.frame_clean(PA));
+    }
+
+    #[test]
+    fn retire_clean_run_matches_slow_path_counters() {
+        // A clean-frame run retired in one batch must leave instret and
+        // breakpoint_checks exactly where per-chunk dispatch would.
+        let mut slow = machine();
+        for chunk in 0..5u64 {
+            let va = VirtAddr::new(0x1000 + chunk * 16);
+            let pa = PhysAddr::new(0x2000 + chunk * 16);
+            assert_eq!(slow.access(AccessKind::IFetch, va, pa), FetchOutcome::Run);
+            slow.retire(4);
+        }
+        let mut fast = machine();
+        assert!(fast.frame_clean(PA));
+        assert!(!fast.breakpoints_in(VA, 5 * 16));
+        fast.retire_clean_run(20, 5);
+        assert_eq!(fast.instructions(), slow.instructions());
+        assert_eq!(fast.breakpoint_checks(), slow.breakpoint_checks());
+    }
+
+    #[test]
+    fn scratch_reuse_builds_a_pristine_machine() {
+        let mut m = machine();
+        m.traps_mut().set_range(PA, 4096);
+        m.advance(12_345);
+        m.retire(99);
+        let cfg = *m.config();
+        let reused = Machine::new_reusing(cfg, m.into_scratch());
+        assert_eq!(reused.now(), 0);
+        assert_eq!(reused.instructions(), 0);
+        assert_eq!(reused.traps().count(), 0);
+        assert!(reused.frame_clean(PA));
+        assert_eq!(reused.traps(), Machine::new(cfg).traps());
     }
 }

@@ -123,4 +123,56 @@ proptest! {
         }
         prop_assert_eq!(&traps, &snapshot);
     }
+
+    /// The O(1) per-frame trapped-granule counts behind
+    /// `TrapMap::frame_clean` never drift from the raw bitmap, no
+    /// matter how arms, disarms, sampled arms, and DMA strikes with
+    /// OS re-arm are interleaved — the safety condition of the
+    /// resident-run fast path.
+    #[test]
+    fn frame_counts_survive_dma_and_rearm(
+        ops in proptest::collection::vec(
+            (0u8..4, 0u64..8 * 4096, 1u64..9000),
+            1..40,
+        ),
+    ) {
+        const FRAME: u64 = 4096; // TrapMap::FRAME_BYTES
+        const MEM: u64 = 8 * FRAME;
+        const GRANULE: u64 = 16;
+        let mut traps = TrapMap::new(MEM, GRANULE);
+        let mut dma = DmaEngine::new();
+        for (op, start, size) in ops {
+            let pa = PhysAddr::new(start);
+            match op {
+                0 => traps.set_range(pa, size),
+                1 => traps.clear_range(pa, size),
+                2 => traps.set_range_filtered(pa, size, |g| g % 3 == 0),
+                _ => {
+                    // A DMA strike silently destroys the armed granules
+                    // it overlaps; the OS re-arms the window (§4.3).
+                    let size = size.min(MEM - start);
+                    dma.transfer(&mut traps, pa, size);
+                    traps.set_range(pa, size);
+                }
+            }
+            // Recount every frame from the raw bitmap (via the public
+            // trapped-granule iterator) and compare against the
+            // incrementally maintained counts.
+            for f in 0..MEM / FRAME {
+                let expected = traps
+                    .iter_trapped()
+                    .filter(|g| {
+                        let base = g * GRANULE;
+                        base < (f + 1) * FRAME && base + GRANULE > f * FRAME
+                    })
+                    .count() as u32;
+                prop_assert_eq!(
+                    traps.frame_trapped(PhysAddr::new(f * FRAME)),
+                    expected,
+                    "frame {} count drifted from the bitmap",
+                    f
+                );
+            }
+        }
+    }
 }

@@ -36,29 +36,39 @@ macro_rules! addr_type {
 
             /// Index of the line of `line_bytes` containing this address.
             ///
+            /// Line sizes are powers of two everywhere in the system
+            /// (cache geometry and trap granules are validated at
+            /// construction), so this is a shift, not a hardware
+            /// divide — it runs once per simulated miss and more.
+            ///
             /// # Panics
             ///
-            /// Panics (debug) if `line_bytes` is zero.
+            /// Panics (debug) if `line_bytes` is not a power of two.
             pub fn line_index(self, line_bytes: u64) -> u64 {
-                debug_assert!(line_bytes > 0);
-                self.0 / line_bytes
+                debug_assert!(line_bytes.is_power_of_two());
+                self.0 >> line_bytes.trailing_zeros()
             }
 
             /// This address rounded down to its line boundary.
+            ///
+            /// # Panics
+            ///
+            /// Panics (debug) if `line_bytes` is not a power of two.
             pub fn line_base(self, line_bytes: u64) -> Self {
-                $name(self.0 - self.0 % line_bytes)
+                debug_assert!(line_bytes.is_power_of_two());
+                $name(self.0 & !(line_bytes - 1))
             }
 
             /// Page number for a `page_bytes`-sized page.
             pub fn page_number(self, page_bytes: u64) -> u64 {
                 debug_assert!(page_bytes.is_power_of_two());
-                self.0 / page_bytes
+                self.0 >> page_bytes.trailing_zeros()
             }
 
             /// Offset within its `page_bytes`-sized page.
             pub fn page_offset(self, page_bytes: u64) -> u64 {
                 debug_assert!(page_bytes.is_power_of_two());
-                self.0 % page_bytes
+                self.0 & (page_bytes - 1)
             }
 
             /// `true` if the address is a multiple of `align` bytes.

@@ -52,4 +52,4 @@ pub use ecc::{Codec, Decoded};
 pub use frame::{ColoringAllocator, FrameAllocator, Pfn, RandomAllocator, SequentialAllocator};
 pub use page::{PageSize, PageSizeError, Pte};
 pub use phys::{EccMemory, MemoryEvent, OutOfRangeError, WritePolicy};
-pub use trapset::TrapMap;
+pub use trapset::{TrapMap, TrapStorage};

@@ -30,10 +30,29 @@ use crate::addr::PhysAddr;
 pub struct TrapMap {
     bits: Vec<u64>,
     granule: u64,
+    /// `granule.trailing_zeros()`: granule indexing is a shift, not a
+    /// divide, on the per-access and per-miss paths.
+    shift: u32,
     granules: u64,
     count: u64,
+    /// Trapped-granule count per [`TrapMap::FRAME_BYTES`] frame, kept in
+    /// lockstep with `bits` so "is this whole frame clean?" is one load
+    /// instead of a bitmap scan. A granule larger than a frame
+    /// contributes to every frame it overlaps. Derivable from `bits`, so
+    /// excluded from equality.
+    frame_counts: Vec<u32>,
     set_events: u64,
     clear_events: u64,
+}
+
+/// Heap allocations salvaged from a retired [`TrapMap`], ready to be
+/// handed to [`TrapMap::with_storage`] so a fresh map over the same
+/// geometry reuses the buffers instead of reallocating. Used by the
+/// sweep engine's per-worker trial scratch.
+#[derive(Debug, Default)]
+pub struct TrapStorage {
+    bits: Vec<u64>,
+    frame_counts: Vec<u32>,
 }
 
 /// Equality is over trap *state* (geometry and armed granules), not
@@ -59,6 +78,18 @@ impl TrapMap {
     /// Panics if `granule` is zero or not a power of two, or if
     /// `mem_bytes` is not a multiple of `granule`.
     pub fn new(mem_bytes: u64, granule: u64) -> Self {
+        Self::with_storage(mem_bytes, granule, TrapStorage::default())
+    }
+
+    /// Like [`TrapMap::new`], but reuses the heap buffers of `storage`
+    /// (from [`TrapMap::into_storage`]) instead of allocating fresh
+    /// ones. The resulting map is all-clear regardless of what the
+    /// donor map held.
+    ///
+    /// # Panics
+    ///
+    /// Same geometry requirements as [`TrapMap::new`].
+    pub fn with_storage(mem_bytes: u64, granule: u64, storage: TrapStorage) -> Self {
         assert!(
             granule.is_power_of_two(),
             "trap granule must be a power of two"
@@ -69,13 +100,33 @@ impl TrapMap {
         );
         let granules = mem_bytes / granule;
         let words = granules.div_ceil(64) as usize;
+        let frames = mem_bytes.div_ceil(Self::FRAME_BYTES) as usize;
+        let TrapStorage {
+            mut bits,
+            mut frame_counts,
+        } = storage;
+        bits.clear();
+        bits.resize(words, 0);
+        frame_counts.clear();
+        frame_counts.resize(frames, 0);
         TrapMap {
-            bits: vec![0; words],
+            bits,
             granule,
+            shift: granule.trailing_zeros(),
             granules,
             count: 0,
+            frame_counts,
             set_events: 0,
             clear_events: 0,
+        }
+    }
+
+    /// Tears the map down to its reusable heap buffers for
+    /// [`TrapMap::with_storage`].
+    pub fn into_storage(self) -> TrapStorage {
+        TrapStorage {
+            bits: self.bits,
+            frame_counts: self.frame_counts,
         }
     }
 
@@ -94,12 +145,40 @@ impl TrapMap {
         self.count
     }
 
+    /// Frame size of the per-frame trapped-granule counts, matching the
+    /// default page size: the hot path asks "is the frame backing this
+    /// page clean?" and a frame is exactly one page.
+    pub const FRAME_BYTES: u64 = 4096;
+
+    /// Number of trapped granules overlapping the frame containing
+    /// `pa`. Out-of-range frames hold no traps.
+    #[inline]
+    pub fn frame_trapped(&self, pa: PhysAddr) -> u32 {
+        let f = (pa.raw() / Self::FRAME_BYTES) as usize;
+        self.frame_counts.get(f).copied().unwrap_or(0)
+    }
+
+    /// `true` when the frame containing `pa` carries no traps at all —
+    /// one O(1) load, the clean-run filter of the fast path.
+    #[inline]
+    pub fn frame_clean(&self, pa: PhysAddr) -> bool {
+        self.frame_trapped(pa) == 0
+    }
+
+    /// Frames a granule index overlaps (one frame when the granule is
+    /// no larger than a frame, several when it is).
+    fn frames_of(&self, g: u64) -> std::ops::Range<usize> {
+        let first = ((g << self.shift) / Self::FRAME_BYTES) as usize;
+        let last = ((((g + 1) << self.shift) - 1) / Self::FRAME_BYTES) as usize;
+        first..(last + 1).min(self.frame_counts.len())
+    }
+
     /// `true` when the granule containing `pa` is trapped.
     ///
     /// Out-of-range addresses are never trapped.
     #[inline]
     pub fn is_trapped(&self, pa: PhysAddr) -> bool {
-        let g = pa.raw() / self.granule;
+        let g = pa.raw() >> self.shift;
         if g >= self.granules {
             return false;
         }
@@ -108,7 +187,41 @@ impl TrapMap {
 
     /// Index of the granule containing `pa`.
     pub fn granule_index(&self, pa: PhysAddr) -> u64 {
-        pa.raw() / self.granule
+        pa.raw() >> self.shift
+    }
+
+    /// Length in bytes of the trap-free span starting at `pa`: the
+    /// largest `n <= max_bytes` such that no granule overlapping
+    /// `[pa, pa + n)` is trapped (so `n == 0` when `pa`'s own granule
+    /// is trapped). Scans the bitmap a `u64` word at a time — one load
+    /// covers 64 granules — so the fast path can size a resident-run
+    /// batch without probing granule by granule. Out-of-range granules
+    /// are never trapped and extend the span.
+    #[inline]
+    pub fn clean_span(&self, pa: PhysAddr, max_bytes: u64) -> u64 {
+        if max_bytes == 0 {
+            return 0;
+        }
+        let g_last = (pa.raw() + max_bytes - 1) >> self.shift;
+        let mut g = pa.raw() >> self.shift;
+        while g <= g_last && g < self.granules {
+            let w = (g / 64) as usize;
+            let rest = self.bits[w] >> (g % 64);
+            if rest == 0 {
+                // The remainder of this bitmap word is clean: skip to
+                // the next word's first granule.
+                g = (w as u64 + 1) * 64;
+            } else {
+                let first_trapped = g + u64::from(rest.trailing_zeros());
+                if first_trapped > g_last {
+                    break;
+                }
+                return (first_trapped << self.shift)
+                    .saturating_sub(pa.raw())
+                    .min(max_bytes);
+            }
+        }
+        max_bytes
     }
 
     /// Sets the trap on one granule by index. Returns `true` if it was
@@ -125,6 +238,9 @@ impl TrapMap {
             self.bits[w] |= 1 << b;
             self.count += 1;
             self.set_events += 1;
+            for f in self.frames_of(g) {
+                self.frame_counts[f] += 1;
+            }
         }
         was_clear
     }
@@ -143,6 +259,9 @@ impl TrapMap {
             self.bits[w] &= !(1 << b);
             self.count -= 1;
             self.clear_events += 1;
+            for f in self.frames_of(g) {
+                self.frame_counts[f] -= 1;
+            }
         }
         was_set
     }
@@ -181,8 +300,8 @@ impl TrapMap {
         if size == 0 {
             return 0..0;
         }
-        let first = pa.raw() / self.granule;
-        let last = (pa.raw() + size - 1) / self.granule;
+        let first = pa.raw() >> self.shift;
+        let last = (pa.raw() + size - 1) >> self.shift;
         first.min(self.granules)..(last + 1).min(self.granules)
     }
 
@@ -206,6 +325,7 @@ impl TrapMap {
     pub fn clear_all(&mut self) {
         self.clear_events += self.count;
         self.bits.fill(0);
+        self.frame_counts.fill(0);
         self.count = 0;
     }
 
@@ -334,5 +454,148 @@ mod tests {
         let mut t = TrapMap::new(256, 16);
         t.set_range(PhysAddr::new(0), 0);
         assert_eq!(t.count(), 0);
+    }
+
+    /// Recounts a frame's trapped granules straight from the bitmap —
+    /// the ground truth the incremental `frame_counts` must match.
+    fn recount_frame(t: &TrapMap, frame: u64) -> u32 {
+        t.iter_trapped()
+            .filter(|&g| {
+                let lo = g * t.granule();
+                let hi = lo + t.granule();
+                lo < (frame + 1) * TrapMap::FRAME_BYTES && hi > frame * TrapMap::FRAME_BYTES
+            })
+            .count() as u32
+    }
+
+    fn assert_frame_counts_match(t: &TrapMap, mem_bytes: u64) {
+        for frame in 0..mem_bytes.div_ceil(TrapMap::FRAME_BYTES) {
+            let pa = PhysAddr::new(frame * TrapMap::FRAME_BYTES);
+            assert_eq!(
+                t.frame_trapped(pa),
+                recount_frame(t, frame),
+                "frame {frame} count diverged from bitmap"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_counts_track_set_and_clear() {
+        let mut t = TrapMap::new(16 * 4096, 16);
+        assert!(t.frame_clean(PhysAddr::new(0)));
+        t.set_range(PhysAddr::new(4096), 64);
+        assert_eq!(t.frame_trapped(PhysAddr::new(4096)), 4);
+        assert_eq!(t.frame_trapped(PhysAddr::new(8192)), 0);
+        assert!(t.frame_clean(PhysAddr::new(0)));
+        assert!(!t.frame_clean(PhysAddr::new(4096 + 2000)));
+        t.clear_range(PhysAddr::new(4096), 32);
+        assert_eq!(t.frame_trapped(PhysAddr::new(4096)), 2);
+        t.clear_all();
+        assert!(t.frame_clean(PhysAddr::new(4096)));
+        assert_frame_counts_match(&t, 16 * 4096);
+    }
+
+    #[test]
+    fn frame_counts_with_granule_larger_than_frame() {
+        // An 8 KiB granule spans two 4 KiB frames: arming it must make
+        // both frames dirty, clearing it must clean both.
+        let mut t = TrapMap::new(4 * 8192, 8192);
+        t.set_granule(1);
+        assert!(t.frame_clean(PhysAddr::new(0)));
+        assert!(!t.frame_clean(PhysAddr::new(8192)));
+        assert!(!t.frame_clean(PhysAddr::new(8192 + 4096)));
+        assert!(t.frame_clean(PhysAddr::new(16384)));
+        t.clear_granule(1);
+        assert!(t.frame_clean(PhysAddr::new(8192)));
+    }
+
+    #[test]
+    fn clean_span_measures_the_trap_free_prefix() {
+        let mut t = TrapMap::new(4096, 16);
+        // Nothing trapped: the whole request is clean.
+        assert_eq!(t.clean_span(PhysAddr::new(0), 4096), 4096);
+        t.set_range(PhysAddr::new(128), 16);
+        // Span ends at the first trapped granule's start byte.
+        assert_eq!(t.clean_span(PhysAddr::new(0), 4096), 128);
+        assert_eq!(t.clean_span(PhysAddr::new(64), 4096), 64);
+        // A request entirely short of the trap is unclipped.
+        assert_eq!(t.clean_span(PhysAddr::new(0), 100), 100);
+        // Starting inside the trapped granule: zero-length span.
+        assert_eq!(t.clean_span(PhysAddr::new(128), 64), 0);
+        assert_eq!(t.clean_span(PhysAddr::new(140), 64), 0);
+        // Starting after it: clean through to the end.
+        assert_eq!(t.clean_span(PhysAddr::new(144), 512), 512);
+        // A start mid-granule measures from pa, not the granule base.
+        t.set_range(PhysAddr::new(256), 16);
+        assert_eq!(t.clean_span(PhysAddr::new(148), 4096), 108);
+        assert_eq!(t.clean_span(PhysAddr::new(0), 0), 0);
+    }
+
+    #[test]
+    fn clean_span_crosses_bitmap_words_and_range_end() {
+        let mut t = TrapMap::new(64 * 4096, 16);
+        // First trap far enough out that the scan must skip whole
+        // 64-granule bitmap words.
+        t.set_range(PhysAddr::new(40_000), 16);
+        assert_eq!(t.clean_span(PhysAddr::new(0), 64 * 4096), 40_000);
+        // Out-of-range addresses are never trapped: spans extend past
+        // the covered region.
+        assert_eq!(t.clean_span(PhysAddr::new(63 * 4096), 8 * 4096), 8 * 4096);
+    }
+
+    #[test]
+    fn out_of_range_frame_reads_clean() {
+        let t = TrapMap::new(4096, 16);
+        assert!(t.frame_clean(PhysAddr::new(1 << 40)));
+        assert_eq!(t.frame_trapped(PhysAddr::new(1 << 40)), 0);
+    }
+
+    #[test]
+    fn storage_reuse_yields_a_pristine_map() {
+        let mut t = TrapMap::new(8 * 4096, 16);
+        t.set_range(PhysAddr::new(0), 8 * 4096);
+        let reused = TrapMap::with_storage(8 * 4096, 16, t.into_storage());
+        assert_eq!(reused.count(), 0);
+        assert_eq!(reused.set_events(), 0);
+        assert!(reused.frame_clean(PhysAddr::new(0)));
+        assert_eq!(reused, TrapMap::new(8 * 4096, 16));
+        // Regrowing into a different geometry must also work.
+        let regrown = TrapMap::with_storage(32 * 4096, 64, reused.into_storage());
+        assert_eq!(regrown.granules(), 32 * 4096 / 64);
+        assert!(regrown.frame_clean(PhysAddr::new(31 * 4096)));
+    }
+
+    /// Property: after an arbitrary interleaving of `set_range`,
+    /// `clear_range`, `set_range_filtered` (sampling) and `clear_all`,
+    /// every per-frame count equals a recount from the raw bitmap.
+    /// SplitMix64-driven so the sequence is deterministic.
+    #[test]
+    fn frame_counts_always_equal_bitmap_recount() {
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mem_bytes = 32 * 4096u64;
+        for &granule in &[16u64, 64, 4096] {
+            let mut t = TrapMap::new(mem_bytes, granule);
+            for _ in 0..400 {
+                let pa = PhysAddr::new(next() % mem_bytes);
+                let size = next() % 9000;
+                match next() % 8 {
+                    0..=2 => t.set_range(pa, size),
+                    3..=4 => t.clear_range(pa, size),
+                    5..=6 => {
+                        let m = 1 + next() % 7;
+                        t.set_range_filtered(pa, size, |g| g % m == 0);
+                    }
+                    _ => t.clear_all(),
+                }
+                assert_frame_counts_match(&t, mem_bytes);
+            }
+        }
     }
 }

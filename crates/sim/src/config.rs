@@ -155,6 +155,12 @@ pub struct SystemConfig {
     /// DECstation 5000/200 behaviour (stores destroy traps silently);
     /// `AllocateOnWrite` is required for faithful data-cache counts.
     pub write_policy: tapeworm_mem::WritePolicy,
+    /// Whether the engine may retire trap-free instruction runs through
+    /// the batched resident-run fast path. The fast path is
+    /// bit-identical to stepwise execution (pinned by differential
+    /// tests); disabling it forces the per-chunk slow path, as does the
+    /// `TW_FAST=0` environment knob.
+    pub fast_path: bool,
 }
 
 impl SystemConfig {
@@ -176,6 +182,7 @@ impl SystemConfig {
             masked_prefix_words: 16,
             dilate: true,
             write_policy: tapeworm_mem::WritePolicy::NoAllocateOnWrite,
+            fast_path: true,
         }
     }
 
@@ -235,6 +242,12 @@ impl SystemConfig {
     /// Sets the frame allocation policy.
     pub fn with_alloc(mut self, alloc: AllocPolicy) -> Self {
         self.alloc = alloc;
+        self
+    }
+
+    /// Enables or disables the resident-run fast path.
+    pub fn with_fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
         self
     }
 

@@ -56,7 +56,8 @@ pub use sweep::{
 };
 pub use system::{
     run_trial, run_trial_observed, run_trial_windowed, try_run_trial, try_run_trial_observed,
-    try_run_trial_windowed, ObsConfig, TrialError, WindowSample,
+    try_run_trial_observed_reusing, try_run_trial_windowed, ObsConfig, TrialError, TrialScratch,
+    WindowSample,
 };
 pub use tapeworm_obs::TrialMetrics;
 pub use tapeworm_stats::trials::{FailureKind, FaultStats, RetryPolicy, TrialFailure};

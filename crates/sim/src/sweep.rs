@@ -43,7 +43,7 @@ use crate::checkpoint::{self, CheckpointConfig, StoredOutcome};
 use crate::config::SystemConfig;
 use crate::fault::FaultPlan;
 use crate::result::TrialResult;
-use crate::system::{try_run_trial_observed, ObsConfig};
+use crate::system::{try_run_trial_observed_reusing, ObsConfig, TrialScratch};
 
 /// Per-configuration outcome of a sweep: the raw trial results in trial
 /// order plus ready-made summaries of the two headline metrics.
@@ -411,10 +411,16 @@ pub fn run_sweep_resilient(
     }
 
     let scheduler = TrialScheduler::new(options.threads);
-    let stats = scheduler.run_committed_resilient(
+    let stats = scheduler.run_committed_resilient_stateful(
         limit - offset,
         options.retry,
-        |k, attempt| {
+        // Per-worker scratch: page tables, trap bitmaps and reference
+        // buffers survive from one trial to the next instead of being
+        // reallocated per cell. Reuse is bit-identical by construction
+        // (pinned by the fast-path differential tests), so the committed
+        // sweep output is unchanged.
+        TrialScratch::new,
+        |scratch, k, attempt| {
             let i = k + offset;
             if options.faults.should_panic(i, attempt) {
                 panic!("injected fault: panic on trial {i} attempt {attempt}");
@@ -428,7 +434,8 @@ pub fn run_sweep_resilient(
             let c = i / trials;
             let t = (i % trials) as u64;
             let trial = base.derive("sweep-config", c as u64).derive("trial", t);
-            try_run_trial_observed(&configs[c], base, trial, options.obs).map_err(|e| e.to_string())
+            try_run_trial_observed_reusing(&configs[c], base, trial, options.obs, scratch)
+                .map_err(|e| e.to_string())
         },
         |k, outcome| {
             let index = k + offset;

@@ -97,7 +97,57 @@ pub fn try_run_trial(
     base: SeedSeq,
     trial: SeedSeq,
 ) -> Result<TrialResult, TrialError> {
-    Ok(Engine::new(cfg, base, trial)?.run_collect()?.0)
+    let mut scratch = TrialScratch::new();
+    Ok(run_trial_core(cfg, base, trial, 0, None, &mut scratch)?.0)
+}
+
+/// Persistent per-worker scratch: the heap allocations of one trial's
+/// engine (trap bitmap and frame counts, page tables, translation
+/// cache, data-reference buffer), salvaged when the trial finishes and
+/// reused by the next one. A sweep worker that runs hundreds of trials
+/// builds these buffers once instead of once per trial — the
+/// thread-scaling fix — while the simulation itself stays bit-identical
+/// (every buffer is reset to boot state on reuse, pinned by tests).
+///
+/// Not shared between threads: each worker owns one.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    machine: Option<tapeworm_machine::MachineScratch>,
+    vm: Option<tapeworm_os::VmScratch>,
+    data: Vec<DataRef>,
+}
+
+impl TrialScratch {
+    /// An empty scratch; the first trial populates it.
+    pub fn new() -> Self {
+        TrialScratch::default()
+    }
+}
+
+/// Runs one trial with every optional collector threaded through, and
+/// recycles the engine's allocations back into `scratch` on the way
+/// out. All public trial entry points funnel here.
+fn run_trial_core(
+    cfg: &SystemConfig,
+    base: SeedSeq,
+    trial: SeedSeq,
+    ring_capacity: usize,
+    window_instructions: Option<u64>,
+    scratch: &mut TrialScratch,
+) -> Result<(TrialResult, Vec<WindowSample>, TrialMetrics), TrialError> {
+    // An engine that fails to boot (OutOfFrames during text pre-map)
+    // consumes the scratch; the next trial simply reallocates. That
+    // path is cold and already aborting the trial.
+    let mut engine = Engine::new(cfg, base, trial, scratch)?;
+    if ring_capacity > 0 {
+        engine.ring = TrapRing::new(ring_capacity);
+    }
+    if let Some(period) = window_instructions {
+        engine.window = Some((period, Vec::new()));
+    }
+    let out = engine.run_collect();
+    engine.recycle(scratch);
+    out
 }
 
 /// Observability options for [`run_trial_observed`].
@@ -160,9 +210,27 @@ pub fn try_run_trial_observed(
     trial: SeedSeq,
     obs: ObsConfig,
 ) -> Result<(TrialResult, TrialMetrics), TrialError> {
-    let mut engine = Engine::new(cfg, base, trial)?;
-    engine.ring = TrapRing::new(obs.ring_capacity);
-    engine.run_collect().map(|(r, _, m)| (r, m))
+    let mut scratch = TrialScratch::new();
+    try_run_trial_observed_reusing(cfg, base, trial, obs, &mut scratch)
+}
+
+/// Like [`try_run_trial_observed`], but reuses (and refills) a
+/// persistent [`TrialScratch`], so a worker running many trials
+/// allocates its engine buffers once. Results and metrics are
+/// bit-identical to the non-reusing form.
+///
+/// # Errors
+///
+/// [`TrialError::OutOfFrames`] when the workload's footprint exceeds
+/// `SystemConfig::frames`.
+pub fn try_run_trial_observed_reusing(
+    cfg: &SystemConfig,
+    base: SeedSeq,
+    trial: SeedSeq,
+    obs: ObsConfig,
+    scratch: &mut TrialScratch,
+) -> Result<(TrialResult, TrialMetrics), TrialError> {
+    run_trial_core(cfg, base, trial, obs.ring_capacity, None, scratch).map(|(r, _, m)| (r, m))
 }
 
 /// One continuous-monitoring window (§5: "the use of continuous
@@ -227,9 +295,9 @@ pub fn try_run_trial_windowed(
     window_instructions: u64,
 ) -> Result<(TrialResult, Vec<WindowSample>), TrialError> {
     assert!(window_instructions > 0, "window must be positive");
-    let mut engine = Engine::new(cfg, base, trial)?;
-    engine.window = Some((window_instructions, Vec::new()));
-    engine.run_collect().map(|(r, w, _)| (r, w))
+    let mut scratch = TrialScratch::new();
+    run_trial_core(cfg, base, trial, 0, Some(window_instructions), &mut scratch)
+        .map(|(r, w, _)| (r, w))
 }
 
 enum Sim {
@@ -291,6 +359,16 @@ struct Engine<'c> {
     cpi_acc_milli: u64,
     in_interrupt: bool,
     chunk_bytes: u64,
+    /// Resident-run fast path enabled (`SystemConfig::fast_path` and
+    /// the `TW_FAST` env knob both allow it).
+    fast_enabled: bool,
+    /// Clean runs retired through the fast path.
+    fast_runs: u64,
+    /// Words retired through the fast path.
+    fast_words: u64,
+    /// Clock ticks that fired but exceeded the per-interval delivery
+    /// bound in [`Engine::advance`] (previously dropped silently).
+    ticks_dropped: u64,
     /// Page size in bytes, hoisted out of the per-chunk loop.
     page_bytes: u64,
     /// Reusable buffer for one quantum's data references — the hot
@@ -306,9 +384,17 @@ struct Engine<'c> {
 }
 
 impl<'c> Engine<'c> {
-    fn new(cfg: &'c SystemConfig, base: SeedSeq, trial: SeedSeq) -> Result<Self, TrialError> {
+    fn new(
+        cfg: &'c SystemConfig,
+        base: SeedSeq,
+        trial: SeedSeq,
+        scratch: &mut TrialScratch,
+    ) -> Result<Self, TrialError> {
         let spec = cfg.workload.spec();
         let page = tapeworm_mem::PageSize::DEFAULT;
+        // The fast path assumes "frame clean" covers exactly the page a
+        // run resides in.
+        debug_assert_eq!(page.bytes(), tapeworm_mem::TrapMap::FRAME_BYTES);
 
         let allocator: Box<dyn FrameAllocator> = match cfg.alloc {
             AllocPolicy::Random => Box::new(RandomAllocator::new(cfg.frames, trial)),
@@ -317,12 +403,13 @@ impl<'c> Engine<'c> {
                 Box::new(ColoringAllocator::new(cfg.frames, colors, trial))
             }
         };
-        let mut os = Os::boot(
+        let mut os = Os::boot_reusing(
             OsConfig {
                 page_size: page,
                 frames: cfg.frames,
             },
             allocator,
+            scratch.vm.take().unwrap_or_default(),
         );
 
         let (trap_granule, chunk_bytes) = match cfg.model {
@@ -339,13 +426,16 @@ impl<'c> Engine<'c> {
             SimModel::Tlb(_) => (16, page.bytes()),
             SimModel::KernelTraceBuffer(c) => (c.line_bytes(), c.line_bytes()),
         };
-        let machine = Machine::new(MachineConfig {
-            mem_bytes: cfg.frames as u64 * page.bytes(),
-            trap_granule,
-            clock_period: cfg.clock_period,
-            breakpoint_registers: 4,
-            write_policy: cfg.write_policy,
-        });
+        let machine = Machine::new_reusing(
+            MachineConfig {
+                mem_bytes: cfg.frames as u64 * page.bytes(),
+                trap_granule,
+                clock_period: cfg.clock_period,
+                breakpoint_registers: 4,
+                write_policy: cfg.write_policy,
+            },
+            scratch.machine.take().unwrap_or_default(),
+        );
 
         let sim = match cfg.model {
             SimModel::Cache(c) => {
@@ -491,8 +581,16 @@ impl<'c> Engine<'c> {
             cpi_acc_milli: 0,
             in_interrupt: false,
             chunk_bytes,
+            fast_enabled: cfg.fast_path && std::env::var("TW_FAST").map_or(true, |v| v != "0"),
+            fast_runs: 0,
+            fast_words: 0,
+            ticks_dropped: 0,
             page_bytes: page.bytes(),
-            data_scratch: Vec::new(),
+            data_scratch: {
+                let mut data = std::mem::take(&mut scratch.data);
+                data.clear();
+                data
+            },
             window: None,
             ring: TrapRing::new(0),
             sched_quanta: 0,
@@ -502,6 +600,14 @@ impl<'c> Engine<'c> {
             engine.fork_user();
         }
         Ok(engine)
+    }
+
+    /// Returns the engine's reusable allocations to `scratch` for the
+    /// worker's next trial.
+    fn recycle(self, scratch: &mut TrialScratch) {
+        scratch.machine = Some(self.machine.into_scratch());
+        scratch.vm = Some(self.os.into_scratch());
+        scratch.data = self.data_scratch;
     }
 
     fn fork_user(&mut self) {
@@ -720,6 +826,85 @@ impl<'c> Engine<'c> {
                 }
             };
 
+            // Resident-run fast path: every chunk whose probe point
+            // lies in a trap-free stretch of the frame is
+            // FetchOutcome::Run, so the per-chunk dispatch below is pure
+            // bookkeeping — retire the whole clean run in one batch.
+            // The common case (frame carries zero traps at all — true
+            // for every page of an unsimulated component) is one O(1)
+            // per-frame-count load; otherwise a word-at-a-time bitmap
+            // scan sizes the clean prefix, batching resident hit runs
+            // between traps. Bit-exactness by construction:
+            // * the batch never crosses the page, so one translation
+            //   covers it and physical contiguity is guaranteed;
+            // * the batch's total workload cycles stay strictly below
+            //   `cycles_until_tick()`, so the single advance() fires no
+            //   interrupt — handler delivery positions are untouched
+            //   (the chunk that would cross the tick runs below);
+            // * the batch ends on a slow-path iteration boundary, and
+            //   retire_clean_run replicates the per-chunk breakpoint
+            //   probes, so every observability counter matches;
+            // * trap state only mutates inside miss/VM handlers, which
+            //   cannot run mid-batch, so the span measured at the batch
+            //   head stays valid for the whole batch.
+            // TLB mode never reaches machine.access here (and a chunk is
+            // a whole page); the trace buffer pays per reference by
+            // design. Both are excluded.
+            if self.fast_enabled && !matches!(self.sim, Sim::Tlb(_) | Sim::Buffer(_)) {
+                let chunk_words = self.chunk_bytes / tapeworm_mem::WORD_BYTES;
+                let page_words =
+                    ((vpn + 1) * self.page_bytes - va.raw()) / tapeworm_mem::WORD_BYTES;
+                let cpi = self.cfg.base_cpi_milli;
+                // Largest word count whose cycles stay short of the
+                // tick: acc + n·cpi < until·1000. The accumulator is
+                // < 1000 and until ≥ 1, so the budget is ≥ 1.
+                let budget_milli = self
+                    .machine
+                    .cycles_until_tick()
+                    .saturating_mul(1000)
+                    .saturating_sub(self.cpi_acc_milli);
+                let w_tick = if cpi == 0 {
+                    u64::MAX
+                } else {
+                    (budget_milli - 1) / cpi
+                };
+                let cap = remaining.min(page_words).min(w_tick);
+                // Clip the batch to the trap-free span. A clean frame
+                // (the unsimulated-component case) answers in one load;
+                // a partially trapped frame costs a short bitmap scan
+                // that ends at the first trapped granule — the chunk
+                // that would miss runs through the slow path below.
+                let cap = if self.machine.frame_clean(pa) {
+                    cap
+                } else {
+                    self.machine.clean_span(pa, cap * tapeworm_mem::WORD_BYTES)
+                        / tapeworm_mem::WORD_BYTES
+                };
+                if cap >= w {
+                    // Align the batch end to a slow-path iteration
+                    // boundary: the first (possibly partial) chunk plus
+                    // whole chunks only.
+                    let chunks = 1 + (cap - w) / chunk_words;
+                    let batch = w + (chunks - 1) * chunk_words;
+                    if !self
+                        .machine
+                        .breakpoints_in(va, batch * tapeworm_mem::WORD_BYTES)
+                    {
+                        self.machine.retire_clean_run(batch, chunks);
+                        self.cpi_acc_milli += batch * cpi;
+                        let workload_cycles = self.cpi_acc_milli / 1000;
+                        self.cpi_acc_milli %= 1000;
+                        self.monster.record(component, batch, workload_cycles);
+                        self.advance(workload_cycles, 0)?;
+                        self.fast_runs += 1;
+                        self.fast_words += batch;
+                        va += batch * tapeworm_mem::WORD_BYTES;
+                        remaining -= batch;
+                        continue;
+                    }
+                }
+            }
+
             let mut overhead = 0u64;
             if let Sim::Buffer(kt) = &mut self.sim {
                 // The annotated system records every fetch (all
@@ -771,12 +956,18 @@ impl<'c> Engine<'c> {
         Ok(())
     }
 
-    /// Advances wall-clock time and services any clock interrupts.
+    /// Advances wall-clock time and services any clock interrupts. At
+    /// most four ticks are delivered per interval (the hardware's
+    /// pending-interrupt latch depth); extras are discarded — but no
+    /// longer silently: the loss is tallied in `ticks_dropped` and
+    /// surfaced as the `clock_ticks_dropped` counter.
     fn advance(&mut self, workload_cycles: u64, overhead_cycles: u64) -> Result<(), TrialError> {
         let dilated = workload_cycles + if self.cfg.dilate { overhead_cycles } else { 0 };
         let fired = self.machine.advance(dilated);
         if fired > 0 && !self.in_interrupt {
-            for _ in 0..fired.min(4) {
+            let deliverable = fired.min(4);
+            self.ticks_dropped += fired - deliverable;
+            for _ in 0..deliverable {
                 self.run_interrupt_handler()?;
             }
         }
@@ -937,6 +1128,9 @@ impl<'c> Engine<'c> {
             self.machine.breakpoint_checks(),
         );
         counters.add(CounterId::SchedQuanta, self.sched_quanta);
+        counters.add(CounterId::ClockTicksDropped, self.ticks_dropped);
+        counters.add(CounterId::FastRuns, self.fast_runs);
+        counters.add(CounterId::FastWords, self.fast_words);
 
         let mut phases = PhaseCycles::new();
         phases.add(Phase::Kernel, self.monster.cycles(Component::Kernel));
@@ -973,7 +1167,7 @@ impl<'c> Engine<'c> {
     }
 
     fn run_collect(
-        mut self,
+        &mut self,
     ) -> Result<(TrialResult, Vec<crate::system::WindowSample>, TrialMetrics), TrialError> {
         // Smooth weighted round-robin over the components, by the
         // Table 4 time fractions.

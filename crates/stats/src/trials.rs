@@ -297,10 +297,34 @@ impl TrialScheduler {
     /// `&mut` state (accumulate statistics, stream table rows) without
     /// synchronization, and sees exactly the sequence the serial loop
     /// would produce.
-    pub fn run_committed<T, F, C>(&self, n: usize, job: F, mut commit: C)
+    pub fn run_committed<T, F, C>(&self, n: usize, job: F, commit: C)
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
+        C: FnMut(usize, T),
+    {
+        self.run_committed_stateful(n, || (), |(), i| job(i), commit);
+    }
+
+    /// [`run_committed`](Self::run_committed) with per-worker state.
+    ///
+    /// Each worker thread calls `init()` exactly once at spawn and
+    /// passes its state to every job it runs (the serial path holds one
+    /// state across the whole loop). This is the hook for reusing
+    /// expensive per-trial allocations — a worker's scratch buffers
+    /// survive from one trial to the next instead of being rebuilt.
+    ///
+    /// The state must not affect job results: which worker (and hence
+    /// which state instance) runs an index depends on dynamic load
+    /// balancing. Bit-identical output for every thread count therefore
+    /// requires `job(&mut fresh, i) == job(&mut reused, i)` — true for
+    /// scratch allocations by construction, and pinned for the trial
+    /// engine by the fast-path differential tests.
+    pub fn run_committed_stateful<S, T, I, F, C>(&self, n: usize, init: I, job: F, mut commit: C)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
         C: FnMut(usize, T),
     {
         if n == 0 {
@@ -308,9 +332,10 @@ impl TrialScheduler {
         }
         if self.threads == 1 {
             // The serial path is the reference semantics: compute and
-            // commit in one loop, nothing else.
+            // commit in one loop, one long-lived state.
+            let mut state = init();
             for i in 0..n {
-                let v = job(i);
+                let v = job(&mut state, i);
                 commit(i, v);
             }
             return;
@@ -323,15 +348,19 @@ impl TrialScheduler {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
+                let init = &init;
                 let job = &job;
-                scope.spawn(move || loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= n {
-                        break;
-                    }
-                    let value = job(index);
-                    if tx.send(Completed { index, value }).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        let value = job(&mut state, index);
+                        if tx.send(Completed { index, value }).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -381,11 +410,38 @@ impl TrialScheduler {
         n: usize,
         retry: RetryPolicy,
         job: F,
-        mut commit: C,
+        commit: C,
     ) -> FaultStats
     where
         T: Send,
         F: Fn(usize, u32) -> Result<T, String> + Sync,
+        C: FnMut(usize, Result<T, TrialFailure>),
+    {
+        self.run_committed_resilient_stateful(n, retry, || (), |(), i, a| job(i, a), commit)
+    }
+
+    /// [`run_committed_resilient`](Self::run_committed_resilient) with
+    /// per-worker state (see
+    /// [`run_committed_stateful`](Self::run_committed_stateful)).
+    ///
+    /// Fault interaction: a panic may leave the worker's state
+    /// arbitrarily corrupted, so it is discarded with the poisoned
+    /// worker — the respawned replacement calls `init()` afresh (the
+    /// serial path re-inits in place, keeping the accounting
+    /// thread-count invariant). Typed errors retry on the same worker
+    /// with the same state, exactly like a healthy next trial.
+    pub fn run_committed_resilient_stateful<S, T, I, F, C>(
+        &self,
+        n: usize,
+        retry: RetryPolicy,
+        init: I,
+        job: F,
+        mut commit: C,
+    ) -> FaultStats
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, u32) -> Result<T, String> + Sync,
         C: FnMut(usize, Result<T, TrialFailure>),
     {
         let max_attempts = retry.max_attempts.max(1);
@@ -419,12 +475,16 @@ impl TrialScheduler {
         if self.threads == 1 {
             // Serial reference semantics: attempts loop in place. A
             // caught panic "poisons" the lone worker and the loop
-            // re-enters immediately — counted as a respawn so the
-            // stats are thread-count invariant.
+            // re-enters immediately — counted as a respawn, and the
+            // worker state is re-initialized in place, so the stats
+            // (and state lifecycle) are thread-count invariant.
+            let mut state = init();
             for index in 0..n {
                 let mut progress = Progress::default();
                 let outcome = loop {
-                    match catch_unwind(AssertUnwindSafe(|| job(index, progress.attempt))) {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        job(&mut state, index, progress.attempt)
+                    })) {
                         Ok(Ok(v)) => break Ok(v),
                         Ok(Err(msg)) => {
                             progress.typed_failures += 1;
@@ -435,6 +495,10 @@ impl TrialScheduler {
                         Err(payload) => {
                             stats.panics += 1;
                             stats.workers_respawned += 1;
+                            // The panic may have corrupted the state
+                            // mid-trial; discard it like a poisoned
+                            // worker's.
+                            state = init();
                             if progress.attempt + 1 >= max_attempts {
                                 break Err(FailureKind::Panic(panic_message(&*payload)));
                             }
@@ -459,55 +523,63 @@ impl TrialScheduler {
             let spawn_worker = |tx: mpsc::Sender<Report<T>>| {
                 let cursor = &cursor;
                 let retry_queue = &retry_queue;
+                let init = &init;
                 let job = &job;
-                scope.spawn(move || loop {
-                    // Queued retries take priority over fresh indices.
-                    let work = retry_queue.lock().expect("retry queue").pop_front();
-                    let (index, mut progress) = match work {
-                        Some(w) => w,
-                        None => {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                return;
-                            }
-                            (i, Progress::default())
-                        }
-                    };
+                scope.spawn(move || {
+                    // Fresh state per (re)spawn: a respawned worker
+                    // never inherits a panicked predecessor's state.
+                    let mut state = init();
                     loop {
-                        match catch_unwind(AssertUnwindSafe(|| job(index, progress.attempt))) {
-                            Ok(Ok(v)) => {
-                                let _ = tx.send(Report::Done {
-                                    index,
-                                    outcome: Ok(v),
-                                    progress,
-                                });
-                                break;
+                        // Queued retries take priority over fresh indices.
+                        let work = retry_queue.lock().expect("retry queue").pop_front();
+                        let (index, mut progress) = match work {
+                            Some(w) => w,
+                            None => {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    return;
+                                }
+                                (i, Progress::default())
                             }
-                            Ok(Err(msg)) => {
-                                // Typed errors retry in place; the
-                                // worker is not poisoned.
-                                progress.typed_failures += 1;
-                                if progress.attempt + 1 >= max_attempts {
+                        };
+                        loop {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                job(&mut state, index, progress.attempt)
+                            })) {
+                                Ok(Ok(v)) => {
                                     let _ = tx.send(Report::Done {
                                         index,
-                                        outcome: Err(FailureKind::Error(msg)),
+                                        outcome: Ok(v),
                                         progress,
                                     });
                                     break;
                                 }
-                                progress.backoff += retry.backoff_for(progress.attempt);
-                                progress.attempt += 1;
-                            }
-                            Err(payload) => {
-                                // A panic may have corrupted this
-                                // worker's stack-local state: report
-                                // and exit; the committer respawns.
-                                let _ = tx.send(Report::Panicked {
-                                    index,
-                                    progress,
-                                    message: panic_message(&*payload),
-                                });
-                                return;
+                                Ok(Err(msg)) => {
+                                    // Typed errors retry in place; the
+                                    // worker is not poisoned.
+                                    progress.typed_failures += 1;
+                                    if progress.attempt + 1 >= max_attempts {
+                                        let _ = tx.send(Report::Done {
+                                            index,
+                                            outcome: Err(FailureKind::Error(msg)),
+                                            progress,
+                                        });
+                                        break;
+                                    }
+                                    progress.backoff += retry.backoff_for(progress.attempt);
+                                    progress.attempt += 1;
+                                }
+                                Err(payload) => {
+                                    // A panic may have corrupted this
+                                    // worker's stack-local state: report
+                                    // and exit; the committer respawns.
+                                    let _ = tx.send(Report::Panicked {
+                                        index,
+                                        progress,
+                                        message: panic_message(&*payload),
+                                    });
+                                    return;
+                                }
                             }
                         }
                     }
