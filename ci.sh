@@ -15,11 +15,17 @@
 #      re-baseline deliberately by copying BENCH.json over the
 #      baseline).
 #   6. Thread-scaling gate: on a multi-core host, two workers must be
-#      at least 1.2x one worker; on a single core (where speedup is
-#      physically impossible) two workers must merely not collapse
-#      (>= 0.9x — the parallel engine's overhead budget).
+#      at least 1.2x one worker. On a single core, speedup is
+#      physically impossible and any floor would be theatre, so the
+#      gate SKIPS with an explicit annotation instead of pretending.
 #   7. results/METRICS.json (the tapeworm-metrics-v1 observability
 #      export) must exist and carry every schema key.
+#   8. Sweep-service smoke: submit specs/ci_smoke.toml, drain it
+#      through the subprocess worker backend, gate the digest against
+#      the golden pin (also pinned in tests/server_e2e.rs and
+#      crates/server/tests/server_e2e.rs), re-run for a fingerprint
+#      cache hit with the identical digest, and validate the JSONL run
+#      sink's metrics lines against the tapeworm-metrics-v1 schema.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -71,7 +77,14 @@ awk -v cpus="$cpus" -v two="$two" 'BEGIN {
   if (cpus == "" || two == "") {
     print "ci.sh: could not parse host_cpus / two_thread_speedup" > "/dev/stderr"; exit 1
   }
-  floor = (cpus + 0 >= 2) ? 1.2 : 0.9
+  if (cpus + 0 < 2) {
+    # A speedup floor on one core would gate on scheduler noise, not on
+    # the engine. Skip honestly and loudly rather than asserting a
+    # made-up number.
+    printf "ci.sh: scaling gate SKIPPED: host has %d cpu(s); a 2-thread speedup floor is meaningless without a second core (measured %.3fx, informational only)\n", cpus, two
+    exit 0
+  }
+  floor = 1.2
   if (two + 0 < floor) {
     printf "ci.sh: scaling regression: 2-thread speedup %.3fx below %.1fx floor (host_cpus=%d)\n", two, floor, cpus > "/dev/stderr"
     exit 1
@@ -106,6 +119,56 @@ grep -q "digest: $CHAOS_GOLDEN_DIGEST" results/chaos_sweep.txt || {
 }
 test -s results/METRICS_chaos.json || {
   echo "ci.sh: results/METRICS_chaos.json missing or empty" >&2; exit 1;
+}
+
+echo "=== tier 2: sweep-service smoke (subprocess worker + fingerprint cache) ==="
+# The service digest must be bit-identical across backends, thread
+# counts and cached-vs-fresh serving. Golden value also pinned in
+# tests/server_e2e.rs and crates/server/tests/server_e2e.rs
+# (CI_SMOKE_GOLDEN_DIGEST); regenerate all three together via
+# `./target/release/golden_digest`.
+SERVICE_GOLDEN_DIGEST="0x279118467b9c2732"
+rm -rf results/ci_queue
+./target/release/tapeworm-server submit --queue results/ci_queue specs/ci_smoke.toml
+./target/release/tapeworm-server run --queue results/ci_queue --backend subprocess \
+  | tee results/server_smoke.txt
+grep -q "from_cache=false" results/server_smoke.txt || {
+  echo "ci.sh: first service run unexpectedly hit the cache" >&2; exit 1;
+}
+grep -q "digest=$SERVICE_GOLDEN_DIGEST" results/server_smoke.txt || {
+  echo "ci.sh: service digest does not match golden $SERVICE_GOLDEN_DIGEST" >&2; exit 1;
+}
+# Identical spec again: served from the fingerprint cache, same digest.
+./target/release/tapeworm-server once --queue results/ci_queue specs/ci_smoke.toml \
+  | tee results/server_smoke_cached.txt
+grep -q "from_cache=true" results/server_smoke_cached.txt || {
+  echo "ci.sh: identical spec was not served from the fingerprint cache" >&2; exit 1;
+}
+grep -q "digest=$SERVICE_GOLDEN_DIGEST" results/server_smoke_cached.txt || {
+  echo "ci.sh: cached service digest diverged from golden" >&2; exit 1;
+}
+# The JSONL run sink must carry the run schema, the checkpoint-codec
+# trial records, and tapeworm-metrics-v1 metrics lines.
+sink=results/ci_queue/jobs/000001/result.jsonl
+test -s "$sink" || { echo "ci.sh: $sink missing or empty" >&2; exit 1; }
+grep -q '"schema": "tapeworm-server-run-v1"' "$sink" || {
+  echo "ci.sh: run sink lacks tapeworm-server-run-v1 header" >&2; exit 1;
+}
+grep -q '"record": "trial"' "$sink" || {
+  echo "ci.sh: run sink lacks trial records" >&2; exit 1;
+}
+metrics_line=$(grep '"record": "metrics"' "$sink" | head -1)
+for key in schema counters phases dilation slowdown trap_events recorded dropped \
+           trap_entries user kernel handler replacement; do
+  echo "$metrics_line" | grep -q "\"$key\"" || {
+    echo "ci.sh: run-sink metrics line lacks \"$key\"" >&2; exit 1;
+  }
+done
+echo "$metrics_line" | grep -q '"schema": "tapeworm-metrics-v1"' || {
+  echo "ci.sh: run-sink metrics line has wrong schema id" >&2; exit 1;
+}
+grep -q "\"digest\": \"$SERVICE_GOLDEN_DIGEST\"" "$sink" || {
+  echo "ci.sh: run-sink digest footer does not match golden" >&2; exit 1;
 }
 
 echo "ci.sh: all gates passed"

@@ -1,11 +1,17 @@
 //! Prints FNV-1a digests of `TrialResult`s for the golden equivalence
 //! matrix in `tests/determinism.rs`
-//! (`engine_matches_pre_refactor_golden_digests`).
+//! (`engine_matches_pre_refactor_golden_digests`), plus the sweep
+//! service's `specs/ci_smoke.toml` digest pinned in
+//! `tests/server_e2e.rs`, `crates/server/tests/server_e2e.rs` and
+//! ci.sh (`SERVICE_GOLDEN_DIGEST`).
 //!
 //! Run after a *deliberate* behaviour-changing commit to regenerate
-//! the pinned digests; the output lines paste directly into the test.
+//! the pinned digests; the output lines paste directly into the tests.
 
 use tapeworm_core::{CacheConfig, TlbSimConfig};
+use tapeworm_server::{
+    digest_outcomes, BackendOptions, InProcessBackend, SweepPlan, WorkerBackend,
+};
 use tapeworm_sim::{
     run_trial, run_trial_windowed, ComponentSet, SystemConfig, TrialResult, WindowSample,
 };
@@ -76,4 +82,20 @@ fn main() {
     let cfg = SystemConfig::cache(Workload::MpegPlay, dm(4)).with_scale(SCALE);
     let (r, w) = run_trial_windowed(&cfg, base, trial("windowed"), 10_000);
     println!("(\"windowed\", {:#018x}),", digest(&r, &w));
+
+    // The sweep service's golden digest: specs/ci_smoke.toml through
+    // the in-process backend (every backend is pinned to match it).
+    match std::fs::read_to_string("specs/ci_smoke.toml") {
+        Ok(spec) => {
+            let plan = SweepPlan::resolve(&spec).expect("valid ci_smoke spec");
+            let run = InProcessBackend
+                .run(&plan, &BackendOptions::default())
+                .expect("in-process backend");
+            println!(
+                "SERVICE_GOLDEN_DIGEST (ci-smoke): {:#018x}",
+                digest_outcomes(&run.outcomes)
+            );
+        }
+        Err(e) => eprintln!("golden_digest: skipping service digest ({e}); run from the repo root"),
+    }
 }

@@ -135,18 +135,22 @@ impl MetricsReport {
     }
 }
 
-/// The shared `counters`/`phases`/`dilation`/`slowdown`/`trap_events`
-/// block used by both per-config entries and the totals object.
-fn push_metrics_fields(out: &mut String, metrics: &TrialMetrics, indent: &str) {
-    out.push_str(&format!("{indent}\"counters\": {{ "));
+/// Renders the counters registry as one inline JSON object.
+fn counters_object(metrics: &TrialMetrics) -> String {
+    let mut out = String::from("{ ");
     for (i, id) in CounterId::ALL.into_iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
         out.push_str(&format!("\"{}\": {}", id.name(), metrics.counters.get(id)));
     }
-    out.push_str(" },\n");
-    out.push_str(&format!("{indent}\"phases\": {{ "));
+    out.push_str(" }");
+    out
+}
+
+/// Renders the phase-cycle account as one inline JSON object.
+fn phases_object(metrics: &TrialMetrics) -> String {
+    let mut out = String::from("{ ");
     for (i, phase) in Phase::ALL.into_iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
@@ -157,7 +161,21 @@ fn push_metrics_fields(out: &mut String, metrics: &TrialMetrics, indent: &str) {
             metrics.phases.get(phase)
         ));
     }
-    out.push_str(" },\n");
+    out.push_str(" }");
+    out
+}
+
+/// The shared `counters`/`phases`/`dilation`/`slowdown`/`trap_events`
+/// block used by both per-config entries and the totals object.
+fn push_metrics_fields(out: &mut String, metrics: &TrialMetrics, indent: &str) {
+    out.push_str(&format!(
+        "{indent}\"counters\": {},\n",
+        counters_object(metrics)
+    ));
+    out.push_str(&format!(
+        "{indent}\"phases\": {},\n",
+        phases_object(metrics)
+    ));
     out.push_str(&format!(
         "{indent}\"dilation\": {:.6},\n",
         metrics.phases.dilation()
@@ -170,6 +188,25 @@ fn push_metrics_fields(out: &mut String, metrics: &TrialMetrics, indent: &str) {
         "{indent}\"trap_events\": {{ \"recorded\": {}, \"dropped\": {} }}\n",
         metrics.events_recorded, metrics.events_dropped
     ));
+}
+
+/// Renders the `tapeworm-metrics-v1` field block — `counters`,
+/// `phases`, `dilation`, `slowdown`, `trap_events` — as a single-line
+/// JSON fragment without surrounding braces, for embedding in JSONL
+/// records (the server run sink's per-configuration metrics lines).
+/// Field order and number formatting match
+/// [`MetricsReport::to_json`]'s, so schema validators treat both alike.
+pub fn metrics_json_fields(metrics: &TrialMetrics) -> String {
+    format!(
+        "\"counters\": {}, \"phases\": {}, \"dilation\": {:.6}, \"slowdown\": {:.6}, \
+         \"trap_events\": {{ \"recorded\": {}, \"dropped\": {} }}",
+        counters_object(metrics),
+        phases_object(metrics),
+        metrics.phases.dilation(),
+        metrics.phases.slowdown(),
+        metrics.events_recorded,
+        metrics.events_dropped
+    )
 }
 
 fn escape(s: &str) -> String {

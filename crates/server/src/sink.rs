@@ -1,0 +1,233 @@
+//! The JSONL run sink and the service result digest.
+//!
+//! Every completed job streams to `result.jsonl`
+//! (`tapeworm-server-run-v1`): a header line with the job's identity
+//! and provenance (including the `from_cache` tag), one line per trial
+//! carrying the bit-exact `tapeworm-checkpoint-v1` record, one
+//! `tapeworm-metrics-v1` line per configuration with the merged
+//! counters/phases/dilation block, and a digest footer.
+//!
+//! The digest is the service's determinism pin: FNV-1a over the
+//! canonical checkpoint record lines (`encode_outcome(i, o)` + `\n`
+//! for every cell, in index order). Because every backend funnels its
+//! outcomes through the same codec, the digest is bit-identical across
+//! backends, thread counts, checkpoint resume, and cached-vs-fresh
+//! serving — and independent of presentation details like the job ID
+//! in the header.
+
+use std::io;
+use std::path::Path;
+
+use tapeworm_obs::{metrics_json_fields, write_atomic, METRICS_SCHEMA};
+use tapeworm_sim::{encode_outcome, TrialOutcome, TrialSummary};
+
+use crate::spec::fnv1a;
+
+/// Schema identifier stamped into every run-sink header.
+pub const RUN_SCHEMA: &str = "tapeworm-server-run-v1";
+
+/// Provenance fields for a sink header line.
+#[derive(Debug, Clone)]
+pub struct SinkHeader<'a> {
+    /// Queue job ID rendered as the job directory name.
+    pub job: &'a str,
+    /// Spec name.
+    pub spec: &'a str,
+    /// Service-level fingerprint (the cache key).
+    pub fingerprint: u64,
+    /// Backend that produced the outcomes (`"cache"` for a hit).
+    pub backend: &'a str,
+    /// Whether the outcomes were served from the fingerprint cache.
+    pub from_cache: bool,
+    /// Worker threads requested (presentation only; never affects the
+    /// digest).
+    pub threads: usize,
+    /// Configurations in the grid.
+    pub configs: usize,
+    /// Trials per configuration.
+    pub trials: usize,
+}
+
+/// The deterministic service digest over an outcome vector.
+pub fn digest_outcomes(outcomes: &[TrialOutcome]) -> u64 {
+    let mut doc = String::new();
+    for (index, outcome) in outcomes.iter().enumerate() {
+        doc.push_str(&encode_outcome(index, outcome));
+        doc.push('\n');
+    }
+    fnv1a(doc.as_bytes())
+}
+
+/// Renders the full `tapeworm-server-run-v1` document, returning it
+/// with its digest.
+pub fn render(
+    header: &SinkHeader<'_>,
+    outcomes: &[TrialOutcome],
+    cells: &[TrialSummary],
+    failed: usize,
+) -> (String, u64) {
+    let digest = digest_outcomes(outcomes);
+    let mut out = String::with_capacity(256 * (outcomes.len() + cells.len() + 2));
+    out.push_str(&format!(
+        "{{\"schema\": \"{RUN_SCHEMA}\", \"job\": \"{}\", \"spec\": \"{}\", \
+         \"fingerprint\": \"0x{:016x}\", \"backend\": \"{}\", \"from_cache\": {}, \
+         \"threads\": {}, \"configs\": {}, \"trials\": {}}}\n",
+        header.job,
+        header.spec,
+        header.fingerprint,
+        header.backend,
+        header.from_cache,
+        header.threads,
+        header.configs,
+        header.trials,
+    ));
+    let trials = header.trials.max(1);
+    for (index, outcome) in outcomes.iter().enumerate() {
+        let record = encode_outcome(index, outcome);
+        // Splice the config/trial coordinates ahead of the canonical
+        // record fields: `{"index": ...}` → `{"record": "trial",
+        // "config": c, "trial": t, "index": ...}`.
+        out.push_str(&format!(
+            "{{\"record\": \"trial\", \"config\": {}, \"trial\": {}, {}\n",
+            index / trials,
+            index % trials,
+            &record[1..],
+        ));
+    }
+    for (config, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"record\": \"metrics\", \"schema\": \"{METRICS_SCHEMA}\", \"config\": {config}, \
+             \"trials\": {}, {}}}\n",
+            cell.results().len(),
+            metrics_json_fields(cell.metrics()),
+        ));
+    }
+    out.push_str(&format!(
+        "{{\"record\": \"digest\", \"committed\": {}, \"failed\": {failed}, \
+         \"digest\": \"0x{digest:016x}\"}}\n",
+        outcomes.len(),
+    ));
+    (out, digest)
+}
+
+/// Renders and atomically writes the sink, returning the digest.
+///
+/// # Errors
+///
+/// Propagates the atomic-write failure.
+pub fn write(
+    path: &Path,
+    header: &SinkHeader<'_>,
+    outcomes: &[TrialOutcome],
+    cells: &[TrialSummary],
+    failed: usize,
+) -> io::Result<u64> {
+    let (doc, digest) = render(header, outcomes, cells, failed);
+    write_atomic(path, doc.as_bytes())?;
+    Ok(digest)
+}
+
+/// Extracts the digest from a rendered sink document (the footer's
+/// `digest` field), for gates that only have the file.
+pub fn read_digest(doc: &str) -> Option<u64> {
+    let line = doc
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"record\": \"digest\""))?;
+    let hex = crate::wire::field(line, "digest")?.strip_prefix("0x")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendOptions, InProcessBackend, WorkerBackend};
+    use crate::spec::SweepPlan;
+    use tapeworm_sim::fold_outcomes;
+
+    const SPEC: &str = "name = \"sink-demo\"\ntrials = 2\nscale = 20000\n\
+                        workloads = [\"eqntott\"]\ncache_kb = [1, 2]\n";
+
+    #[test]
+    fn sink_document_carries_schema_records_and_recoverable_digest() {
+        let plan = SweepPlan::resolve(SPEC).unwrap();
+        let run = InProcessBackend
+            .run(&plan, &BackendOptions::default())
+            .unwrap();
+        let (cells, failed) = fold_outcomes(plan.trials(), run.outcomes.clone());
+        let header = SinkHeader {
+            job: "000001",
+            spec: &plan.spec().name,
+            fingerprint: plan.fingerprint(),
+            backend: "in-process",
+            from_cache: false,
+            threads: 1,
+            configs: plan.configs().len(),
+            trials: plan.trials(),
+        };
+        let (doc, digest) = render(&header, &run.outcomes, &cells, failed.len());
+        assert_eq!(digest, digest_outcomes(&run.outcomes));
+        assert_eq!(read_digest(&doc), Some(digest));
+
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 1 + plan.total() + plan.configs().len() + 1);
+        assert!(lines[0].contains(&format!("\"schema\": \"{RUN_SCHEMA}\"")));
+        assert!(lines[0].contains("\"from_cache\": false"));
+        assert!(lines[1].contains("\"record\": \"trial\""));
+        assert!(lines[1].contains("\"config\": 0, \"trial\": 0, \"index\": 0"));
+        assert!(lines[2].contains("\"config\": 0, \"trial\": 1, \"index\": 1"));
+        assert!(lines[3].contains("\"config\": 1, \"trial\": 0, \"index\": 2"));
+        let metrics_line = lines[1 + plan.total()];
+        for key in [
+            "\"schema\": \"tapeworm-metrics-v1\"",
+            "\"counters\"",
+            "\"phases\"",
+            "\"dilation\"",
+            "\"slowdown\"",
+            "\"trap_events\"",
+        ] {
+            assert!(
+                metrics_line.contains(key),
+                "missing {key} in {metrics_line}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_ignores_presentation_but_pins_every_outcome_bit() {
+        let plan = SweepPlan::resolve(SPEC).unwrap();
+        let run = InProcessBackend
+            .run(&plan, &BackendOptions::default())
+            .unwrap();
+        let (cells, _) = fold_outcomes(plan.trials(), run.outcomes.clone());
+        let header_a = SinkHeader {
+            job: "000001",
+            spec: "sink-demo",
+            fingerprint: plan.fingerprint(),
+            backend: "in-process",
+            from_cache: false,
+            threads: 1,
+            configs: 2,
+            trials: 2,
+        };
+        let header_b = SinkHeader {
+            job: "999999",
+            backend: "cache",
+            from_cache: true,
+            threads: 8,
+            ..header_a.clone()
+        };
+        let (_, a) = render(&header_a, &run.outcomes, &cells, 0);
+        let (_, b) = render(&header_b, &run.outcomes, &cells, 0);
+        assert_eq!(a, b, "presentation fields must not move the digest");
+
+        // Any outcome bit moving moves the digest.
+        let mut bent = run.outcomes.clone();
+        if let Some(Ok((result, _))) = bent.first().cloned() {
+            let mut metrics_bent = bent[0].clone().unwrap().1;
+            metrics_bent.events_recorded += 1;
+            bent[0] = Ok((result, metrics_bent));
+        }
+        assert_ne!(digest_outcomes(&run.outcomes), digest_outcomes(&bent));
+    }
+}

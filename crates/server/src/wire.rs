@@ -1,0 +1,171 @@
+//! The length-prefixed JSON wire protocol between the service and
+//! out-of-process workers.
+//!
+//! Frames are a big-endian `u32` byte length followed by one UTF-8
+//! JSON object. Strings that must survive the trip bit-exactly — spec
+//! text, checkpoint record lines, error messages — travel hex-encoded,
+//! sidestepping JSON string escaping entirely (the workspace has no
+//! serde; field extraction is the same minimal scanner the checkpoint
+//! codec uses).
+//!
+//! Conversation (`tapeworm-worker-wire-v1`):
+//!
+//! ```text
+//! → {"op": "plan", "spec": "<hex spec text>", "ring": N}
+//! ← {"ok": "plan", "fingerprint": "<16 hex digits>", "total": N}
+//! → {"op": "run", "index": K, "attempt": A}
+//! ← {"ok": "run", "index": K, "line": "<hex checkpoint record>"}
+//! ←  or {"err": "<hex message>"}        typed failure (retryable)
+//! → {"op": "shutdown"}
+//! ← {"ok": "shutdown"}
+//! ```
+//!
+//! Transport loss (EOF, short frame, I/O error) is the worker-death
+//! signal; the backend respawns and replays, mirroring the in-process
+//! scheduler's panic containment.
+
+use std::io::{self, Read, Write};
+
+/// Protocol identifier (checked implicitly via the handshake).
+pub const WIRE_PROTOCOL: &str = "tapeworm-worker-wire-v1";
+
+/// Upper bound on a frame's payload; anything larger is corruption.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Writes one frame and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the conversation).
+///
+/// # Errors
+///
+/// Propagates I/O failures; a mid-frame EOF, oversized length, or
+/// non-UTF-8 payload is an error, not a clean close.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds protocol maximum",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Extracts the raw value of a top-level `"key": value` field from a
+/// single-line JSON object. Values are either quoted strings (returned
+/// without quotes) or bare tokens up to the next `,` or `}`.
+pub fn field<'a>(msg: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":");
+    let start = msg.find(&pattern)? + pattern.len();
+    let rest = msg[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// [`field`] parsed as a decimal integer.
+pub fn field_usize(msg: &str, key: &str) -> Option<usize> {
+    field(msg, key)?.parse().ok()
+}
+
+/// Hex-encodes arbitrary text for safe embedding in a JSON string.
+pub fn hex_encode(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    for b in text.bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length, bad digits, or
+/// non-UTF-8 decoded bytes.
+pub fn hex_decode(hex: &str) -> Option<String> {
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for chunk in hex.as_bytes().chunks(2) {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        bytes.push((hi * 16 + lo) as u8);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_at_boundaries() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\": \"plan\"}").unwrap();
+        write_frame(&mut buf, "{\"op\": \"run\", \"index\": 3}").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"op\": \"plan\"}");
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            "{\"op\": \"run\", \"index\": 3}"
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        // A truncated frame is an error, not a clean close.
+        let mut short = &buf[..6];
+        assert!(read_frame(&mut short).is_err());
+        // An absurd length is rejected before allocation.
+        let mut bad = &[0xff, 0xff, 0xff, 0xff][..];
+        assert!(read_frame(&mut bad).is_err());
+    }
+
+    #[test]
+    fn field_extracts_strings_and_bare_tokens() {
+        let msg = "{\"op\": \"run\", \"index\": 42, \"attempt\": 0, \"line\": \"abc\"}";
+        assert_eq!(field(msg, "op"), Some("run"));
+        assert_eq!(field_usize(msg, "index"), Some(42));
+        assert_eq!(field_usize(msg, "attempt"), Some(0));
+        assert_eq!(field(msg, "line"), Some("abc"));
+        assert_eq!(field(msg, "missing"), None);
+    }
+
+    #[test]
+    fn hex_round_trips_hostile_text() {
+        for text in [
+            "",
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "newline\nand \u{1F980}",
+        ] {
+            assert_eq!(hex_decode(&hex_encode(text)).as_deref(), Some(text));
+        }
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode("zz"), None);
+    }
+}

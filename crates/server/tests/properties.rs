@@ -1,0 +1,136 @@
+// Property-based suites need the external `proptest` crate, which the
+// offline build intentionally omits. Enable with
+// `--features proptest` after restoring the dev-dependency (see ci.sh).
+#![cfg(feature = "proptest")]
+
+//! Property-based tests for the job queue under hostile interleavings.
+//!
+//! The invariant family: for ANY interleaving of submissions, worker
+//! kills (a claimed job abandoned with an arbitrary committed prefix),
+//! and resumes, the queue loses no job, completes no job twice, and
+//! every job's terminal digest and fault accounting are independent of
+//! the interleaving that produced them.
+
+use std::collections::HashMap;
+use std::fs;
+
+use proptest::prelude::*;
+use tapeworm_server::{
+    digest_outcomes, BackendOptions, InProcessBackend, JobState, ServiceOptions, SweepPlan,
+    SweepService, WorkerBackend,
+};
+use tapeworm_sim::save_outcomes;
+
+/// Tiny spec variants so grids stay fast; index selects the variant.
+fn spec_text(variant: u8) -> String {
+    let (workload, kb) = match variant % 4 {
+        0 => ("espresso", 1),
+        1 => ("eqntott", 1),
+        2 => ("espresso", 2),
+        _ => ("xlisp", 1),
+    };
+    format!(
+        "name = \"prop-{variant}\"\ntrials = 2\nscale = 20000\n\
+         workloads = [\"{workload}\"]\ncache_kb = [{kb}]\n"
+    )
+}
+
+/// One step of the adversarial schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit spec variant `n`.
+    Submit(u8),
+    /// Claim the next job and abandon it mid-run with a `k`-cell
+    /// committed prefix (a crashed worker).
+    Kill(u8),
+    /// Drain every pending job to completion.
+    Resume,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::Submit),
+        (0u8..8).prop_map(Op::Kill),
+        Just(Op::Resume),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No job lost, no job completed twice, and terminal digests and
+    /// fault stats are interleaving-independent.
+    #[test]
+    fn queue_survives_arbitrary_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        case in 0u64..u64::MAX,
+    ) {
+        let root = std::env::temp_dir().join(format!("tapeworm-prop-{case:016x}"));
+        let _ = fs::remove_dir_all(&root);
+        let svc = SweepService::open(&root, ServiceOptions::default()).unwrap();
+
+        // Reference digests computed outside the queue entirely.
+        let mut reference: HashMap<String, u64> = HashMap::new();
+        for v in 0u8..8 {
+            let plan = SweepPlan::resolve(&spec_text(v)).unwrap();
+            let run = InProcessBackend.run(&plan, &BackendOptions::default()).unwrap();
+            reference.insert(spec_text(v), digest_outcomes(&run.outcomes));
+        }
+
+        let mut submitted = Vec::new();
+        let mut completed: HashMap<u64, u64> = HashMap::new(); // job -> digest
+        for op in &ops {
+            match op {
+                Op::Submit(v) => {
+                    submitted.push((svc.submit(&spec_text(*v)).unwrap(), spec_text(*v)));
+                }
+                Op::Kill(k) => {
+                    // A worker claims the job, commits a prefix, dies.
+                    if let Some(id) = svc.queue().claim_next().unwrap() {
+                        let spec = svc.queue().spec_text(id).unwrap();
+                        let plan = SweepPlan::resolve(&spec).unwrap();
+                        let prefix = (*k as usize) % (plan.total() + 1);
+                        let run = InProcessBackend
+                            .run(&plan, &BackendOptions::default())
+                            .unwrap();
+                        save_outcomes(
+                            &svc.queue().checkpoint_path(id),
+                            plan.sweep_id(),
+                            plan.total(),
+                            &run.outcomes[..prefix],
+                        )
+                        .unwrap();
+                        // Job stays `running`: an orphan.
+                    }
+                }
+                Op::Resume => {
+                    for report in svc.run_pending(&InProcessBackend).unwrap() {
+                        prop_assert!(
+                            completed.insert(report.job, report.digest).is_none(),
+                            "job {} completed twice", report.job
+                        );
+                        prop_assert!(report.stats.is_clean());
+                        prop_assert_eq!(report.failed_trials, 0);
+                    }
+                }
+            }
+        }
+        // Final drain: whatever the schedule left behind must finish.
+        for report in svc.run_pending(&InProcessBackend).unwrap() {
+            prop_assert!(
+                completed.insert(report.job, report.digest).is_none(),
+                "job {} completed twice", report.job
+            );
+            prop_assert!(report.stats.is_clean());
+        }
+
+        // No job lost: every submission reached `done` with the
+        // interleaving-independent digest for its spec.
+        for (id, spec) in &submitted {
+            prop_assert_eq!(svc.queue().state(*id).unwrap(), Some(JobState::Done));
+            prop_assert_eq!(completed.get(id), Some(&reference[spec]));
+        }
+        prop_assert_eq!(completed.len(), submitted.len());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -88,8 +88,15 @@ impl Default for CheckpointConfig {
     }
 }
 
+/// The terminal outcome of one `(config, trial)` cell: the bit-exact
+/// result and metrics on success, the retry-exhausted failure
+/// otherwise. This is the unit the checkpoint codec serializes, the
+/// sweep committer releases, and the server's worker backends ship
+/// over the wire.
+pub type TrialOutcome = Result<(TrialResult, TrialMetrics), TrialFailure>;
+
 /// One committed trial as stored in (or loaded from) a checkpoint.
-pub(crate) type StoredOutcome = Result<(TrialResult, TrialMetrics), TrialFailure>;
+pub(crate) type StoredOutcome = TrialOutcome;
 
 /// A parsed checkpoint document.
 pub(crate) struct CheckpointDoc {
@@ -111,9 +118,10 @@ pub(crate) enum LoadResult {
 
 /// Fingerprint tying a checkpoint to one exact sweep: configurations,
 /// trial count and base seed — everything that determines the committed
-/// values except `TW_THREADS`, which must NOT participate (resume has
-/// to work across thread counts).
-pub(crate) fn sweep_fingerprint(configs: &[SystemConfig], trials: usize, base: SeedSeq) -> u64 {
+/// values except the worker thread count, which must NOT participate
+/// (resume has to work across thread counts). The server layer extends
+/// this fingerprint into its result-cache key.
+pub fn sweep_fingerprint(configs: &[SystemConfig], trials: usize, base: SeedSeq) -> u64 {
     fnv1a(format!("{configs:?}|trials={trials}|seed={:x}", base.value()).as_bytes())
 }
 
@@ -385,6 +393,54 @@ pub(crate) fn load(path: &Path) -> LoadResult {
     })
 }
 
+/// Encodes one committed trial outcome as a single self-contained
+/// `tapeworm-checkpoint-v1` record line. Floats travel as raw IEEE-754
+/// bits, so `decode_outcome(encode_outcome(i, o))` is bit-exact — the
+/// property the server's wire protocol and fingerprint cache rely on.
+pub fn encode_outcome(index: usize, outcome: &TrialOutcome) -> String {
+    encode_record(index, outcome)
+}
+
+/// Inverse of [`encode_outcome`]. Accepts any line carrying the record
+/// fields (extra fields are ignored), returning `None` on a malformed
+/// or layout-mismatched line.
+pub fn decode_outcome(line: &str) -> Option<(usize, TrialOutcome)> {
+    decode_record(line)
+}
+
+/// Persists a committed prefix (or a complete run) of `total` outcomes
+/// as a `tapeworm-checkpoint-v1` document under identity `sweep_id`,
+/// atomically. The server's subprocess backend checkpoints through
+/// this; the fingerprint cache stores complete runs the same way.
+///
+/// # Errors
+///
+/// Propagates the underlying atomic-write failure.
+pub fn save_outcomes(
+    path: &Path,
+    sweep_id: u64,
+    total: usize,
+    outcomes: &[TrialOutcome],
+) -> io::Result<()> {
+    let lines: Vec<String> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| encode_record(i, o))
+        .collect();
+    tapeworm_obs::write_atomic(path, render(sweep_id, total, &lines).as_bytes())
+}
+
+/// Loads a committed prefix previously written by [`save_outcomes`] (or
+/// by the sweep engine's periodic checkpointing). Returns `None` when
+/// the file is missing, corrupt, or belongs to a different identity —
+/// a stale document is never silently merged.
+pub fn load_outcomes(path: &Path, sweep_id: u64, total: usize) -> Option<Vec<TrialOutcome>> {
+    match load(path) {
+        LoadResult::Doc(doc) if doc.sweep_id == sweep_id && doc.total == total => Some(doc.records),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +553,27 @@ mod tests {
             write_atomic(&path, contents.as_bytes()).unwrap();
             assert!(matches!(load(&path), LoadResult::Corrupt), "{name}");
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn outcome_prefix_save_load_round_trips() {
+        let dir = std::env::temp_dir().join("tapeworm-sim-test-outcomes");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("prefix.json");
+        let outcomes = sample_outcomes();
+        save_outcomes(&path, 0xFEED, 8, &outcomes).unwrap();
+        let back = load_outcomes(&path, 0xFEED, 8).expect("identity matches");
+        assert_eq!(format!("{back:?}"), format!("{outcomes:?}"));
+        assert!(
+            load_outcomes(&path, 0xBEEF, 8).is_none(),
+            "foreign identity rejected"
+        );
+        assert!(
+            load_outcomes(&path, 0xFEED, 9).is_none(),
+            "foreign total rejected"
+        );
+        assert!(load_outcomes(&dir.join("absent.json"), 0xFEED, 8).is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

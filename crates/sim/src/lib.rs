@@ -47,12 +47,16 @@ mod result;
 mod sweep;
 mod system;
 
-pub use checkpoint::{CheckpointConfig, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    decode_outcome, encode_outcome, load_outcomes, save_outcomes, sweep_fingerprint,
+    CheckpointConfig, TrialOutcome, CHECKPOINT_SCHEMA,
+};
 pub use config::{AllocPolicy, ComponentSet, CostKind, SimModel, SystemConfig};
 pub use fault::FaultPlan;
 pub use result::TrialResult;
 pub use sweep::{
-    run_sweep, run_sweep_resilient, FailedTrial, SweepOptions, SweepOutcome, TrialSummary,
+    fold_outcomes, run_sweep, run_sweep_cell, run_sweep_resilient, run_sweep_resilient_observed,
+    FailedTrial, SweepOptions, SweepOutcome, TrialSummary,
 };
 pub use system::{
     run_trial, run_trial_observed, run_trial_windowed, try_run_trial, try_run_trial_observed,

@@ -39,7 +39,7 @@ use tapeworm_obs::{write_atomic, CounterId, Counters, TrialMetrics};
 use tapeworm_stats::trials::{FaultStats, RetryPolicy, TrialFailure, TrialScheduler};
 use tapeworm_stats::{OnlineStats, SeedSeq, Summary};
 
-use crate::checkpoint::{self, CheckpointConfig, StoredOutcome};
+use crate::checkpoint::{self, CheckpointConfig, StoredOutcome, TrialOutcome};
 use crate::config::SystemConfig;
 use crate::fault::FaultPlan;
 use crate::result::TrialResult;
@@ -341,6 +341,72 @@ impl<'a> Fold<'a> {
     }
 }
 
+/// Runs one `(config, trial)` cell of a sweep exactly as the resilient
+/// engine would, reusing the caller's scratch.
+fn run_cell_reusing(
+    configs: &[SystemConfig],
+    trials: usize,
+    base: SeedSeq,
+    index: usize,
+    obs: ObsConfig,
+    scratch: &mut TrialScratch,
+) -> Result<(TrialResult, TrialMetrics), String> {
+    let c = index / trials;
+    let t = (index % trials) as u64;
+    let trial = base.derive("sweep-config", c as u64).derive("trial", t);
+    try_run_trial_observed_reusing(&configs[c], base, trial, obs, scratch)
+        .map_err(|e| e.to_string())
+}
+
+/// Runs one `(config, trial)` cell of the `configs × trials` grid in
+/// isolation — the pure function the sweep engine fans out, with the
+/// identical seed derivation, so the result is bit-identical to what
+/// [`run_sweep_resilient`] would commit at `index`. This is the entry
+/// point out-of-process worker backends execute per wire request.
+///
+/// # Errors
+///
+/// Returns the trial's typed error as a string (the scheduler's retry
+/// currency).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `index >= configs.len() * trials`.
+pub fn run_sweep_cell(
+    configs: &[SystemConfig],
+    trials: usize,
+    base: SeedSeq,
+    index: usize,
+    obs: ObsConfig,
+) -> Result<(TrialResult, TrialMetrics), String> {
+    assert!(trials > 0, "a sweep needs at least one trial per config");
+    assert!(index < configs.len() * trials, "cell index out of range");
+    let mut scratch = TrialScratch::new();
+    run_cell_reusing(configs, trials, base, index, obs, &mut scratch)
+}
+
+/// Folds per-trial outcomes (index order `0..n`) into per-configuration
+/// summaries plus the failed list, through exactly the commit path
+/// [`run_sweep_resilient`]'s committer uses — so cells assembled from
+/// replayed, cached, or remotely-computed outcomes are bit-identical to
+/// a live sweep's.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn fold_outcomes(
+    trials: usize,
+    outcomes: Vec<TrialOutcome>,
+) -> (Vec<TrialSummary>, Vec<FailedTrial>) {
+    assert!(trials > 0, "a sweep needs at least one trial per config");
+    let total = outcomes.len();
+    let mut fold = Fold::new(trials, total, 0, None, 0);
+    for (index, outcome) in outcomes.into_iter().enumerate() {
+        fold.commit(index, outcome);
+    }
+    (fold.out, fold.failed)
+}
+
 /// Runs `trials` trials of every configuration under `options` and
 /// returns a [`SweepOutcome`] — never panicking on trial failure.
 ///
@@ -367,6 +433,22 @@ pub fn run_sweep_resilient(
     trials: usize,
     base: SeedSeq,
     options: &SweepOptions,
+) -> SweepOutcome {
+    run_sweep_resilient_observed(configs, trials, base, options, |_, _| {})
+}
+
+/// [`run_sweep_resilient`] with a per-commit observer: `observe(index,
+/// outcome)` fires for **every** committed cell — replayed from a
+/// checkpoint or freshly computed — strictly in index order, before the
+/// cell is folded into its summary. The server layer tees the stream
+/// into its JSONL run sink and fingerprint cache; the observer never
+/// influences committed values.
+pub fn run_sweep_resilient_observed(
+    configs: &[SystemConfig],
+    trials: usize,
+    base: SeedSeq,
+    options: &SweepOptions,
+    mut observe: impl FnMut(usize, &TrialOutcome),
 ) -> SweepOutcome {
     assert!(trials > 0, "a sweep needs at least one trial per config");
     let total = configs.len() * trials;
@@ -407,6 +489,7 @@ pub fn run_sweep_resilient(
         options.faults.checkpoint_write_failures(),
     );
     for (index, outcome) in replay.into_iter().enumerate() {
+        observe(index, &outcome);
         fold.commit(index, outcome);
     }
 
@@ -431,21 +514,16 @@ pub fn run_sweep_resilient(
                      instruction budget exhausted by the watchdog"
                 ));
             }
-            let c = i / trials;
-            let t = (i % trials) as u64;
-            let trial = base.derive("sweep-config", c as u64).derive("trial", t);
-            try_run_trial_observed_reusing(&configs[c], base, trial, options.obs, scratch)
-                .map_err(|e| e.to_string())
+            run_cell_reusing(configs, trials, base, i, options.obs, scratch)
         },
         |k, outcome| {
             let index = k + offset;
-            fold.commit(
-                index,
-                outcome.map_err(|mut failure| {
-                    failure.index = index; // scheduler indices are local
-                    failure
-                }),
-            );
+            let outcome = outcome.map_err(|mut failure| {
+                failure.index = index; // scheduler indices are local
+                failure
+            });
+            observe(index, &outcome);
+            fold.commit(index, outcome);
         },
     );
 
@@ -591,6 +669,32 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let _ = run_sweep(&configs(), 0, SeedSeq::new(1), 1);
+    }
+
+    #[test]
+    fn cells_folds_and_observer_match_the_engine() {
+        let configs = configs();
+        let engine = run_sweep_resilient(&configs, 3, SeedSeq::new(7), &SweepOptions::default());
+        let mut outcomes = Vec::new();
+        let observed = run_sweep_resilient_observed(
+            &configs,
+            3,
+            SeedSeq::new(7),
+            &SweepOptions::default(),
+            |index, o| outcomes.push((index, o.clone())),
+        );
+        assert_eq!(outcomes.len(), 6, "observer sees every commit");
+        assert!(outcomes.iter().enumerate().all(|(i, (k, _))| i == *k));
+        for (k, o) in &outcomes {
+            let (r, m) = o.as_ref().expect("clean run");
+            let solo =
+                run_sweep_cell(&configs, 3, SeedSeq::new(7), *k, ObsConfig::default()).unwrap();
+            assert_eq!((r, m), (&solo.0, &solo.1), "isolated cell {k} diverged");
+        }
+        let (cells, failed) = fold_outcomes(3, outcomes.into_iter().map(|(_, o)| o).collect());
+        assert!(failed.is_empty());
+        assert_cells_equal(engine.cells(), &cells, "folded vs engine");
+        assert_cells_equal(observed.cells(), &cells, "observed vs folded");
     }
 
     #[test]

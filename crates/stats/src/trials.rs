@@ -180,12 +180,44 @@ pub struct FaultStats {
     /// Total deterministic backoff units scheduled (virtual, never
     /// slept).
     pub backoff_units: u64,
+    /// Trials this run actually drove to a terminal outcome — the
+    /// scheduler's evidence of work performed. A resumed sweep counts
+    /// only the remainder it computed; a fingerprint-cache hit that
+    /// never enters the scheduler reports `0`.
+    pub trials_computed: u64,
 }
 
 impl FaultStats {
-    /// Whether the run saw no faults at all.
+    /// Whether the run saw no faults at all. `trials_computed` is
+    /// work accounting, not a fault, so it does not participate.
     pub fn is_clean(&self) -> bool {
-        *self == FaultStats::default()
+        let FaultStats {
+            retries,
+            panics,
+            typed_failures,
+            failed_trials,
+            workers_respawned,
+            backoff_units,
+            trials_computed: _,
+        } = *self;
+        retries == 0
+            && panics == 0
+            && typed_failures == 0
+            && failed_trials == 0
+            && workers_respawned == 0
+            && backoff_units == 0
+    }
+
+    /// Accumulates another run's accounting into this one — the
+    /// service layer sums per-job stats into a queue-level report.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.retries += other.retries;
+        self.panics += other.panics;
+        self.typed_failures += other.typed_failures;
+        self.failed_trials += other.failed_trials;
+        self.workers_respawned += other.workers_respawned;
+        self.backoff_units += other.backoff_units;
+        self.trials_computed += other.trials_computed;
     }
 }
 
@@ -461,6 +493,7 @@ impl TrialScheduler {
             stats.retries += u64::from(progress.attempt);
             stats.typed_failures += u64::from(progress.typed_failures);
             stats.backoff_units += progress.backoff;
+            stats.trials_computed += 1;
             outcome.map_err(|kind| {
                 stats.failed_trials += 1;
                 TrialFailure {
@@ -924,6 +957,20 @@ mod tests {
             assert_eq!(plain, resilient, "threads={threads}");
             assert!(stats.is_clean());
         }
+    }
+
+    #[test]
+    fn fault_stats_count_work_and_merge() {
+        let (_, stats) = run_resilient(1, 5, RetryPolicy::none(), &[], &[]);
+        assert_eq!(stats.trials_computed, 5);
+        assert!(stats.is_clean(), "work accounting is not a fault");
+        let (_, par) = run_resilient(4, 5, RetryPolicy::none(), &[], &[]);
+        assert_eq!(par.trials_computed, 5, "thread-count invariant");
+        let mut total = FaultStats::default();
+        total.merge(&stats);
+        total.merge(&par);
+        assert_eq!(total.trials_computed, 10);
+        assert!(total.is_clean());
     }
 
     #[test]

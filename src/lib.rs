@@ -19,6 +19,8 @@
 //! * [`obs`] — the Monster II observability layer: counter registry,
 //!   trap-event ring, phase cycle accounting, metrics export.
 //! * [`sim`] — the full-system experiment engine.
+//! * [`server`] — sweep-as-a-service: declarative specs, a persistent
+//!   job queue, pluggable worker backends and the fingerprint cache.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use tapeworm_machine as machine;
 pub use tapeworm_mem as mem;
 pub use tapeworm_obs as obs;
 pub use tapeworm_os as os;
+pub use tapeworm_server as server;
 pub use tapeworm_sim as sim;
 pub use tapeworm_stats as stats;
 pub use tapeworm_trace as trace;

@@ -1,0 +1,118 @@
+//! Workspace-level service determinism: the sweep service must return
+//! results bit-identical to the direct engine — across thread counts
+//! and cached-vs-fresh serving — for the pinned CI smoke spec.
+//!
+//! The subprocess-worker variants of these assertions live in
+//! `crates/server/tests/server_e2e.rs` (they need the worker binary);
+//! this suite pins the in-process service path from the facade.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tapeworm::server::{
+    digest_outcomes, InProcessBackend, ServiceOptions, SweepPlan, SweepService,
+};
+use tapeworm::sim::{run_sweep_resilient, run_sweep_resilient_observed, SweepOptions};
+
+/// The pinned digest of `specs/ci_smoke.toml` — the same value pinned
+/// in `crates/server/tests/server_e2e.rs` and gated in ci.sh.
+const CI_SMOKE_GOLDEN_DIGEST: u64 = 0x2791_1846_7b9c_2732;
+
+fn ci_smoke_spec() -> String {
+    fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/specs/ci_smoke.toml"))
+        .expect("specs/ci_smoke.toml")
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("tapeworm-root-e2e-{tag}"));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+/// Submit → poll to done through the service at TW_THREADS ∈ {1,4,8}:
+/// every digest equals the direct-engine digest and the golden pin,
+/// and the per-configuration cells equal `run_sweep_resilient`'s
+/// bit for bit.
+#[test]
+fn service_results_are_bit_identical_to_the_direct_engine() {
+    let spec = ci_smoke_spec();
+    let plan = SweepPlan::resolve(&spec).unwrap();
+
+    let mut outcomes = Vec::new();
+    let direct = run_sweep_resilient_observed(
+        plan.configs(),
+        plan.trials(),
+        plan.base(),
+        &SweepOptions::default(),
+        |_, o| outcomes.push(o.clone()),
+    );
+    assert_eq!(digest_outcomes(&outcomes), CI_SMOKE_GOLDEN_DIGEST);
+
+    for threads in [1usize, 4, 8] {
+        let svc = SweepService::open(
+            temp_root(&format!("threads-{threads}")),
+            ServiceOptions {
+                threads,
+                cache: false,
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        svc.submit(&spec).unwrap();
+        let report = svc.run_pending(&InProcessBackend).unwrap().pop().unwrap();
+        assert_eq!(
+            report.digest, CI_SMOKE_GOLDEN_DIGEST,
+            "service digest drifted at {threads} threads"
+        );
+        assert_eq!(report.cells.len(), direct.cells().len());
+        for (service_cell, engine_cell) in report.cells.iter().zip(direct.cells()) {
+            assert_eq!(
+                service_cell.results(),
+                engine_cell.results(),
+                "service cells must be bit-identical to the engine's"
+            );
+        }
+        fs::remove_dir_all(svc.queue().root()).unwrap();
+    }
+}
+
+/// The cached response is bit-identical to the fresh one and carries
+/// the provenance tag; the engine (`run_sweep_resilient`) sees zero
+/// work on the hit.
+#[test]
+fn cached_and_fresh_service_responses_are_bit_identical() {
+    let spec = ci_smoke_spec();
+    let svc = SweepService::open(temp_root("cache"), ServiceOptions::default()).unwrap();
+    svc.submit(&spec).unwrap();
+    svc.submit(&spec).unwrap();
+    let reports = svc.run_pending(&InProcessBackend).unwrap();
+    assert!(!reports[0].from_cache);
+    assert!(reports[1].from_cache);
+    assert_eq!(reports[0].digest, CI_SMOKE_GOLDEN_DIGEST);
+    assert_eq!(reports[1].digest, CI_SMOKE_GOLDEN_DIGEST);
+    assert_eq!(reports[0].stats.trials_computed, 16);
+    assert_eq!(reports[1].stats.trials_computed, 0);
+    fs::remove_dir_all(svc.queue().root()).unwrap();
+}
+
+/// Sanity: the spec resolves to the grid a direct caller would build,
+/// so the golden digest pins the engine, not the spec plumbing.
+#[test]
+fn ci_smoke_spec_resolves_to_the_documented_grid() {
+    let plan = SweepPlan::resolve(&ci_smoke_spec()).unwrap();
+    assert_eq!(plan.configs().len(), 4);
+    assert_eq!(plan.trials(), 4);
+    assert_eq!(plan.total(), 16);
+    assert_eq!(
+        plan.base().value(),
+        tapeworm::stats::SeedSeq::new(1994).value()
+    );
+    let direct = run_sweep_resilient(
+        plan.configs(),
+        plan.trials(),
+        plan.base(),
+        &SweepOptions::default(),
+    );
+    assert_eq!(direct.cells().len(), 4);
+    assert!(direct.fault_stats().is_clean());
+}
