@@ -13,13 +13,22 @@
 #      single-thread refs/sec must be within 15% of the checked-in
 #      results/BENCH_baseline.json (slowdowns fail; speedups pass —
 #      re-baseline deliberately by copying BENCH.json over the
-#      baseline).
+#      baseline). The same 15% tolerance then applies to every
+#      `per_config` entry individually, so a regression on one config
+#      (say, the miss-heavy cache-4k) cannot hide behind a speedup on
+#      another.
 #   6. Thread-scaling gate: on a multi-core host, two workers must be
 #      at least 1.2x one worker. On a single core, speedup is
 #      physically impossible and any floor would be theatre, so the
 #      gate SKIPS with an explicit annotation instead of pretending.
 #   7. results/METRICS.json (the tapeworm-metrics-v1 observability
-#      export) must exist and carry every schema key.
+#      export) must exist and carry every schema key, including the
+#      miss-batch effectiveness counters (miss_batch_flushes,
+#      victim_memo_hits).
+#   7b. Trapset microbench (feature-gated): build with
+#      `--features microbench`, run it, and check the
+#      tapeworm-microbench-v1 artifact is well-formed. Informational —
+#      the per-op numbers are recorded, not gated.
 #   8. Sweep-service smoke: submit specs/ci_smoke.toml, drain it
 #      through the subprocess worker backend, gate the digest against
 #      the golden pin (also pinned in tests/server_e2e.rs and
@@ -40,11 +49,12 @@ cargo test -q --workspace
 
 echo "=== tier 2: warnings-as-errors (workspace, all targets) ==="
 RUSTFLAGS="-D warnings" cargo check -q --workspace --all-targets
+RUSTFLAGS="-D warnings" cargo check -q -p tapeworm-bench --features microbench --all-targets
 
 echo "=== tier 2: perf_throughput gate run ==="
 ./target/release/perf_throughput --gate
 test -s results/BENCH.json || { echo "ci.sh: results/BENCH.json missing or empty" >&2; exit 1; }
-for key in schema per_config runs host_cpus scaling two_thread_refs_per_sec \
+for key in schema per_config runs host_cpus scaling_status scaling two_thread_refs_per_sec \
            two_thread_speedup single_thread_refs_per_sec speedup_vs_baseline; do
   grep -q "\"$key\"" results/BENCH.json || {
     echo "ci.sh: results/BENCH.json lacks \"$key\"" >&2; exit 1;
@@ -68,6 +78,42 @@ if [ -s results/BENCH_baseline.json ]; then
   }'
 else
   echo "ci.sh: no results/BENCH_baseline.json — skipping regression compare" >&2
+fi
+
+echo "=== tier 2: per-config bench regression gate (15% tolerance) ==="
+if [ -s results/BENCH_baseline.json ]; then
+  awk '
+    FNR == 1 { file++ }
+    /"config":/ {
+      match($0, /"config": *"[^"]*"/)
+      name = substr($0, RSTART + 11, RLENGTH - 12)
+      match($0, /"refs_per_sec": *[0-9.]*/)
+      rps = substr($0, RSTART + 16, RLENGTH - 16) + 0
+      if (file == 1) { base[name] = rps } else { cur[name] = rps }
+    }
+    END {
+      status = 0
+      for (name in base) {
+        if (!(name in cur)) {
+          printf "ci.sh: per-config gate: baseline config %s missing from BENCH.json\n", \
+            name > "/dev/stderr"
+          status = 1
+          continue
+        }
+        delta = 100 * (cur[name] / base[name] - 1)
+        if (cur[name] < base[name] * 0.85) {
+          printf "ci.sh: per-config regression: %s %.0f refs/sec is %.1f%% below baseline %.0f (tolerance 15%%)\n", \
+            name, cur[name], delta, base[name] > "/dev/stderr"
+          status = 1
+        } else {
+          printf "ci.sh: per-config gate ok: %-12s %.0f refs/sec vs baseline %.0f (%+.1f%%)\n", \
+            name, cur[name], base[name], delta
+        }
+      }
+      exit status
+    }' results/BENCH_baseline.json results/BENCH.json
+else
+  echo "ci.sh: no results/BENCH_baseline.json — skipping per-config compare" >&2
 fi
 
 echo "=== tier 2: thread-scaling gate ==="
@@ -98,6 +144,7 @@ for key in schema source mode per_config totals counters phases dilation slowdow
            trap_entries traps_set traps_cleared tcache_hits tcache_misses page_walks \
            breakpoint_checks sched_quanta trial_retries trial_panics trials_failed \
            workers_respawned clock_ticks_dropped fast_runs fast_words \
+           miss_batch_flushes victim_memo_hits \
            user kernel handler replacement recorded dropped; do
   grep -q "\"$key\"" results/METRICS.json || {
     echo "ci.sh: results/METRICS.json lacks \"$key\"" >&2; exit 1;
@@ -105,6 +152,18 @@ for key in schema source mode per_config totals counters phases dilation slowdow
 done
 grep -q '"schema": "tapeworm-metrics-v1"' results/METRICS.json || {
   echo "ci.sh: results/METRICS.json has wrong schema id" >&2; exit 1;
+}
+
+echo "=== tier 2: trapset microbench (informational) ==="
+# Feature-gated off the default build; CI builds and runs it so the
+# tapeworm-microbench-v1 artifact stays well-formed and the per-op
+# trapset costs are recorded alongside BENCH.json. Informational: the
+# schema is gated, the numbers are not.
+cargo build -q --release -p tapeworm-bench --features microbench
+./target/release/microbench_trapset
+test -s results/MICROBENCH.json || { echo "ci.sh: results/MICROBENCH.json missing or empty" >&2; exit 1; }
+grep -q '"schema": "tapeworm-microbench-v1"' results/MICROBENCH.json || {
+  echo "ci.sh: results/MICROBENCH.json has wrong schema id" >&2; exit 1;
 }
 
 echo "=== tier 2: chaos gate (fault-tolerant sweep engine) ==="
@@ -159,7 +218,8 @@ grep -q '"record": "trial"' "$sink" || {
 }
 metrics_line=$(grep '"record": "metrics"' "$sink" | head -1)
 for key in schema counters phases dilation slowdown trap_events recorded dropped \
-           trap_entries user kernel handler replacement; do
+           trap_entries miss_batch_flushes victim_memo_hits \
+           user kernel handler replacement; do
   echo "$metrics_line" | grep -q "\"$key\"" || {
     echo "ci.sh: run-sink metrics line lacks \"$key\"" >&2; exit 1;
   }

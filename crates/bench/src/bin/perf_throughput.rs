@@ -236,6 +236,24 @@ fn main() {
     // numbers were taken under — speedup beyond min(threads, host_cpus)
     // is impossible, so gates must read both.
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    // Mirror the ci.sh scaling gate's honest SKIP: on a single-cpu
+    // host the multi-thread runs time-slice one core, so the ladder
+    // and its sub-1.0 "speedups" are scheduling noise, not scaling
+    // data. Annotate rather than omit so downstream tooling can tell
+    // "not measured meaningfully" from "regressed".
+    let scaling_status = if host_cpus > 1 {
+        "ok".to_string()
+    } else {
+        format!(
+            "SKIPPED: host has {host_cpus} cpu(s); runs/scaling beyond 1 thread \
+             are informational noise, not scaling data"
+        )
+    };
+    let _ = writeln!(
+        json,
+        "  \"scaling_status\": \"{}\",",
+        json_escape(&scaling_status)
+    );
     let _ = writeln!(json, "  \"scaling\": [");
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(

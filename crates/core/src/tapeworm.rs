@@ -57,6 +57,9 @@ pub struct Tapeworm {
     cost: CostModel,
     stats: MissStats,
     page_bytes: u64,
+    /// `page_bytes.trailing_zeros()`: frame lookup on the per-miss
+    /// path is a shift, not a divide.
+    page_shift: u32,
     /// Registration refcounts indexed by frame number (grown on
     /// demand): the miss handler probes this per displaced line, so it
     /// must be an array load, not a hash lookup.
@@ -90,12 +93,17 @@ impl Tapeworm {
             page_bytes % cfg.line_bytes() == 0,
             "page size must be a whole number of cache lines"
         );
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         let cost = CostModel::optimized();
         Tapeworm {
             cache: SimCache::new(cfg, seed),
             sample: SetSample::full(),
             stats: MissStats::new(1.0),
             page_bytes,
+            page_shift: page_bytes.trailing_zeros(),
             page_refs: Vec::new(),
             live_pages: 0,
             overhead_cycles: 0,
@@ -226,14 +234,23 @@ impl Tapeworm {
         let sample = self.sample;
         let cfg = self.cfg;
         let mut set_count = 0u64;
-        for i in 0..lines {
-            let set = match cfg.indexing() {
-                Indexing::Physical => cfg.set_of_line(first_pa_line + i),
-                Indexing::Virtual => cfg.set_of_line(first_va_line + i),
-            };
-            if sample.is_sampled(set) {
-                traps.set_range(PhysAddr::new((first_pa_line + i) * line), line);
-                set_count += 1;
+        if sample.denominator() == 1 {
+            // Full sample: every line traps regardless of its set, so
+            // arm the whole page in one word-masked rewrite instead of
+            // a per-line walk. Same granule transitions, same event
+            // counts — bit-identical to the loop below.
+            traps.set_range(base_pa, self.page_bytes);
+            set_count = lines;
+        } else {
+            for i in 0..lines {
+                let set = match cfg.indexing() {
+                    Indexing::Physical => cfg.set_of_line(first_pa_line + i),
+                    Indexing::Virtual => cfg.set_of_line(first_va_line + i),
+                };
+                if sample.is_sampled(set) {
+                    traps.set_range(PhysAddr::new((first_pa_line + i) * line), line);
+                    set_count += 1;
+                }
             }
         }
         let _ = tid;
@@ -285,9 +302,30 @@ impl Tapeworm {
         self.cache.insert(tid, va, pa)
     }
 
+    /// The constant cycle charge of one [`Tapeworm::handle_miss`]
+    /// (handler + replacement shares of the memoized cost model). The
+    /// burst loop pre-budgets tick headroom with this.
+    #[inline]
+    pub fn miss_overhead_cycles(&self) -> u64 {
+        self.miss_cost.0 + self.miss_cost.1
+    }
+
+    /// Enables or disables the simulated cache's full-set victim memo
+    /// (part of the batched miss path; bit-identical either way).
+    pub fn set_victim_memo(&mut self, enabled: bool) {
+        self.cache.set_victim_memo(enabled);
+    }
+
+    /// Victim selections the simulated cache answered from its
+    /// full-set memo.
+    pub fn victim_memo_hits(&self) -> u64 {
+        self.cache.victim_memo_hits()
+    }
+
     /// The optimized miss handler (Figure 1, right side): count the
     /// miss, clear the trap on the missing line, insert it, re-trap the
     /// displaced line. Returns the cycles charged.
+    #[inline]
     pub fn handle_miss(
         &mut self,
         traps: &mut TrapMap,
@@ -305,7 +343,7 @@ impl Tapeworm {
             // Re-arm the trap only while the displaced page is still
             // registered (it always is — removal flushes — but shared
             // teardown ordering makes the check cheap insurance).
-            if self.refs_of(Pfn::new(displaced.pa.raw() / self.page_bytes)) > 0 {
+            if self.refs_of(Pfn::new(displaced.pa.raw() >> self.page_shift)) > 0 {
                 traps.set_range(displaced.pa, line);
             }
         }

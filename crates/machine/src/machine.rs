@@ -189,6 +189,7 @@ impl Machine {
     /// Performs one memory access and reports what the hardware did.
     /// Does **not** advance time; call [`Machine::advance`] with the
     /// access's cycle cost (hits and misses cost differently).
+    #[inline]
     pub fn access(&mut self, kind: AccessKind, va: VirtAddr, pa: PhysAddr) -> FetchOutcome {
         if matches!(kind, AccessKind::IFetch) {
             self.breakpoint_checks += 1;

@@ -190,38 +190,92 @@ impl TrapMap {
         pa.raw() >> self.shift
     }
 
+    /// Recomputes the trapped-granule count from the bitmap itself —
+    /// one `count_ones` per [`TrapMap::SCAN_CHUNK_WORDS`]-word chunk,
+    /// `O(granules/512)`. The result always equals [`TrapMap::count`]
+    /// (the incremental tally); this is the verification/microbenchmark
+    /// primitive that pins the bookkeeping and measures the full-sweep
+    /// cost directly.
+    pub fn recount(&self) -> u64 {
+        let mut total = 0u64;
+        let mut w = 0;
+        while w + Self::SCAN_CHUNK_WORDS <= self.bits.len() {
+            let c = &self.bits[w..w + Self::SCAN_CHUNK_WORDS];
+            total += c.iter().map(|x| u64::from(x.count_ones())).sum::<u64>();
+            w += Self::SCAN_CHUNK_WORDS;
+        }
+        while w < self.bits.len() {
+            total += u64::from(self.bits[w].count_ones());
+            w += 1;
+        }
+        total
+    }
+
+    /// How many `u64` bitmap words a wide scan folds per iteration.
+    /// Eight words (512 granules) per OR-reduction keeps the loop in
+    /// SIMD range for LLVM's auto-vectorizer while the single-word
+    /// tail preserves exact boundary semantics.
+    pub const SCAN_CHUNK_WORDS: usize = 8;
+
     /// Length in bytes of the trap-free span starting at `pa`: the
     /// largest `n <= max_bytes` such that no granule overlapping
     /// `[pa, pa + n)` is trapped (so `n == 0` when `pa`'s own granule
-    /// is trapped). Scans the bitmap a `u64` word at a time — one load
-    /// covers 64 granules — so the fast path can size a resident-run
-    /// batch without probing granule by granule. Out-of-range granules
-    /// are never trapped and extend the span.
+    /// is trapped). Scans the bitmap in [`TrapMap::SCAN_CHUNK_WORDS`]
+    /// `u64` chunks — one OR-reduction covers 512 granules — so the
+    /// fast path can size a resident-run batch without probing granule
+    /// by granule. Out-of-range granules are never trapped and extend
+    /// the span.
     #[inline]
     pub fn clean_span(&self, pa: PhysAddr, max_bytes: u64) -> u64 {
         if max_bytes == 0 {
             return 0;
         }
         let g_last = (pa.raw() + max_bytes - 1) >> self.shift;
-        let mut g = pa.raw() >> self.shift;
-        while g <= g_last && g < self.granules {
-            let w = (g / 64) as usize;
-            let rest = self.bits[w] >> (g % 64);
-            if rest == 0 {
-                // The remainder of this bitmap word is clean: skip to
-                // the next word's first granule.
-                g = (w as u64 + 1) * 64;
-            } else {
-                let first_trapped = g + u64::from(rest.trailing_zeros());
-                if first_trapped > g_last {
-                    break;
-                }
-                return (first_trapped << self.shift)
-                    .saturating_sub(pa.raw())
-                    .min(max_bytes);
+        let g0 = pa.raw() >> self.shift;
+        if g0 >= self.granules {
+            return max_bytes;
+        }
+        // First (possibly mid-word) position: mask off granules below
+        // the start and test the remainder of the word.
+        let w0 = (g0 / 64) as usize;
+        let rest = self.bits[w0] >> (g0 % 64);
+        if rest != 0 {
+            let first_trapped = g0 + u64::from(rest.trailing_zeros());
+            return self.span_until(pa, first_trapped, g_last, max_bytes);
+        }
+        // Whole-word region: bits past `granules` are never set, so the
+        // final partial word is safe to scan in full.
+        let w_end = ((g_last.min(self.granules - 1)) / 64) as usize + 1;
+        let mut w = w0 + 1;
+        while w + Self::SCAN_CHUNK_WORDS <= w_end {
+            let c = &self.bits[w..w + Self::SCAN_CHUNK_WORDS];
+            if (c[0] | c[1] | c[2] | c[3] | c[4] | c[5] | c[6] | c[7]) != 0 {
+                break;
             }
+            w += Self::SCAN_CHUNK_WORDS;
+        }
+        while w < w_end {
+            let word = self.bits[w];
+            if word != 0 {
+                let first_trapped = w as u64 * 64 + u64::from(word.trailing_zeros());
+                return self.span_until(pa, first_trapped, g_last, max_bytes);
+            }
+            w += 1;
         }
         max_bytes
+    }
+
+    /// Span length from `pa` up to (not including) granule
+    /// `first_trapped`, clipped to the request.
+    #[inline]
+    fn span_until(&self, pa: PhysAddr, first_trapped: u64, g_last: u64, max_bytes: u64) -> u64 {
+        if first_trapped > g_last {
+            max_bytes
+        } else {
+            (first_trapped << self.shift)
+                .saturating_sub(pa.raw())
+                .min(max_bytes)
+        }
     }
 
     /// Sets the trap on one granule by index. Returns `true` if it was
@@ -268,9 +322,133 @@ impl TrapMap {
 
     /// Sets traps on every granule overlapping `[pa, pa + size)`
     /// (`tw_set_trap` in Table 1). Idempotent. Out-of-range granules are
-    /// ignored.
+    /// ignored. Runs word-masked — transitions come from
+    /// `count_ones` over the flipped bits rather than a per-granule
+    /// loop — so page-sized rewrites (registration, removal, miss
+    /// re-arm) touch each bitmap word once.
+    #[inline]
     pub fn set_range(&mut self, pa: PhysAddr, size: u64) {
-        self.set_range_filtered(pa, size, |_| true);
+        let r = self.range_granules(pa, size);
+        if r.is_empty() {
+            return;
+        }
+        if self.granule > Self::FRAME_BYTES {
+            // A granule overlaps several frames: keep the per-granule
+            // walk whose frame bookkeeping handles the overlap.
+            for g in r {
+                self.set_granule(g);
+            }
+            return;
+        }
+        if r.end - r.start == 1 {
+            // The per-miss service/re-arm shape — one cache line at a
+            // time. One bit test, one flip, one frame-count bump; no
+            // call into the masked bulk loop.
+            self.set_one(r.start);
+            return;
+        }
+        self.apply_bulk(r.start, r.end - 1, true);
+    }
+
+    /// Sets the trap on one in-range granule (`granule <= FRAME_BYTES`
+    /// required, as for [`TrapMap::apply_bulk`]). The inlined
+    /// single-granule core of [`TrapMap::set_range`].
+    #[inline]
+    fn set_one(&mut self, g: u64) {
+        let (w, b) = ((g / 64) as usize, g % 64);
+        let mask = 1u64 << b;
+        if self.bits[w] & mask == 0 {
+            self.bits[w] |= mask;
+            self.count += 1;
+            self.set_events += 1;
+            let f = (g / (Self::FRAME_BYTES >> self.shift)) as usize;
+            self.frame_counts[f] += 1;
+        }
+    }
+
+    /// Clears the trap on one in-range granule; the inlined
+    /// single-granule core of [`TrapMap::clear_range`].
+    #[inline]
+    fn clear_one(&mut self, g: u64) {
+        let (w, b) = ((g / 64) as usize, g % 64);
+        let mask = 1u64 << b;
+        if self.bits[w] & mask != 0 {
+            self.bits[w] &= !mask;
+            self.count -= 1;
+            self.clear_events += 1;
+            let f = (g / (Self::FRAME_BYTES >> self.shift)) as usize;
+            self.frame_counts[f] -= 1;
+        }
+    }
+
+    /// Word-masked bulk set/clear over the inclusive, in-range granule
+    /// span `[first, last]`. Requires `granule <= FRAME_BYTES` so each
+    /// bitmap word's flipped bits map onto whole frame-count groups.
+    /// Single-granule spans take [`TrapMap::set_one`] /
+    /// [`TrapMap::clear_one`] before reaching this loop.
+    fn apply_bulk(&mut self, first: u64, last: u64, set: bool) {
+        let wf = (first / 64) as usize;
+        let wl = (last / 64) as usize;
+        let mut transitions = 0u64;
+        for w in wf..=wl {
+            let lo = if w == wf { first % 64 } else { 0 };
+            let hi = if w == wl { last % 64 } else { 63 };
+            let mask = (!0u64 >> (63 - hi)) & (!0u64 << lo);
+            let old = self.bits[w];
+            let flipped = if set { mask & !old } else { mask & old };
+            if flipped == 0 {
+                continue;
+            }
+            self.bits[w] = if set { old | mask } else { old & !mask };
+            transitions += u64::from(flipped.count_ones());
+            self.bump_frame_counts(w, flipped, set);
+        }
+        if set {
+            self.count += transitions;
+            self.set_events += transitions;
+        } else {
+            self.count -= transitions;
+            self.clear_events += transitions;
+        }
+    }
+
+    /// Applies the population count of `flipped` (changed bits in
+    /// bitmap word `w`) to the per-frame counts. Only called when
+    /// `granule <= FRAME_BYTES`, so a frame holds a whole number of
+    /// granules.
+    #[inline]
+    fn bump_frame_counts(&mut self, w: usize, flipped: u64, set: bool) {
+        let per_frame = Self::FRAME_BYTES >> self.shift;
+        if per_frame >= 64 {
+            // One or more whole words per frame: the whole word's
+            // population count lands in a single frame.
+            let f = w / (per_frame / 64) as usize;
+            let n = flipped.count_ones();
+            if set {
+                self.frame_counts[f] += n;
+            } else {
+                self.frame_counts[f] -= n;
+            }
+        } else {
+            // Several frames per word: split the flipped bits into
+            // `per_frame`-bit groups, one population count each.
+            let group_mask = (1u64 << per_frame) - 1;
+            let base = w * (64 / per_frame) as usize;
+            let mut rest = flipped;
+            let mut i = 0usize;
+            while rest != 0 {
+                let n = (rest & group_mask).count_ones();
+                if n != 0 {
+                    if set {
+                        self.frame_counts[base + i] += n;
+                    } else {
+                        self.frame_counts[base + i] -= n;
+                    }
+                }
+                rest >>= per_frame;
+                i += 1;
+            }
+        }
     }
 
     /// Sets traps only on granules in the range whose index satisfies
@@ -289,13 +467,28 @@ impl TrapMap {
     }
 
     /// Clears traps on every granule overlapping `[pa, pa + size)`
-    /// (`tw_clear_trap` in Table 1). Idempotent.
+    /// (`tw_clear_trap` in Table 1). Idempotent. Word-masked like
+    /// [`TrapMap::set_range`].
+    #[inline]
     pub fn clear_range(&mut self, pa: PhysAddr, size: u64) {
-        for g in self.range_granules(pa, size) {
-            self.clear_granule(g);
+        let r = self.range_granules(pa, size);
+        if r.is_empty() {
+            return;
         }
+        if self.granule > Self::FRAME_BYTES {
+            for g in r {
+                self.clear_granule(g);
+            }
+            return;
+        }
+        if r.end - r.start == 1 {
+            self.clear_one(r.start);
+            return;
+        }
+        self.apply_bulk(r.start, r.end - 1, false);
     }
 
+    #[inline]
     fn range_granules(&self, pa: PhysAddr, size: u64) -> std::ops::Range<u64> {
         if size == 0 {
             return 0..0;
@@ -563,6 +756,124 @@ mod tests {
         let regrown = TrapMap::with_storage(32 * 4096, 64, reused.into_storage());
         assert_eq!(regrown.granules(), 32 * 4096 / 64);
         assert!(regrown.frame_clean(PhysAddr::new(31 * 4096)));
+    }
+
+    /// The wide scan must agree with a granule-by-granule reference at
+    /// every boundary class: spans ending exactly at bitmap-word edges
+    /// (64 granules), scan-chunk edges (512 granules), frame edges, and
+    /// unaligned starts inside all of those.
+    #[test]
+    fn clean_span_multi_word_boundaries_match_reference() {
+        fn reference_span(t: &TrapMap, pa: PhysAddr, max_bytes: u64) -> u64 {
+            if max_bytes == 0 {
+                return 0;
+            }
+            let g_last = (pa.raw() + max_bytes - 1) >> t.granule().trailing_zeros();
+            let g0 = pa.raw() >> t.granule().trailing_zeros();
+            for g in g0..=g_last {
+                if g < t.granules() && t.is_trapped(PhysAddr::new(g * t.granule())) {
+                    return (g * t.granule()).saturating_sub(pa.raw()).min(max_bytes);
+                }
+            }
+            max_bytes
+        }
+        let granule = 16u64;
+        let mem_bytes = 64 * 4096u64; // 16384 granules = 256 words = 32 chunks
+        let word_g = 64u64;
+        let chunk_g = word_g * TrapMap::SCAN_CHUNK_WORDS as u64;
+        let frame_g = TrapMap::FRAME_BYTES / granule;
+        // Arm traps exactly at each boundary class (first granule of a
+        // word, of a chunk, of a frame) and just before each.
+        for &edge in &[word_g, chunk_g, frame_g] {
+            for &g in &[edge, 3 * edge, 3 * edge - 1, 7 * edge + 1] {
+                let mut t = TrapMap::new(mem_bytes, granule);
+                t.set_granule(g);
+                for &start in &[
+                    0u64,
+                    1,
+                    granule - 1,
+                    granule,
+                    (g - 1) * granule,
+                    g * granule - 1,
+                    g * granule,
+                    g * granule + 1,
+                    (g + 1) * granule,
+                ] {
+                    for &max in &[
+                        0u64,
+                        1,
+                        granule,
+                        granule + 1,
+                        edge * granule,
+                        edge * granule - 1,
+                        mem_bytes,
+                        2 * mem_bytes,
+                    ] {
+                        let pa = PhysAddr::new(start);
+                        assert_eq!(
+                            t.clean_span(pa, max),
+                            reference_span(&t, pa, max),
+                            "granule {g} start {start} max {max}"
+                        );
+                    }
+                }
+            }
+        }
+        // A fully clean map: every request is returned unclipped even
+        // when it ends exactly on word/chunk/frame edges or past the
+        // covered region.
+        let t = TrapMap::new(mem_bytes, granule);
+        for &max in &[
+            word_g * granule,
+            chunk_g * granule,
+            frame_g * granule,
+            mem_bytes,
+            mem_bytes + granule,
+        ] {
+            assert_eq!(t.clean_span(PhysAddr::new(0), max), max);
+            assert_eq!(t.clean_span(PhysAddr::new(granule / 2), max), max);
+        }
+    }
+
+    /// Property: the word-masked bulk `set_range`/`clear_range` are
+    /// bit-identical — state, count, frame counts, and event
+    /// transitions — to the per-granule reference walk, across random
+    /// unaligned ranges and all granule geometries.
+    #[test]
+    fn bulk_range_ops_match_per_granule_reference() {
+        let mut s = 0x51ed_270b_89ac_4c52u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mem_bytes = 24 * 4096u64;
+        for &granule in &[16u64, 64, 128, 4096, 8192] {
+            let mut bulk = TrapMap::new(mem_bytes, granule);
+            let mut reference = TrapMap::new(mem_bytes, granule);
+            for _ in 0..300 {
+                let pa = PhysAddr::new(next() % (mem_bytes + 4096));
+                let size = next() % 12_000;
+                if next() % 2 == 0 {
+                    bulk.set_range(pa, size);
+                    for g in reference.range_granules(pa, size) {
+                        reference.set_granule(g);
+                    }
+                } else {
+                    bulk.clear_range(pa, size);
+                    for g in reference.range_granules(pa, size) {
+                        reference.clear_granule(g);
+                    }
+                }
+                assert_eq!(bulk, reference, "granule {granule} state diverged");
+                assert_eq!(bulk.count(), reference.count());
+                assert_eq!(bulk.set_events(), reference.set_events());
+                assert_eq!(bulk.clear_events(), reference.clear_events());
+                assert_frame_counts_match(&bulk, mem_bytes);
+            }
+        }
     }
 
     /// Property: after an arbitrary interleaving of `set_range`,

@@ -48,6 +48,13 @@ pub enum CounterId {
     FastRuns,
     /// Words (instructions) retired through the fast path.
     FastWords,
+    /// Miss bursts flushed by the batched trap-service path (each
+    /// flush coalesced one or more consecutive trap services into a
+    /// single accounting pass).
+    MissBatchFlushes,
+    /// Victim selections answered from the per-set full-set memo
+    /// inside a miss burst, skipping the duplicate/empty way scans.
+    VictimMemoHits,
 }
 
 impl CounterId {
@@ -61,7 +68,7 @@ impl CounterId {
     /// All counters, in registry (and JSON) order. New counters are
     /// appended, never reordered: slot indices are a stable ABI for the
     /// checkpoint codec and the Debug-prefix freeze above.
-    pub const ALL: [CounterId; 15] = [
+    pub const ALL: [CounterId; 17] = [
         CounterId::TrapEntries,
         CounterId::TrapsSet,
         CounterId::TrapsCleared,
@@ -77,6 +84,8 @@ impl CounterId {
         CounterId::ClockTicksDropped,
         CounterId::FastRuns,
         CounterId::FastWords,
+        CounterId::MissBatchFlushes,
+        CounterId::VictimMemoHits,
     ];
 
     /// Stable slot index for array-backed storage.
@@ -103,6 +112,8 @@ impl CounterId {
             CounterId::ClockTicksDropped => "clock_ticks_dropped",
             CounterId::FastRuns => "fast_runs",
             CounterId::FastWords => "fast_words",
+            CounterId::MissBatchFlushes => "miss_batch_flushes",
+            CounterId::VictimMemoHits => "victim_memo_hits",
         }
     }
 }

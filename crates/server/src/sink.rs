@@ -8,18 +8,19 @@
 //! counters/phases/dilation block, and a digest footer.
 //!
 //! The digest is the service's determinism pin: FNV-1a over the
-//! canonical checkpoint record lines (`encode_outcome(i, o)` + `\n`
-//! for every cell, in index order). Because every backend funnels its
-//! outcomes through the same codec, the digest is bit-identical across
-//! backends, thread counts, checkpoint resume, and cached-vs-fresh
-//! serving — and independent of presentation details like the job ID
-//! in the header.
+//! frozen-v1 checkpoint record lines (`encode_outcome_digest_v1(i, o)`
+//! + `\n` for every cell, in index order). Because every backend
+//! funnels its outcomes through the same codec, the digest is
+//! bit-identical across backends, thread counts, checkpoint resume,
+//! and cached-vs-fresh serving — and independent of presentation
+//! details like the job ID in the header and of counters appended to
+//! the registry after the digest encoding was frozen.
 
 use std::io;
 use std::path::Path;
 
 use tapeworm_obs::{metrics_json_fields, write_atomic, METRICS_SCHEMA};
-use tapeworm_sim::{encode_outcome, TrialOutcome, TrialSummary};
+use tapeworm_sim::{encode_outcome, encode_outcome_digest_v1, TrialOutcome, TrialSummary};
 
 use crate::spec::fnv1a;
 
@@ -48,11 +49,15 @@ pub struct SinkHeader<'a> {
     pub trials: usize,
 }
 
-/// The deterministic service digest over an outcome vector.
+/// The deterministic service digest over an outcome vector. Hashes the
+/// *frozen* v1 record encoding (`encode_outcome_digest_v1`: the first
+/// fifteen counter slots, the registry size when the golden digest was
+/// pinned) so counters appended to the live registry widen the
+/// rendered trial records without moving any pinned digest.
 pub fn digest_outcomes(outcomes: &[TrialOutcome]) -> u64 {
     let mut doc = String::new();
     for (index, outcome) in outcomes.iter().enumerate() {
-        doc.push_str(&encode_outcome(index, outcome));
+        doc.push_str(&encode_outcome_digest_v1(index, outcome));
         doc.push('\n');
     }
     fnv1a(doc.as_bytes())

@@ -134,9 +134,22 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn encode_metrics(m: &TrialMetrics, out: &mut Vec<u64>) {
-    out.push(CounterId::ALL.len() as u64);
-    out.extend(CounterId::ALL.iter().map(|&id| m.counters.get(id)));
+/// Counter slots in the *frozen* v1 digest encoding. The service
+/// digest (`digest_outcomes`) hashes outcome records rendered with
+/// exactly this many leading counter slots — the registry size at the
+/// moment the golden digest was pinned — so appending counters to
+/// [`CounterId::ALL`] widens the live checkpoint/wire codec without
+/// moving any golden digest. Never change this value.
+pub const DIGEST_COUNTERS_V1: usize = 15;
+
+fn encode_metrics_slots(m: &TrialMetrics, out: &mut Vec<u64>, slots: usize) {
+    out.push(slots as u64);
+    out.extend(
+        CounterId::ALL
+            .iter()
+            .take(slots)
+            .map(|&id| m.counters.get(id)),
+    );
     out.push(Phase::ALL.len() as u64);
     out.extend(Phase::ALL.iter().map(|&p| m.phases.get(p)));
     out.push(m.events_recorded);
@@ -260,11 +273,15 @@ fn field_usize(line: &str, key: &str) -> Option<usize> {
 
 /// Renders one committed trial as a single record line.
 pub(crate) fn encode_record(index: usize, outcome: &StoredOutcome) -> String {
+    encode_record_slots(index, outcome, CounterId::ALL.len())
+}
+
+fn encode_record_slots(index: usize, outcome: &StoredOutcome, slots: usize) -> String {
     match outcome {
         Ok((result, metrics)) => {
             let mut words = Vec::new();
             result.encode_words(&mut words);
-            encode_metrics(metrics, &mut words);
+            encode_metrics_slots(metrics, &mut words, slots);
             format!("{{\"index\": {index}, \"ok\": \"{}\"}}", hex_words(&words))
         }
         Err(failure) => {
@@ -399,6 +416,15 @@ pub(crate) fn load(path: &Path) -> LoadResult {
 /// property the server's wire protocol and fingerprint cache rely on.
 pub fn encode_outcome(index: usize, outcome: &TrialOutcome) -> String {
     encode_record(index, outcome)
+}
+
+/// Renders one outcome with the frozen [`DIGEST_COUNTERS_V1`] counter
+/// prefix — the encoding the service digest hashes. Byte-identical to
+/// what [`encode_outcome`] produced when the registry held exactly
+/// fifteen counters, and immune to counters appended since; not meant
+/// to be decoded.
+pub fn encode_outcome_digest_v1(index: usize, outcome: &TrialOutcome) -> String {
+    encode_record_slots(index, outcome, DIGEST_COUNTERS_V1)
 }
 
 /// Inverse of [`encode_outcome`]. Accepts any line carrying the record

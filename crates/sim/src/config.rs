@@ -161,6 +161,13 @@ pub struct SystemConfig {
     /// tests); disabling it forces the per-chunk slow path, as does the
     /// `TW_FAST=0` environment knob.
     pub fast_path: bool,
+    /// Whether the engine may service consecutive trapped chunks in a
+    /// batched miss burst (one clock advance per burst instead of one
+    /// per miss) with victim-selection memoization in the simulated
+    /// cache. Bit-identical to stepwise miss handling (pinned by
+    /// differential tests); disabling it forces per-miss accounting,
+    /// as does the `TW_BATCH=0` environment knob.
+    pub miss_batch: bool,
 }
 
 impl SystemConfig {
@@ -183,6 +190,7 @@ impl SystemConfig {
             dilate: true,
             write_policy: tapeworm_mem::WritePolicy::NoAllocateOnWrite,
             fast_path: true,
+            miss_batch: true,
         }
     }
 
@@ -248,6 +256,12 @@ impl SystemConfig {
     /// Enables or disables the resident-run fast path.
     pub fn with_fast_path(mut self, enabled: bool) -> Self {
         self.fast_path = enabled;
+        self
+    }
+
+    /// Enables or disables batched miss handling.
+    pub fn with_miss_batch(mut self, enabled: bool) -> Self {
+        self.miss_batch = enabled;
         self
     }
 

@@ -362,10 +362,15 @@ struct Engine<'c> {
     /// Resident-run fast path enabled (`SystemConfig::fast_path` and
     /// the `TW_FAST` env knob both allow it).
     fast_enabled: bool,
+    /// Batched miss handling enabled (`SystemConfig::miss_batch` and
+    /// the `TW_BATCH` env knob both allow it).
+    batch_enabled: bool,
     /// Clean runs retired through the fast path.
     fast_runs: u64,
     /// Words retired through the fast path.
     fast_words: u64,
+    /// Miss bursts flushed through the batched trap-service path.
+    miss_batch_flushes: u64,
     /// Clock ticks that fired but exceeded the per-interval delivery
     /// bound in [`Engine::advance`] (previously dropped silently).
     ticks_dropped: u64,
@@ -582,8 +587,10 @@ impl<'c> Engine<'c> {
             in_interrupt: false,
             chunk_bytes,
             fast_enabled: cfg.fast_path && std::env::var("TW_FAST").map_or(true, |v| v != "0"),
+            batch_enabled: cfg.miss_batch && std::env::var("TW_BATCH").map_or(true, |v| v != "0"),
             fast_runs: 0,
             fast_words: 0,
+            miss_batch_flushes: 0,
             ticks_dropped: 0,
             page_bytes: page.bytes(),
             data_scratch: {
@@ -595,6 +602,20 @@ impl<'c> Engine<'c> {
             ring: TrapRing::new(0),
             sched_quanta: 0,
         };
+        // Victim-selection memoization rides the batch knob: the memo
+        // is bit-invisible (it only skips re-deriving a decision the
+        // stepwise scan would reach identically), so one knob pins
+        // both batching layers for the differential suite.
+        if engine.batch_enabled {
+            match &mut engine.sim {
+                Sim::Cache(tw) => tw.set_victim_memo(true),
+                Sim::Split { icache, dcache } => {
+                    icache.set_victim_memo(true);
+                    dcache.set_victim_memo(true);
+                }
+                _ => {}
+            }
+        }
         let initial = spec.concurrent_tasks.min(spec.user_task_count.max(1));
         for _ in 0..initial {
             engine.fork_user();
@@ -774,6 +795,7 @@ impl<'c> Engine<'c> {
     /// Records one trap event in the ring, pulling the victim from
     /// whichever simulator just handled the miss. Called only on the
     /// (cold) trap path, and only when the ring is enabled.
+    #[cold]
     fn record_trap(&mut self, kind: TrapKind, tid: Tid, va: VirtAddr) {
         let victim = match (&self.sim, kind) {
             (Sim::Cache(tw), _) => tw.last_victim().map(|pa| pa.raw()),
@@ -855,51 +877,219 @@ impl<'c> Engine<'c> {
                 let page_words =
                     ((vpn + 1) * self.page_bytes - va.raw()) / tapeworm_mem::WORD_BYTES;
                 let cpi = self.cfg.base_cpi_milli;
-                // Largest word count whose cycles stay short of the
-                // tick: acc + n·cpi < until·1000. The accumulator is
-                // < 1000 and until ≥ 1, so the budget is ≥ 1.
-                let budget_milli = self
-                    .machine
-                    .cycles_until_tick()
-                    .saturating_mul(1000)
-                    .saturating_sub(self.cpi_acc_milli);
-                let w_tick = if cpi == 0 {
-                    u64::MAX
+                // Span first, tick budget second: the trap-free span
+                // decides between the clean batch and the miss burst,
+                // and a chunk headed for a miss skips the tick-budget
+                // division entirely. A clean frame (the
+                // unsimulated-component case) answers in one per-frame
+                // count load; a partially trapped frame costs a short
+                // chunked bitmap scan that ends at the first trapped
+                // granule.
+                let max_words = remaining.min(page_words);
+                let span_words = if self.machine.frame_clean(pa) {
+                    max_words
                 } else {
-                    (budget_milli - 1) / cpi
-                };
-                let cap = remaining.min(page_words).min(w_tick);
-                // Clip the batch to the trap-free span. A clean frame
-                // (the unsimulated-component case) answers in one load;
-                // a partially trapped frame costs a short bitmap scan
-                // that ends at the first trapped granule — the chunk
-                // that would miss runs through the slow path below.
-                let cap = if self.machine.frame_clean(pa) {
-                    cap
-                } else {
-                    self.machine.clean_span(pa, cap * tapeworm_mem::WORD_BYTES)
+                    self.machine
+                        .clean_span(pa, max_words * tapeworm_mem::WORD_BYTES)
                         / tapeworm_mem::WORD_BYTES
                 };
-                if cap >= w {
-                    // Align the batch end to a slow-path iteration
-                    // boundary: the first (possibly partial) chunk plus
-                    // whole chunks only.
-                    let chunks = 1 + (cap - w) / chunk_words;
-                    let batch = w + (chunks - 1) * chunk_words;
-                    if !self
+                if span_words >= w {
+                    // Largest word count whose cycles stay short of the
+                    // tick: acc + n·cpi < until·1000. The accumulator is
+                    // < 1000 and until ≥ 1, so the budget is ≥ 1.
+                    let budget_milli = self
                         .machine
-                        .breakpoints_in(va, batch * tapeworm_mem::WORD_BYTES)
-                    {
-                        self.machine.retire_clean_run(batch, chunks);
-                        self.cpi_acc_milli += batch * cpi;
-                        let workload_cycles = self.cpi_acc_milli / 1000;
-                        self.cpi_acc_milli %= 1000;
-                        self.monster.record(component, batch, workload_cycles);
-                        self.advance(workload_cycles, 0)?;
-                        self.fast_runs += 1;
-                        self.fast_words += batch;
-                        va += batch * tapeworm_mem::WORD_BYTES;
-                        remaining -= batch;
+                        .cycles_until_tick()
+                        .saturating_mul(1000)
+                        .saturating_sub(self.cpi_acc_milli);
+                    let w_tick = if cpi == 0 {
+                        u64::MAX
+                    } else {
+                        (budget_milli - 1) / cpi
+                    };
+                    // min(remaining, page, span) then min(tick) equals
+                    // the stepwise min(remaining, page, tick) clipped to
+                    // the span: clean_span already clips to max_words.
+                    let cap = span_words.min(w_tick);
+                    if cap >= w {
+                        // Align the batch end to a slow-path iteration
+                        // boundary: the first (possibly partial) chunk
+                        // plus whole chunks only.
+                        let chunks = 1 + (cap - w) / chunk_words;
+                        let batch = w + (chunks - 1) * chunk_words;
+                        if !self
+                            .machine
+                            .breakpoints_in(va, batch * tapeworm_mem::WORD_BYTES)
+                        {
+                            self.machine.retire_clean_run(batch, chunks);
+                            self.cpi_acc_milli += batch * cpi;
+                            let workload_cycles = self.cpi_acc_milli / 1000;
+                            self.cpi_acc_milli %= 1000;
+                            self.monster.record(component, batch, workload_cycles);
+                            self.advance(workload_cycles, 0)?;
+                            self.fast_runs += 1;
+                            self.fast_words += batch;
+                            va += batch * tapeworm_mem::WORD_BYTES;
+                            remaining -= batch;
+                            continue;
+                        }
+                    }
+                } else if self.batch_enabled {
+                    // Batched miss burst: the probe point sits short of
+                    // a trapped granule, so this chunk (and typically a
+                    // run of successors — cold pages trap every line)
+                    // takes the miss path. Service consecutive
+                    // trapped/masked chunks in one pass, deferring
+                    // retire/phase/clock bookkeeping to a single flush.
+                    // Bit-exactness by construction:
+                    // * each chunk still probes through machine.access
+                    //   and services its miss through the same handler,
+                    //   so every trap/breakpoint/miss counter and every
+                    //   trap-bit transition is the stepwise sequence;
+                    // * the burst exits before any chunk whose clean
+                    //   span reaches the chunk end, so the fast path
+                    //   above commits exactly the batches (and counts
+                    //   exactly the fast_runs/fast_words) it would have
+                    //   stepwise;
+                    // * every chunk's worst-case dilated cost is
+                    //   strictly pre-checked against the remaining tick
+                    //   budget, so the single deferred advance() fires
+                    //   no interrupt — handler delivery positions are
+                    //   untouched;
+                    // * the burst never crosses the page, so the memo
+                    //   translation covers it;
+                    // * ring events carry the virtual timestamp the
+                    //   stepwise clock would show at that trap — the
+                    //   base clock plus exactly the workload/dilated
+                    //   overhead cycles the deferred advance() will
+                    //   apply for the chunks already burst.
+                    // Only constant-cost handlers qualify (the budget
+                    // pre-check must bound the charge): the single
+                    // cache and the split icache — the two-level
+                    // hierarchy's L2-dependent cost stays stepwise.
+                    let mut burst_words = 0u64;
+                    let mut burst_cycles = 0u64;
+                    let mut burst_overhead = 0u64;
+                    // The kernel's statement of how far one trap-service
+                    // pass may run: the live mapping's remaining page
+                    // span (a counting-free page-table read). Also
+                    // cross-checks the page memo against the real page
+                    // table.
+                    let page_end = match self.os.trap_service_span(tid, va) {
+                        Some((span_pa, span_bytes)) => {
+                            debug_assert_eq!(
+                                span_pa.raw(),
+                                pa.raw(),
+                                "page memo agrees with the page table"
+                            );
+                            va.raw() + span_bytes
+                        }
+                        None => (vpn + 1) * self.page_bytes,
+                    };
+                    let tw = match &mut self.sim {
+                        Sim::Cache(tw) => Some(tw),
+                        Sim::Split { icache, .. } => Some(icache),
+                        _ => None,
+                    };
+                    if let Some(tw) = tw {
+                        let ring_on = self.ring.enabled();
+                        let delta = pa.raw().wrapping_sub(va.raw());
+                        let dilate_ov_milli = if self.cfg.dilate {
+                            tw.miss_overhead_cycles().saturating_mul(1000)
+                        } else {
+                            0
+                        };
+                        let mut budget_milli = self
+                            .machine
+                            .cycles_until_tick()
+                            .saturating_mul(1000)
+                            .saturating_sub(self.cpi_acc_milli);
+                        let mut bva = va;
+                        let mut brem = remaining;
+                        // The preamble already measured this chunk's
+                        // span (that's what routed it here); reuse it
+                        // for the first iteration instead of re-running
+                        // the bitmap scan.
+                        let mut head_span = Some(span_words);
+                        while brem > 0 && bva.raw() < page_end {
+                            let bchunk_end = bva.line_base(self.chunk_bytes) + self.chunk_bytes;
+                            let bw = brem.min((bchunk_end - bva) / tapeworm_mem::WORD_BYTES);
+                            let bpa = PhysAddr::new(bva.raw().wrapping_add(delta));
+                            let bspan = match head_span.take() {
+                                Some(s) => s,
+                                None => {
+                                    let bmax =
+                                        brem.min((page_end - bva.raw()) / tapeworm_mem::WORD_BYTES);
+                                    if self.machine.frame_clean(bpa) {
+                                        bmax
+                                    } else {
+                                        self.machine
+                                            .clean_span(bpa, bmax * tapeworm_mem::WORD_BYTES)
+                                            / tapeworm_mem::WORD_BYTES
+                                    }
+                                }
+                            };
+                            if bspan >= bw {
+                                break; // clean stretch: the fast path takes over
+                            }
+                            let cost_milli = bw * cpi + dilate_ov_milli;
+                            if cost_milli >= budget_milli {
+                                break; // tick imminent: stepwise delivers it
+                            }
+                            match self.machine.access(AccessKind::IFetch, bva, bpa) {
+                                FetchOutcome::Run => budget_milli -= bw * cpi,
+                                FetchOutcome::EccTrap => {
+                                    // Stepwise records the event before
+                                    // this chunk's own advance: virtual
+                                    // now = base clock + cycles already
+                                    // burst.
+                                    let cycle = self.machine.now()
+                                        + burst_cycles
+                                        + if self.cfg.dilate { burst_overhead } else { 0 };
+                                    // handle_miss charges exactly
+                                    // miss_overhead_cycles() — the
+                                    // pre-check above bounds this.
+                                    burst_overhead += tw.handle_miss(
+                                        self.machine.traps_mut(),
+                                        component,
+                                        tid,
+                                        bva,
+                                        bpa,
+                                    );
+                                    budget_milli -= cost_milli;
+                                    if ring_on {
+                                        self.ring.record(TrapEvent {
+                                            cycle,
+                                            tid: tid.raw(),
+                                            vpn: bva.page_number(self.page_bytes),
+                                            kind: TrapKind::IFetch,
+                                            victim: tw.last_victim().map(|pa| pa.raw()),
+                                        });
+                                    }
+                                }
+                                FetchOutcome::MaskedEccSkipped => {
+                                    tw.note_masked_miss();
+                                    budget_milli -= bw * cpi;
+                                }
+                                FetchOutcome::WriteTrapDestroyed | FetchOutcome::Breakpoint => {
+                                    unreachable!("instruction fetches with no breakpoints armed")
+                                }
+                            }
+                            self.cpi_acc_milli += bw * cpi;
+                            burst_cycles += self.cpi_acc_milli / 1000;
+                            self.cpi_acc_milli %= 1000;
+                            burst_words += bw;
+                            brem -= bw;
+                            bva += bw * tapeworm_mem::WORD_BYTES;
+                        }
+                    }
+                    if burst_words > 0 {
+                        self.machine.retire(burst_words);
+                        self.monster.record(component, burst_words, burst_cycles);
+                        self.miss_batch_flushes += 1;
+                        self.advance(burst_cycles, burst_overhead)?;
+                        va += burst_words * tapeworm_mem::WORD_BYTES;
+                        remaining -= burst_words;
                         continue;
                     }
                 }
@@ -978,6 +1168,7 @@ impl<'c> Engine<'c> {
     /// tick, polluting the cache — the Figure 4 dilation mechanism.
     /// Its prefix runs with interrupts masked, losing any ECC traps
     /// there (the §4.2 masked-trap bias).
+    #[cold]
     fn run_interrupt_handler(&mut self) -> Result<(), TrialError> {
         self.in_interrupt = true;
         let total = self.cfg.interrupt_handler_words;
@@ -1131,6 +1322,13 @@ impl<'c> Engine<'c> {
         counters.add(CounterId::ClockTicksDropped, self.ticks_dropped);
         counters.add(CounterId::FastRuns, self.fast_runs);
         counters.add(CounterId::FastWords, self.fast_words);
+        counters.add(CounterId::MissBatchFlushes, self.miss_batch_flushes);
+        let memo_hits = match &self.sim {
+            Sim::Cache(tw) => tw.victim_memo_hits(),
+            Sim::Split { icache, dcache } => icache.victim_memo_hits() + dcache.victim_memo_hits(),
+            Sim::TwoLevel(_) | Sim::Tlb(_) | Sim::Buffer(_) => 0,
+        };
+        counters.add(CounterId::VictimMemoHits, memo_hits);
 
         let mut phases = PhaseCycles::new();
         phases.add(Phase::Kernel, self.monster.cycles(Component::Kernel));

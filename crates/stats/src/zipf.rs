@@ -104,13 +104,32 @@ impl Zipf {
 
     /// Maps a uniform variate in `[0, 1)` to a rank; exposed for
     /// deterministic replay in tests.
+    ///
+    /// Zipf mass concentrates in the lowest ranks, so the hot path is a
+    /// short linear scan over the head of the CDF — for the skewed
+    /// exponents the workloads use, most draws resolve in the first few
+    /// always-cached, perfectly-predicted compares. Variates past the
+    /// head fall back to the library binary search over the whole
+    /// slice, whose result the scan provably agrees with: the scan only
+    /// answers when it finds the first entry *strictly above* the
+    /// variate with no exact match before it — exactly the insertion
+    /// point `binary_search_by` would report. Exact equality (possible
+    /// but vanishingly rare: the variate is a 53-bit-grid value) takes
+    /// the fallback so duplicate-entry resolution stays bit-for-bit.
     pub fn rank_for(&self, u: f64) -> usize {
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
-        {
-            Ok(i) => (i + 1).min(self.cdf.len() - 1),
-            Err(i) => i.min(self.cdf.len() - 1),
+        let cdf = &self.cdf;
+        let head = cdf.len().min(8);
+        for (i, &c) in cdf[..head].iter().enumerate() {
+            if c == u {
+                break; // equal entry: the library search resolves it
+            }
+            if c > u {
+                return i;
+            }
+        }
+        match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => (i + 1).min(cdf.len() - 1),
+            Err(i) => i.min(cdf.len() - 1),
         }
     }
 

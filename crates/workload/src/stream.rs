@@ -123,17 +123,17 @@ pub struct ProcStream {
     hot_zipf: Zipf,
     cold_zipf: Option<Zipf>,
     hot_count: usize,
-    /// Permutation of procedure ranks to layout slots, so the hottest
-    /// procedures are scattered across the footprint (as a linker
-    /// would), not packed at the start.
-    layout: Vec<u32>,
-    /// Byte offset of each procedure slot within the footprint.
-    starts: Vec<u32>,
-    /// Size of each procedure slot in bytes. Sizes vary around
-    /// `proc_bytes` (real text is not uniform), which matters for set
-    /// sampling: uniform procedure sizes make every cache set carry an
-    /// identical miss share, hiding sampling variance.
-    sizes: Vec<u32>,
+    /// Rank-indexed `(start | words << 32)` run table. Built from three
+    /// construction-time vectors — a Fisher-Yates rank→slot layout
+    /// permutation (so the hottest procedures are scattered across the
+    /// footprint as a linker would place them, not packed at the
+    /// start), per-slot byte offsets, and per-slot sizes jittered
+    /// around `proc_bytes` (real text is not uniform, which matters
+    /// for set sampling: uniform procedure sizes make every cache set
+    /// carry an identical miss share, hiding sampling variance).
+    /// Pre-composed so the sampler's hot path costs one data-dependent
+    /// load instead of three; the emitted runs are bit-identical.
+    rank_runs: Vec<u64>,
     rng: Rng,
     pending: Option<(Run, u32)>,
 }
@@ -195,15 +195,20 @@ impl ProcStream {
             let j = rng.gen_range(0..=i);
             layout.swap(i, j);
         }
+        let rank_runs = layout
+            .iter()
+            .map(|&slot| {
+                let slot = slot as usize;
+                u64::from(starts[slot]) | (u64::from(sizes[slot] / WORD_BYTES as u32) << 32)
+            })
+            .collect();
         ProcStream {
             base,
             params,
             hot_zipf,
             cold_zipf,
             hot_count: hot,
-            layout,
-            starts,
-            sizes,
+            rank_runs,
             rng,
             pending: None,
         }
@@ -212,7 +217,7 @@ impl ProcStream {
     /// Actual number of procedure slots laid out (varies around
     /// [`StreamParams::procedures`] because sizes are jittered).
     pub fn slots(&self) -> usize {
-        self.starts.len()
+        self.rank_runs.len()
     }
 
     /// The stream's parameters.
@@ -240,9 +245,9 @@ impl RefStream for ProcStream {
             }
             _ => self.hot_zipf.sample(&mut self.rng),
         };
-        let slot = self.layout[rank] as usize;
-        let va = VirtAddr::new(self.base + u64::from(self.starts[slot]));
-        let words = self.sizes[slot] / WORD_BYTES as u32;
+        let packed = self.rank_runs[rank];
+        let va = VirtAddr::new(self.base + (packed & 0xffff_ffff));
+        let words = (packed >> 32) as u32;
         let reps = self
             .rng
             .gen_range(self.params.loop_min..=self.params.loop_max);
