@@ -29,12 +29,23 @@
 #      `--features microbench`, run it, and check the
 #      tapeworm-microbench-v1 artifact is well-formed. Informational —
 #      the per-op numbers are recorded, not gated.
+#   7c. Memory-footprint gate: a smoke sweep over 64 GiB of simulated
+#      physical memory must complete with max RSS under the ceiling
+#      checked into perf_throughput (--large-mem). Only possible on the
+#      sparse demand-allocated backing; a dense trap bitmap at that
+#      size would be gigabytes. SKIPs honestly where /proc/self/status
+#      has no VmHWM.
 #   8. Sweep-service smoke: submit specs/ci_smoke.toml, drain it
 #      through the subprocess worker backend, gate the digest against
 #      the golden pin (also pinned in tests/server_e2e.rs and
 #      crates/server/tests/server_e2e.rs), re-run for a fingerprint
 #      cache hit with the identical digest, and validate the JSONL run
 #      sink's metrics lines against the tapeworm-metrics-v1 schema.
+#   9. Sparse/dense differential gate: the same service smoke spec run
+#      with TW_SPARSE=0 (dense) and TW_SPARSE=1 (sparse), both against
+#      fresh queues so neither can hit the fingerprint cache, must both
+#      land on the golden digest — the backing layout is load-bearing
+#      for footprint, never for results.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -55,7 +66,8 @@ echo "=== tier 2: perf_throughput gate run ==="
 ./target/release/perf_throughput --gate
 test -s results/BENCH.json || { echo "ci.sh: results/BENCH.json missing or empty" >&2; exit 1; }
 for key in schema per_config runs host_cpus scaling_status scaling two_thread_refs_per_sec \
-           two_thread_speedup single_thread_refs_per_sec speedup_vs_baseline; do
+           two_thread_speedup single_thread_refs_per_sec speedup_vs_baseline \
+           large_mem_bytes sparse_rss_bytes sparse_chunks_allocated chunk_faults; do
   grep -q "\"$key\"" results/BENCH.json || {
     echo "ci.sh: results/BENCH.json lacks \"$key\"" >&2; exit 1;
   }
@@ -145,6 +157,7 @@ for key in schema source mode per_config totals counters phases dilation slowdow
            breakpoint_checks sched_quanta trial_retries trial_panics trials_failed \
            workers_respawned clock_ticks_dropped fast_runs fast_words \
            miss_batch_flushes victim_memo_hits \
+           sparse_chunks_allocated zero_chunks_deduped chunk_faults \
            user kernel handler replacement recorded dropped; do
   grep -q "\"$key\"" results/METRICS.json || {
     echo "ci.sh: results/METRICS.json lacks \"$key\"" >&2; exit 1;
@@ -165,6 +178,14 @@ test -s results/MICROBENCH.json || { echo "ci.sh: results/MICROBENCH.json missin
 grep -q '"schema": "tapeworm-microbench-v1"' results/MICROBENCH.json || {
   echo "ci.sh: results/MICROBENCH.json has wrong schema id" >&2; exit 1;
 }
+
+echo "=== tier 2: memory-footprint gate (64 GiB simulated, sparse backing) ==="
+# The large-address-space smoke: 64 GiB of simulated physical memory
+# must fit in the RSS ceiling checked into perf_throughput
+# (LARGE_MEM_RSS_CEILING_BYTES, override with TW_RSS_CEILING). The
+# binary prints PASS/FAIL/SKIP and exits nonzero on FAIL; SKIP (no
+# VmHWM on this host) is an honest non-measurement, not a pass.
+./target/release/perf_throughput --large-mem
 
 echo "=== tier 2: chaos gate (fault-tolerant sweep engine) ==="
 # Fixed fault seed, fixed scenario: injected panics, hangs, a simulated
@@ -219,6 +240,7 @@ grep -q '"record": "trial"' "$sink" || {
 metrics_line=$(grep '"record": "metrics"' "$sink" | head -1)
 for key in schema counters phases dilation slowdown trap_events recorded dropped \
            trap_entries miss_batch_flushes victim_memo_hits \
+           sparse_chunks_allocated zero_chunks_deduped chunk_faults \
            user kernel handler replacement; do
   echo "$metrics_line" | grep -q "\"$key\"" || {
     echo "ci.sh: run-sink metrics line lacks \"$key\"" >&2; exit 1;
@@ -230,5 +252,25 @@ echo "$metrics_line" | grep -q '"schema": "tapeworm-metrics-v1"' || {
 grep -q "\"digest\": \"$SERVICE_GOLDEN_DIGEST\"" "$sink" || {
   echo "ci.sh: run-sink digest footer does not match golden" >&2; exit 1;
 }
+
+echo "=== tier 2: sparse/dense differential gate ==="
+# Same smoke spec, both backings, fresh queues each time so neither
+# run can be served from the fingerprint cache: the sparse layout must
+# be invisible in the results. Any digest drift here means a chunk
+# boundary leaked into simulation state.
+for sparse in 0 1; do
+  queue="results/ci_queue_sparse$sparse"
+  out="results/server_smoke_sparse$sparse.txt"
+  rm -rf "$queue"
+  TW_SPARSE=$sparse ./target/release/tapeworm-server once --queue "$queue" \
+    specs/ci_smoke.toml | tee "$out"
+  grep -q "from_cache=false" "$out" || {
+    echo "ci.sh: TW_SPARSE=$sparse differential run unexpectedly hit the cache" >&2; exit 1;
+  }
+  grep -q "digest=$SERVICE_GOLDEN_DIGEST" "$out" || {
+    echo "ci.sh: TW_SPARSE=$sparse digest diverged from golden $SERVICE_GOLDEN_DIGEST" >&2; exit 1;
+  }
+done
+echo "ci.sh: sparse and dense backings agree on $SERVICE_GOLDEN_DIGEST"
 
 echo "ci.sh: all gates passed"

@@ -23,19 +23,30 @@
 //!   harness and the JSON stay well-formed).
 //! * `--gate` — a mid-sized matrix (a few seconds) whose wall times are
 //!   long enough to compare against `results/BENCH_baseline.json` in
-//!   the ci.sh regression gate without timer noise dominating.
+//!   the ci.sh regression gate without timer noise dominating. Also
+//!   runs the large-address-space smoke sweep so `sparse_rss_bytes`
+//!   (peak host RSS) lands in BENCH.json.
+//! * `--large-mem` — the memory-footprint gate: one sweep over
+//!   64 GiB of *simulated* physical memory, then fail (exit 1) if the
+//!   process's peak RSS exceeded the checked-in ceiling. Only passes
+//!   because the sparse backing commits chunks on demand; skips
+//!   honestly (exit 0, loud annotation) when the host exposes no
+//!   `VmHWM`.
 //!
 //! Environment: `TW_SEED` (base seed), `TW_THREADS` (the "N" of the
 //! thread ladder), `TW_BASELINE` (override the recorded pre-change
-//! baseline, refs/sec).
+//! baseline, refs/sec), `TW_RSS_CEILING` (override the footprint
+//! ceiling, bytes).
 
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use tapeworm_bench::{base_seed, threads};
+use tapeworm_bench::{
+    base_seed, large_mem_smoke_config, max_rss_bytes, threads, LARGE_MEM_SMOKE_BYTES,
+};
 use tapeworm_core::{CacheConfig, TlbSimConfig};
-use tapeworm_obs::{write_atomic, MetricsReport};
+use tapeworm_obs::{write_atomic, CounterId, MetricsReport};
 use tapeworm_sim::{run_sweep, ComponentSet, SystemConfig};
 use tapeworm_workload::Workload;
 
@@ -46,11 +57,89 @@ use tapeworm_workload::Workload;
 /// re-baselining on different hardware.
 const PRE_CHANGE_BASELINE_REFS_PER_SEC: f64 = 203_000_000.0;
 
+/// Peak-host-RSS ceiling for the `--large-mem` footprint gate, bytes.
+/// Deliberately checked in: the gate's whole point is that 64 GiB of
+/// simulated memory must fit in a fraction of a gigabyte of host
+/// memory on sparse backing. Override with `TW_RSS_CEILING` when a
+/// host's baseline RSS (runtime, allocator arenas) legitimately
+/// differs.
+const LARGE_MEM_RSS_CEILING_BYTES: u64 = 512 << 20;
+
 struct Run {
     threads: usize,
     wall_secs: f64,
     instructions: u64,
     refs_per_sec: f64,
+}
+
+struct ConfigCell {
+    name: String,
+    wall_secs: f64,
+    instructions: u64,
+    refs_per_sec: f64,
+    /// Sparse-backing chunks privately materialized by the trial.
+    chunks_allocated: u64,
+    /// Demand-materialization faults over the trial's lifetime.
+    chunk_faults: u64,
+}
+
+/// Runs one sweep over [`LARGE_MEM_SMOKE_BYTES`] of simulated physical
+/// memory and reports its allocation statistics plus this process's
+/// peak RSS. Returns the peak RSS, or `None` when the host exposes no
+/// high-water mark.
+fn large_mem_smoke(seed: tapeworm_stats::SeedSeq) -> Option<u64> {
+    let cfg = large_mem_smoke_config();
+    let start = Instant::now();
+    let out = run_sweep(std::slice::from_ref(&cfg), 1, seed, 1);
+    let wall = start.elapsed().as_secs_f64();
+    let counters = &out[0].metrics().counters;
+    println!(
+        "  large-mem smoke: {} GiB simulated  wall={wall:6.3}s  chunks={} deduped={} faults={}",
+        LARGE_MEM_SMOKE_BYTES >> 30,
+        counters.get(CounterId::SparseChunksAllocated),
+        counters.get(CounterId::ZeroChunksDeduped),
+        counters.get(CounterId::ChunkFaults),
+    );
+    max_rss_bytes()
+}
+
+/// The `--large-mem` mode: the ci.sh memory-footprint gate. Exits 1
+/// when peak RSS breached the ceiling, 0 on pass or honest skip.
+fn run_large_mem_gate() -> ! {
+    let ceiling = std::env::var("TW_RSS_CEILING")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(LARGE_MEM_RSS_CEILING_BYTES);
+    println!(
+        "perf_throughput --large-mem: {} GiB simulated physical memory, RSS ceiling {} MiB",
+        LARGE_MEM_SMOKE_BYTES >> 30,
+        ceiling >> 20
+    );
+    match large_mem_smoke(base_seed()) {
+        None => {
+            println!(
+                "large-mem gate SKIPPED: no VmHWM in /proc/self/status on this host; \
+                 footprint not measured (not a pass)"
+            );
+            std::process::exit(0);
+        }
+        Some(rss) if rss > ceiling => {
+            eprintln!(
+                "large-mem gate FAIL: peak RSS {rss} bytes ({} MiB) exceeds ceiling {ceiling} bytes ({} MiB)",
+                rss >> 20,
+                ceiling >> 20
+            );
+            std::process::exit(1);
+        }
+        Some(rss) => {
+            println!(
+                "large-mem gate ok: peak RSS {rss} bytes ({} MiB) under ceiling {} MiB",
+                rss >> 20,
+                ceiling >> 20
+            );
+            std::process::exit(0);
+        }
+    }
 }
 
 fn matrix(scale: u64) -> Vec<(String, SystemConfig)> {
@@ -84,6 +173,9 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--large-mem") {
+        run_large_mem_gate();
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let gate = std::env::args().any(|a| a == "--gate");
     let (scale, trials) = if smoke {
@@ -150,9 +242,22 @@ fn main() {
             .map(|r| r.instructions)
             .sum();
         let refs_per_sec = instructions as f64 / wall;
-        println!("  config {name:<12} wall={wall:8.3}s  refs/sec={refs_per_sec:12.0}");
+        let counters = &out[0].metrics().counters;
+        let chunks_allocated = counters.get(CounterId::SparseChunksAllocated);
+        let chunk_faults = counters.get(CounterId::ChunkFaults);
+        println!(
+            "  config {name:<12} wall={wall:8.3}s  refs/sec={refs_per_sec:12.0}  \
+             chunks={chunks_allocated} faults={chunk_faults}"
+        );
         metrics_report.push(name, trials as u64, out[0].metrics().clone());
-        per_config.push((name.clone(), wall, instructions, refs_per_sec));
+        per_config.push(ConfigCell {
+            name: name.clone(),
+            wall_secs: wall,
+            instructions,
+            refs_per_sec,
+            chunks_allocated,
+            chunk_faults,
+        });
     }
 
     let mut runs = Vec::new();
@@ -181,6 +286,21 @@ fn main() {
         });
     }
 
+    // Footprint record: gate mode runs the large-address-space smoke
+    // so BENCH.json carries the peak host RSS of a 64 GiB simulation
+    // alongside the throughput numbers. Smoke/full record the plain
+    // process high-water mark so the key is always present. VmHWM is
+    // process-wide and monotonic, so the number is an upper bound that
+    // includes the matrix runs above — the ceiling is enforced by the
+    // standalone `--large-mem` mode, which runs in a clean process.
+    let large_mem_bytes = if gate {
+        large_mem_smoke(seed);
+        LARGE_MEM_SMOKE_BYTES
+    } else {
+        0
+    };
+    let sparse_rss_bytes = max_rss_bytes().unwrap_or(0);
+
     let single = runs
         .iter()
         .find(|r| r.threads == 1)
@@ -205,14 +325,16 @@ fn main() {
     let _ = writeln!(json, "  \"configs\": [{}],", names.join(", "));
     let _ = writeln!(json, "  \"baseline_refs_per_sec\": {baseline:.0},");
     let _ = writeln!(json, "  \"per_config\": [");
-    for (i, (name, wall, instructions, rps)) in per_config.iter().enumerate() {
+    for (i, c) in per_config.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"config\": \"{}\", \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}}}{}",
-            json_escape(name),
-            wall,
-            instructions,
-            rps,
+            "    {{\"config\": \"{}\", \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}, \"sparse_chunks_allocated\": {}, \"chunk_faults\": {}}}{}",
+            json_escape(&c.name),
+            c.wall_secs,
+            c.instructions,
+            c.refs_per_sec,
+            c.chunks_allocated,
+            c.chunk_faults,
             if i + 1 == per_config.len() { "" } else { "," }
         );
     }
@@ -278,6 +400,10 @@ fn main() {
             two.refs_per_sec / single.refs_per_sec
         );
     }
+    // 0 when the host exposes no VmHWM — downstream gates must treat
+    // that as "not measured", never as "tiny footprint".
+    let _ = writeln!(json, "  \"large_mem_bytes\": {large_mem_bytes},");
+    let _ = writeln!(json, "  \"sparse_rss_bytes\": {sparse_rss_bytes},");
     let _ = writeln!(
         json,
         "  \"single_thread_refs_per_sec\": {:.0},",

@@ -11,9 +11,10 @@
 
 use tapeworm_core::CacheConfig;
 use tapeworm_sim::{
-    run_sweep_resilient, CheckpointConfig, SweepOptions, SystemConfig, TrialSummary,
+    run_sweep_resilient, CheckpointConfig, ComponentSet, SweepOptions, SystemConfig, TrialSummary,
 };
 use tapeworm_stats::SeedSeq;
+use tapeworm_workload::Workload;
 
 /// The base seed all experiment binaries use, so their outputs are
 /// reproducible run to run. Override with the `TW_SEED` environment
@@ -107,6 +108,38 @@ pub fn run_sweep_env(configs: &[SystemConfig], trials: usize, base: SeedSeq) -> 
     outcome.into_cells()
 }
 
+/// Simulated physical memory of the large-address-space smoke sweep:
+/// 64 GiB, far beyond the host-RSS budget the ci.sh footprint gate
+/// enforces. Only completes inside that budget on the sparse
+/// demand-allocated backing — a dense trap bitmap plus frame tables
+/// at this size would be gigabytes before the first reference runs.
+pub const LARGE_MEM_SMOKE_BYTES: u64 = 64 << 30;
+
+/// The large-address-space smoke configuration: the standard 4 KiB
+/// direct-mapped cache over [`LARGE_MEM_SMOKE_BYTES`] of simulated
+/// physical memory (16 M frames) at smoke instruction scale, with
+/// random frame allocation so the lazy Fisher–Yates free list is
+/// exercised at full span.
+pub fn large_mem_smoke_config() -> SystemConfig {
+    let mut cfg = SystemConfig::cache(Workload::MpegPlay, dm4(4))
+        .with_components(ComponentSet::user_only())
+        .with_scale(20_000);
+    cfg.frames = (LARGE_MEM_SMOKE_BYTES / 4096) as usize;
+    cfg
+}
+
+/// Peak resident set size of this process in bytes — the `VmHWM`
+/// high-water mark from `/proc/self/status`, monotonic over the
+/// process lifetime. `None` off Linux or when the field is missing or
+/// zero; callers must then *skip* any footprint gate honestly rather
+/// than report a vacuous pass.
+pub fn max_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    (kb > 0).then_some(kb * 1024)
+}
+
 /// A direct-mapped cache with 4-word (16-byte) lines — the paper's
 /// standard geometry.
 ///
@@ -135,5 +168,15 @@ mod tests {
     #[test]
     fn rescaling() {
         assert!((paper_millions(376_300.0, 100) - 37.63).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_mem_smoke_simulates_64_gib_on_sparse_backing() {
+        let cfg = large_mem_smoke_config();
+        assert_eq!(cfg.frames as u64 * 4096, LARGE_MEM_SMOKE_BYTES);
+        assert!(
+            cfg.sparse_mem,
+            "the footprint gate depends on sparse backing"
+        );
     }
 }

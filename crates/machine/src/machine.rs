@@ -63,6 +63,10 @@ pub struct MachineConfig {
     pub breakpoint_registers: usize,
     /// Host cache write-miss policy.
     pub write_policy: WritePolicy,
+    /// Back the trap map with demand-allocated chunks (zero-chunk
+    /// dedup) instead of eagerly materialized storage. Behaviour is
+    /// bit-identical either way; only the host footprint differs.
+    pub sparse_mem: bool,
 }
 
 impl Default for MachineConfig {
@@ -75,6 +79,7 @@ impl Default for MachineConfig {
             clock_period: 250_000,
             breakpoint_registers: 4,
             write_policy: WritePolicy::NoAllocateOnWrite,
+            sparse_mem: true,
         }
     }
 }
@@ -129,7 +134,12 @@ impl Machine {
     /// identical to a freshly built machine.
     pub fn new_reusing(config: MachineConfig, scratch: MachineScratch) -> Self {
         Machine {
-            traps: TrapMap::with_storage(config.mem_bytes, config.trap_granule, scratch.traps),
+            traps: TrapMap::with_storage_mode(
+                config.mem_bytes,
+                config.trap_granule,
+                config.sparse_mem,
+                scratch.traps,
+            ),
             clock: IntervalClock::new(config.clock_period),
             breakpoints: Breakpoints::new(config.breakpoint_registers),
             interrupts_enabled: true,
@@ -319,6 +329,13 @@ impl Machine {
     pub fn breakpoint_checks(&self) -> u64 {
         self.breakpoint_checks
     }
+
+    /// Allocation statistics of the trap map's chunked backing
+    /// (materialized chunks, zero-chunk dedups, demand faults). All
+    /// zeroes in dense mode except the dedup count.
+    pub fn sparse_stats(&self) -> tapeworm_mem::SparseStats {
+        self.traps.sparse_stats()
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +349,7 @@ mod tests {
             clock_period: 1000,
             breakpoint_registers: 2,
             write_policy: WritePolicy::NoAllocateOnWrite,
+            sparse_mem: true,
         })
     }
 

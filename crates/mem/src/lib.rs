@@ -23,6 +23,9 @@
 //! * [`frame`] — physical frame allocators: random (the OS behaviour that
 //!   produces Table 9's run-to-run variance), sequential, and page-
 //!   coloured (an ablation that suppresses that variance).
+//! * [`sparse`] — demand-allocated chunked backing with zero-chunk dedup
+//!   ([`SparseVec`]); [`EccMemory`] and [`TrapMap`] sit on it, so
+//!   simulated footprints far beyond host RAM cost only what they touch.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ pub mod ecc;
 pub mod frame;
 pub mod page;
 mod phys;
+pub mod sparse;
 mod trapset;
 
 pub use addr::{PhysAddr, VirtAddr, WORD_BYTES};
@@ -52,4 +56,5 @@ pub use ecc::{Codec, Decoded};
 pub use frame::{ColoringAllocator, FrameAllocator, Pfn, RandomAllocator, SequentialAllocator};
 pub use page::{PageSize, PageSizeError, Pte};
 pub use phys::{EccMemory, MemoryEvent, OutOfRangeError, WritePolicy};
+pub use sparse::{SparseElem, SparseStats, SparseStorage, SparseVec, CHUNK_BYTES};
 pub use trapset::{TrapMap, TrapStorage};

@@ -1,10 +1,18 @@
 //! Full-fidelity physical memory with per-word ECC check bits.
+//!
+//! Both the data words and the check bits live on demand-allocated
+//! [`SparseVec`] chunks: a fresh memory of any simulated size commits
+//! no host RAM beyond chunk-table metadata, because a zeroed word with
+//! correct check bits is exactly the canonical fill every shared chunk
+//! reads as (the check-bit fill is `encode(0)`, not zero). Writes of
+//! the fill values — zero data, zero-data check bits — are free.
 
 use std::error::Error;
 use std::fmt;
 
 use crate::addr::{PhysAddr, WORD_BYTES};
 use crate::ecc::{Codec, Decoded};
+use crate::sparse::{SparseStats, SparseVec};
 
 /// A physical address fell outside the installed memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,14 +109,15 @@ pub enum WritePolicy {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EccMemory {
-    words: Vec<u32>,
-    checks: Vec<u8>,
+    words: SparseVec<u32>,
+    checks: SparseVec<u8>,
     codec: Codec,
     write_policy: WritePolicy,
 }
 
 impl EccMemory {
-    /// Creates `bytes` of zeroed memory with correct check bits.
+    /// Creates `bytes` of zeroed memory with correct check bits, on
+    /// sparse (demand-allocated) backing.
     ///
     /// # Panics
     ///
@@ -123,6 +132,18 @@ impl EccMemory {
     ///
     /// Panics if `bytes` is not a multiple of the word size.
     pub fn with_policy(bytes: u64, write_policy: WritePolicy) -> Self {
+        Self::with_policy_mode(bytes, write_policy, true)
+    }
+
+    /// Creates memory with an explicit [`WritePolicy`] and backing
+    /// mode: `sparse` demand-allocates chunks, `!sparse`
+    /// pre-materializes everything (dense, the `TW_SPARSE=0`
+    /// behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of the word size.
+    pub fn with_policy_mode(bytes: u64, write_policy: WritePolicy, sparse: bool) -> Self {
         assert!(
             bytes % WORD_BYTES == 0,
             "memory size must be a whole number of words"
@@ -131,8 +152,8 @@ impl EccMemory {
         let codec = Codec::new();
         let zero_check = codec.encode(0);
         EccMemory {
-            words: vec![0; n],
-            checks: vec![zero_check; n],
+            words: SparseVec::new(n, 0, !sparse),
+            checks: SparseVec::new(n, zero_check, !sparse),
             codec,
             write_policy,
         }
@@ -146,6 +167,19 @@ impl EccMemory {
     /// The configured write policy.
     pub fn write_policy(&self) -> WritePolicy {
         self.write_policy
+    }
+
+    /// Aggregated allocation counters of the word and check-bit
+    /// backing.
+    pub fn sparse_stats(&self) -> SparseStats {
+        self.words.stats().merge(self.checks.stats())
+    }
+
+    /// Re-canonicalizes backing chunks whose content has returned to
+    /// the zeroed-memory fill (the cold-chunk compaction tier).
+    /// Returns the number of chunks reclaimed; no-op in dense mode.
+    pub fn compact(&mut self) -> u64 {
+        self.words.compact() + self.checks.compact()
     }
 
     fn index(&self, pa: PhysAddr) -> Result<usize, OutOfRangeError> {
@@ -167,14 +201,15 @@ impl EccMemory {
     /// Returns [`OutOfRangeError`] when `pa` is beyond installed memory.
     pub fn read_word(&self, pa: PhysAddr) -> Result<MemoryEvent, OutOfRangeError> {
         let i = self.index(pa)?;
-        Ok(match self.codec.decode(self.words[i], self.checks[i]) {
-            Decoded::Clean => MemoryEvent::Clean(self.words[i]),
+        let word = self.words.load(i);
+        Ok(match self.codec.decode(word, self.checks.load(i)) {
+            Decoded::Clean => MemoryEvent::Clean(word),
             Decoded::CorrectedData { data, .. } => MemoryEvent::CorrectedTrueError(data),
             Decoded::CorrectedCheck { index } if index == crate::ecc::TRAP_CHECK_INDEX => {
-                MemoryEvent::TapewormTrap(self.words[i])
+                MemoryEvent::TapewormTrap(word)
             }
             Decoded::CorrectedCheck { .. } | Decoded::CorrectedOverall => {
-                MemoryEvent::CorrectedTrueError(self.words[i])
+                MemoryEvent::CorrectedTrueError(word)
             }
             Decoded::Double => MemoryEvent::Uncorrectable,
         })
@@ -192,9 +227,9 @@ impl EccMemory {
     /// Returns [`OutOfRangeError`] when `pa` is beyond installed memory.
     pub fn write_word(&mut self, pa: PhysAddr, value: u32) -> Result<MemoryEvent, OutOfRangeError> {
         let i = self.index(pa)?;
-        let pre = self.codec.decode(self.words[i], self.checks[i]);
-        self.words[i] = value;
-        self.checks[i] = self.codec.encode(value);
+        let pre = self.codec.decode(self.words.load(i), self.checks.load(i));
+        self.words.store(i, value);
+        self.checks.store(i, self.codec.encode(value));
         Ok(match (self.write_policy, pre) {
             (WritePolicy::AllocateOnWrite, Decoded::CorrectedCheck { index })
                 if index == crate::ecc::TRAP_CHECK_INDEX =>
@@ -215,7 +250,7 @@ impl EccMemory {
     pub fn set_trap(&mut self, pa: PhysAddr, size: u64) -> Result<(), OutOfRangeError> {
         self.for_each_word(pa, size, |mem, i| {
             if !mem.word_is_trapped(i) {
-                mem.checks[i] = mem.codec.set_trap(mem.checks[i]);
+                mem.checks.store(i, mem.codec.set_trap(mem.checks.load(i)));
             }
         })
     }
@@ -229,7 +264,8 @@ impl EccMemory {
     pub fn clear_trap(&mut self, pa: PhysAddr, size: u64) -> Result<(), OutOfRangeError> {
         self.for_each_word(pa, size, |mem, i| {
             if mem.word_is_trapped(i) {
-                mem.checks[i] = mem.codec.clear_trap(mem.checks[i]);
+                mem.checks
+                    .store(i, mem.codec.clear_trap(mem.checks.load(i)));
             }
         })
     }
@@ -246,7 +282,7 @@ impl EccMemory {
 
     fn word_is_trapped(&self, i: usize) -> bool {
         self.codec
-            .decode(self.words[i], self.checks[i])
+            .decode(self.words.load(i), self.checks.load(i))
             .is_tapeworm_trap()
     }
 
@@ -273,7 +309,7 @@ impl EccMemory {
     /// Returns [`OutOfRangeError`] when `pa` is beyond installed memory.
     pub fn diag_check_bits(&self, pa: PhysAddr) -> Result<u8, OutOfRangeError> {
         let i = self.index(pa)?;
-        Ok(self.checks[i])
+        Ok(self.checks.load(i))
     }
 
     /// Diagnostic write of a word's raw check bits.
@@ -283,7 +319,7 @@ impl EccMemory {
     /// Returns [`OutOfRangeError`] when `pa` is beyond installed memory.
     pub fn diag_set_check_bits(&mut self, pa: PhysAddr, check: u8) -> Result<(), OutOfRangeError> {
         let i = self.index(pa)?;
-        self.checks[i] = check & 0x7F;
+        self.checks.store(i, check & 0x7F);
         Ok(())
     }
 
@@ -300,7 +336,7 @@ impl EccMemory {
     pub fn inject_data_error(&mut self, pa: PhysAddr, bit: u8) -> Result<(), OutOfRangeError> {
         assert!(bit < 32, "data bit index out of range");
         let i = self.index(pa)?;
-        self.words[i] ^= 1 << bit;
+        self.words.store(i, self.words.load(i) ^ (1 << bit));
         Ok(())
     }
 
@@ -316,7 +352,7 @@ impl EccMemory {
     pub fn inject_check_error(&mut self, pa: PhysAddr, bit: u8) -> Result<(), OutOfRangeError> {
         assert!(bit < 7, "check bit index out of range");
         let i = self.index(pa)?;
-        self.checks[i] ^= 1 << bit;
+        self.checks.store(i, self.checks.load(i) ^ (1 << bit));
         Ok(())
     }
 }
@@ -441,5 +477,54 @@ mod tests {
         let mut mem = EccMemory::new(64);
         mem.set_trap(PhysAddr::new(0), 0).unwrap();
         assert!(!mem.is_trapped(PhysAddr::new(0)).unwrap());
+    }
+
+    /// A huge simulated memory commits only the chunks actually
+    /// written; zeroed reads and zero writes stay on the shared
+    /// canonical chunks.
+    #[test]
+    fn huge_sparse_memory_commits_only_touched_chunks() {
+        let mut mem = EccMemory::new(64u64 << 30); // 64 GiB simulated
+        assert_eq!(mem.sparse_stats().chunks_allocated, 0);
+        let far = PhysAddr::new((64u64 << 30) - 8);
+        assert_eq!(mem.read_word(far).unwrap(), MemoryEvent::Clean(0));
+        mem.write_word(far, 0).unwrap(); // zero write: free
+        assert_eq!(mem.sparse_stats().chunks_allocated, 0);
+        mem.write_word(far, 0xdead_beef).unwrap();
+        mem.set_trap(far, 4).unwrap();
+        assert!(mem.read_word(far).unwrap().is_tapeworm_trap());
+        let stats = mem.sparse_stats();
+        assert!(
+            stats.chunks_allocated <= 2,
+            "one word + its check bits is two chunks at most, got {stats:?}"
+        );
+        // Undoing the writes and compacting returns to fully shared.
+        mem.clear_trap(far, 4).unwrap();
+        mem.write_word(far, 0).unwrap();
+        assert!(mem.compact() >= 1);
+        assert_eq!(mem.sparse_stats().chunks_allocated, 0);
+    }
+
+    /// Dense (`TW_SPARSE=0`) and sparse memories behave identically.
+    #[test]
+    fn dense_mode_matches_sparse_behaviour() {
+        let mut sparse = EccMemory::with_policy_mode(1024, WritePolicy::default(), true);
+        let mut dense = EccMemory::with_policy_mode(1024, WritePolicy::default(), false);
+        assert_eq!(dense.sparse_stats().zero_chunks_deduped, 0);
+        for off in (0..1024).step_by(52) {
+            let pa = PhysAddr::new(off);
+            sparse.write_word(pa, off as u32).unwrap();
+            dense.write_word(pa, off as u32).unwrap();
+            sparse.set_trap(pa, 4).unwrap();
+            dense.set_trap(pa, 4).unwrap();
+        }
+        for off in (0..1024).step_by(4) {
+            let pa = PhysAddr::new(off);
+            assert_eq!(sparse.read_word(pa).unwrap(), dense.read_word(pa).unwrap());
+            assert_eq!(
+                sparse.diag_check_bits(pa).unwrap(),
+                dense.diag_check_bits(pa).unwrap()
+            );
+        }
     }
 }

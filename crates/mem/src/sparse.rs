@@ -1,0 +1,679 @@
+//! Demand-allocated chunked backing for physical-memory state.
+//!
+//! Tapeworm's workloads are *data-oblivious*: the simulator's results
+//! depend on which addresses are touched, never on how much backing
+//! store the host really commits (0sim's observation, Mansi & Swift,
+//! ASPLOS 2020). A [`SparseVec`] exploits that: logically it is a
+//! `Vec<T>` of a fixed fill value, physically it is a table of
+//! fixed-size chunks ([`CHUNK_BYTES`] of payload each) that are
+//! materialized the first time a store actually changes one. Chunks
+//! that were never written all share one canonical read-only fill
+//! chunk (zero-page dedup), so a 64 GiB simulated memory whose trap
+//! state touches a few hundred frames costs a few hundred chunks of
+//! host RAM.
+//!
+//! Loads are branch-free — two dependent indexed reads (chunk table,
+//! then arena) — so the trap bitmap's hit path keeps its
+//! couple-of-shifts-and-a-load shape. Stores of the fill value into an
+//! unmaterialized chunk are no-ops, which is what keeps bulk *clears*
+//! over untouched memory from faulting anything in.
+//!
+//! The `eager` flag pre-materializes every chunk at construction —
+//! the dense mode behind the `TW_SPARSE=0` kill switch. Both modes go
+//! through the same load/store code, so results are bit-identical by
+//! construction; only host allocation behaviour differs.
+
+use std::fmt;
+
+/// Payload bytes per chunk. 4 KiB matches the frame size, so one
+/// chunk of `u64` bitmap words covers 512 words = 32768 granules.
+pub const CHUNK_BYTES: usize = 4096;
+
+/// Element types a [`SparseVec`] can hold: plain old data with a
+/// lossless `u64` wire form for the snapshot codec.
+pub trait SparseElem: Copy + PartialEq + fmt::Debug + 'static {
+    /// Widens the element to its `u64` wire form.
+    fn to_u64(self) -> u64;
+    /// Narrows a wire word back to the element; `None` if out of range.
+    fn try_from_u64(v: u64) -> Option<Self>;
+}
+
+impl SparseElem for u8 {
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+    fn try_from_u64(v: u64) -> Option<Self> {
+        u8::try_from(v).ok()
+    }
+}
+
+impl SparseElem for u32 {
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+    fn try_from_u64(v: u64) -> Option<Self> {
+        u32::try_from(v).ok()
+    }
+}
+
+impl SparseElem for u64 {
+    fn to_u64(self) -> u64 {
+        self
+    }
+    fn try_from_u64(v: u64) -> Option<Self> {
+        Some(v)
+    }
+}
+
+/// Allocation counters of one or more sparse vectors, the source of
+/// the `sparse_chunks_allocated` / `zero_chunks_deduped` /
+/// `chunk_faults` observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseStats {
+    /// Chunks currently privately materialized (host RAM actually
+    /// committed, in units of [`CHUNK_BYTES`] payloads).
+    pub chunks_allocated: u64,
+    /// Chunks still sharing the canonical fill chunk — memory the
+    /// dense representation would have committed but this one dedups.
+    pub zero_chunks_deduped: u64,
+    /// Lifetime demand-materialization events (first changing store
+    /// into a shared chunk). Zero in eager/dense mode.
+    pub chunk_faults: u64,
+}
+
+impl SparseStats {
+    /// Sums the counters of two vectors (e.g. a bitmap and its
+    /// per-frame counts).
+    pub fn merge(self, other: Self) -> Self {
+        SparseStats {
+            chunks_allocated: self.chunks_allocated + other.chunks_allocated,
+            zero_chunks_deduped: self.zero_chunks_deduped + other.zero_chunks_deduped,
+            chunk_faults: self.chunk_faults + other.chunk_faults,
+        }
+    }
+}
+
+/// Heap buffers salvaged from a retired [`SparseVec`] for
+/// [`SparseVec::with_storage`], mirroring the trap map's
+/// scratch-reuse protocol.
+#[derive(Debug)]
+pub struct SparseStorage<T> {
+    table: Vec<u32>,
+    arena: Vec<T>,
+}
+
+/// Empty buffers regardless of `T` (a derive would wrongly require
+/// `T: Default`).
+impl<T> Default for SparseStorage<T> {
+    fn default() -> Self {
+        SparseStorage {
+            table: Vec::new(),
+            arena: Vec::new(),
+        }
+    }
+}
+
+/// A logically dense `Vec<T>` of `len` elements over demand-allocated
+/// fixed-size chunks with canonical-fill-chunk dedup.
+///
+/// Slot 0 of the arena is the canonical chunk, permanently holding
+/// `fill` and shared read-only by every chunk that has never been
+/// changed; the chunk table maps each logical chunk to its arena slot
+/// (0 = shared). See the module docs for the design.
+///
+/// # Examples
+///
+/// ```
+/// use tapeworm_mem::SparseVec;
+///
+/// let mut v: SparseVec<u64> = SparseVec::new(1 << 20, 0, false);
+/// assert_eq!(v.load(999_999), 0); // untouched: reads the fill
+/// v.store(4096, 7);
+/// assert_eq!(v.load(4096), 7);
+/// assert_eq!(v.stats().chunks_allocated, 1); // one chunk faulted in
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseVec<T: SparseElem> {
+    len: usize,
+    /// Elements per chunk: `CHUNK_BYTES / size_of::<T>()`, a power of
+    /// two, so chunk indexing is a shift and a mask.
+    chunk: usize,
+    shift: u32,
+    mask: usize,
+    fill: T,
+    eager: bool,
+    table: Vec<u32>,
+    arena: Vec<T>,
+    free_slots: Vec<u32>,
+    live_chunks: u64,
+    chunk_faults: u64,
+}
+
+impl<T: SparseElem> SparseVec<T> {
+    /// Elements per chunk for this element type.
+    pub fn chunk_elems() -> usize {
+        (CHUNK_BYTES / std::mem::size_of::<T>()).max(1)
+    }
+
+    /// Creates a vector of `len` elements, all logically `fill`.
+    /// `eager` pre-materializes every chunk (dense mode).
+    pub fn new(len: usize, fill: T, eager: bool) -> Self {
+        Self::with_storage(len, fill, eager, SparseStorage::default())
+    }
+
+    /// Like [`SparseVec::new`] but reusing the heap buffers of a
+    /// retired vector ([`SparseVec::into_storage`]). The result is
+    /// all-`fill` regardless of what the donor held.
+    pub fn with_storage(len: usize, fill: T, eager: bool, storage: SparseStorage<T>) -> Self {
+        let chunk = Self::chunk_elems();
+        let chunks = len.div_ceil(chunk);
+        let SparseStorage {
+            mut table,
+            mut arena,
+        } = storage;
+        table.clear();
+        arena.clear();
+        // Slot 0: the canonical fill chunk every untouched chunk shares.
+        arena.resize(chunk, fill);
+        let mut v = SparseVec {
+            len,
+            chunk,
+            shift: chunk.trailing_zeros(),
+            mask: chunk - 1,
+            fill,
+            eager,
+            table,
+            arena,
+            free_slots: Vec::new(),
+            live_chunks: 0,
+            chunk_faults: 0,
+        };
+        if eager {
+            v.table.reserve(chunks);
+            for c in 0..chunks {
+                // Dense mode commits everything up front; these are
+                // not demand faults, so `chunk_faults` stays 0.
+                let slot = (c + 1) as u32;
+                v.table.push(slot);
+            }
+            v.arena.resize((chunks + 1) * chunk, fill);
+            v.live_chunks = chunks as u64;
+        } else {
+            v.table.resize(chunks, 0);
+        }
+        v
+    }
+
+    /// Tears the vector down to its reusable heap buffers.
+    pub fn into_storage(self) -> SparseStorage<T> {
+        SparseStorage {
+            table: self.table,
+            arena: self.arena,
+        }
+    }
+
+    /// Logical element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fill value untouched elements read as.
+    pub fn fill_value(&self) -> T {
+        self.fill
+    }
+
+    /// `true` in eager/dense mode (every chunk pre-materialized).
+    pub fn is_eager(&self) -> bool {
+        self.eager
+    }
+
+    /// Number of logical chunks.
+    pub fn chunks(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `log2(elements per chunk)` — callers scanning chunk-at-a-time
+    /// turn element indices into chunk indices with this shift.
+    pub fn chunk_shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// `true` when chunk `c` still shares the canonical fill chunk
+    /// (every element in it reads `fill`). A materialized chunk whose
+    /// content happens to equal the fill reads `false` until
+    /// [`SparseVec::compact`] reclaims it.
+    #[inline]
+    pub fn chunk_is_canonical(&self, c: usize) -> bool {
+        self.table[c] == 0
+    }
+
+    /// The backing slice of chunk `c` (the canonical chunk when `c` is
+    /// unmaterialized). Always a full chunk; tail elements of the last
+    /// chunk past `len` hold `fill` and are never written.
+    #[inline]
+    pub fn chunk_slice(&self, c: usize) -> &[T] {
+        let base = (self.table[c] as usize) << self.shift;
+        &self.arena[base..base + self.chunk]
+    }
+
+    /// Reads element `i`. Branch-free: chunk-table load, then arena
+    /// load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` (rounded up to the containing chunk).
+    #[inline]
+    pub fn load(&self, i: usize) -> T {
+        let slot = self.table[i >> self.shift] as usize;
+        self.arena[(slot << self.shift) + (i & self.mask)]
+    }
+
+    /// Reads element `i`, or `None` past the end — the clamped-probe
+    /// shape of the trap map's out-of-range reads.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<T> {
+        if i < self.len {
+            Some(self.load(i))
+        } else {
+            None
+        }
+    }
+
+    /// Writes element `i`. Storing the fill value into an
+    /// unmaterialized chunk is a no-op (the chunk keeps sharing the
+    /// canonical chunk); any changing store materializes the chunk
+    /// first (one chunk fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` (rounded up to the containing chunk).
+    #[inline]
+    pub fn store(&mut self, i: usize, value: T) {
+        let c = i >> self.shift;
+        let mut slot = self.table[c] as usize;
+        if slot == 0 {
+            if value == self.fill {
+                return;
+            }
+            slot = self.materialize(c) as usize;
+        }
+        self.arena[(slot << self.shift) + (i & self.mask)] = value;
+    }
+
+    /// Gives chunk `c` private backing initialized to `fill`.
+    #[cold]
+    fn materialize(&mut self, c: usize) -> u32 {
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                let base = (s as usize) << self.shift;
+                self.arena[base..base + self.chunk].fill(self.fill);
+                s
+            }
+            None => {
+                let s = (self.arena.len() >> self.shift) as u32;
+                self.arena.resize(self.arena.len() + self.chunk, self.fill);
+                s
+            }
+        };
+        self.table[c] = slot;
+        self.live_chunks += 1;
+        self.chunk_faults += 1;
+        slot
+    }
+
+    /// Resets every element to `fill`. Sparse mode drops all private
+    /// chunks back to the canonical chunk; eager mode refills in
+    /// place (staying fully committed, as dense storage would).
+    pub fn reset(&mut self) {
+        if self.eager {
+            self.arena.fill(self.fill);
+        } else {
+            self.table.fill(0);
+            self.arena.truncate(self.chunk);
+            self.free_slots.clear();
+            self.live_chunks = 0;
+        }
+    }
+
+    /// Re-canonicalizes every materialized chunk whose content has
+    /// returned to all-`fill`, freeing its backing for reuse — the
+    /// simple cold-chunk compaction tier. Returns the number of
+    /// chunks reclaimed. No-op in eager/dense mode.
+    pub fn compact(&mut self) -> u64 {
+        if self.eager {
+            return 0;
+        }
+        let mut reclaimed = 0;
+        for c in 0..self.table.len() {
+            let slot = self.table[c];
+            if slot == 0 {
+                continue;
+            }
+            let base = (slot as usize) << self.shift;
+            if self.arena[base..base + self.chunk]
+                .iter()
+                .all(|&x| x == self.fill)
+            {
+                self.table[c] = 0;
+                self.free_slots.push(slot);
+                self.live_chunks -= 1;
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Current allocation counters.
+    pub fn stats(&self) -> SparseStats {
+        SparseStats {
+            chunks_allocated: self.live_chunks,
+            zero_chunks_deduped: self.table.len() as u64 - self.live_chunks,
+            chunk_faults: self.chunk_faults,
+        }
+    }
+
+    /// Serializes the logical state (plus allocation mode and fault
+    /// count) as `u64` words: a header, then each materialized chunk
+    /// run-length encoded — the checkpoint form of sparse state.
+    pub fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.len as u64);
+        out.push(self.chunk as u64);
+        out.push(self.fill.to_u64());
+        out.push(u64::from(self.eager));
+        out.push(self.chunk_faults);
+        let live: Vec<usize> = (0..self.table.len())
+            .filter(|&c| self.table[c] != 0)
+            .collect();
+        out.push(live.len() as u64);
+        for c in live {
+            out.push(c as u64);
+            let slice = self.chunk_slice(c);
+            let runs_at = out.len();
+            out.push(0); // run count, patched below
+            let mut runs = 0u64;
+            let mut i = 0;
+            while i < slice.len() {
+                let v = slice[i];
+                let mut n = 1u64;
+                while i + (n as usize) < slice.len() && slice[i + n as usize] == v {
+                    n += 1;
+                }
+                out.push(v.to_u64());
+                out.push(n);
+                runs += 1;
+                i += n as usize;
+            }
+            out[runs_at] = runs;
+        }
+    }
+
+    /// Rebuilds a vector from [`SparseVec::encode_words`] output.
+    /// `None` on any structural mismatch (including a chunk geometry
+    /// encoded for a different element type).
+    pub fn decode_words<I: Iterator<Item = u64>>(words: &mut I) -> Option<Self> {
+        let len = usize::try_from(words.next()?).ok()?;
+        let chunk = usize::try_from(words.next()?).ok()?;
+        if chunk != Self::chunk_elems() {
+            return None;
+        }
+        let fill = T::try_from_u64(words.next()?)?;
+        let eager = match words.next()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let chunk_faults = words.next()?;
+        let mut v = Self::new(len, fill, eager);
+        let live = usize::try_from(words.next()?).ok()?;
+        for _ in 0..live {
+            let c = usize::try_from(words.next()?).ok()?;
+            if c >= v.table.len() {
+                return None;
+            }
+            let runs = words.next()?;
+            let mut i = c << v.shift;
+            let end = (c + 1) << v.shift;
+            for _ in 0..runs {
+                let value = T::try_from_u64(words.next()?)?;
+                let n = usize::try_from(words.next()?).ok()?;
+                if i + n > end {
+                    return None;
+                }
+                // Tail elements of the last chunk past `len` are fill
+                // by invariant, so these stores never write non-fill
+                // out of logical range.
+                for j in i..i + n {
+                    v.store(j, value);
+                }
+                i += n;
+            }
+            if i != end {
+                return None;
+            }
+        }
+        v.chunk_faults = chunk_faults;
+        Some(v)
+    }
+}
+
+/// Logical-content equality: two vectors are equal when every element
+/// reads the same, regardless of which chunks are materialized — an
+/// unmaterialized chunk equals a materialized one that holds the
+/// fill. Allocation mode and fault counters are excluded.
+impl<T: SparseElem> PartialEq for SparseVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        for c in 0..self.table.len() {
+            match (self.chunk_is_canonical(c), other.chunk_is_canonical(c)) {
+                (true, true) => {
+                    if self.fill != other.fill {
+                        return false;
+                    }
+                }
+                (true, false) => {
+                    if !other.chunk_slice(c).iter().all(|&x| x == self.fill) {
+                        return false;
+                    }
+                }
+                (false, true) => {
+                    if !self.chunk_slice(c).iter().all(|&x| x == other.fill) {
+                        return false;
+                    }
+                }
+                (false, false) => {
+                    if self.chunk_slice(c) != other.chunk_slice(c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<T: SparseElem> Eq for SparseVec<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn untouched_elements_read_fill_without_allocating() {
+        let v: SparseVec<u64> = SparseVec::new(1 << 22, 0, false);
+        assert_eq!(v.load(0), 0);
+        assert_eq!(v.load((1 << 22) - 1), 0);
+        assert_eq!(v.stats().chunks_allocated, 0);
+        assert_eq!(v.stats().zero_chunks_deduped, v.chunks() as u64);
+        assert_eq!(v.stats().chunk_faults, 0);
+    }
+
+    #[test]
+    fn fill_store_into_shared_chunk_is_free() {
+        let mut v: SparseVec<u32> = SparseVec::new(1 << 20, 0, false);
+        v.store(12345, 0);
+        assert_eq!(v.stats().chunks_allocated, 0);
+        assert_eq!(v.stats().chunk_faults, 0);
+    }
+
+    #[test]
+    fn changing_store_faults_exactly_one_chunk() {
+        let mut v: SparseVec<u64> = SparseVec::new(1 << 20, 0, false);
+        v.store(1000, 7);
+        v.store(1001, 8); // same chunk: no second fault
+        assert_eq!(v.load(1000), 7);
+        assert_eq!(v.load(1001), 8);
+        assert_eq!(v.load(1002), 0);
+        let s = v.stats();
+        assert_eq!(s.chunks_allocated, 1);
+        assert_eq!(s.chunk_faults, 1);
+        assert_eq!(s.zero_chunks_deduped, v.chunks() as u64 - 1);
+    }
+
+    #[test]
+    fn nonzero_fill_round_trips() {
+        let mut v: SparseVec<u8> = SparseVec::new(10_000, 0x5a, false);
+        assert_eq!(v.load(9_999), 0x5a);
+        v.store(4, 0x5a); // fill store: free
+        assert_eq!(v.stats().chunks_allocated, 0);
+        v.store(4, 1);
+        assert_eq!(v.load(4), 1);
+        assert_eq!(v.load(5), 0x5a);
+    }
+
+    #[test]
+    fn eager_mode_commits_everything_with_zero_faults() {
+        let v: SparseVec<u32> = SparseVec::new(5000, 0, true);
+        let s = v.stats();
+        assert_eq!(s.chunks_allocated, v.chunks() as u64);
+        assert_eq!(s.zero_chunks_deduped, 0);
+        assert_eq!(s.chunk_faults, 0);
+        assert_eq!(v.load(4999), 0);
+    }
+
+    #[test]
+    fn sparse_and_eager_agree_under_random_ops() {
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut sparse: SparseVec<u32> = SparseVec::new(100_000, 0, false);
+        let mut eager: SparseVec<u32> = SparseVec::new(100_000, 0, true);
+        for _ in 0..5_000 {
+            let i = (splitmix(&mut s) % 100_000) as usize;
+            let val = (splitmix(&mut s) % 5) as u32; // zeros common
+            sparse.store(i, val);
+            eager.store(i, val);
+        }
+        for i in (0..100_000).step_by(7) {
+            assert_eq!(sparse.load(i), eager.load(i));
+        }
+        assert_eq!(sparse, eager, "logical equality across modes");
+    }
+
+    #[test]
+    fn equality_is_logical_not_structural() {
+        let mut a: SparseVec<u64> = SparseVec::new(4096, 0, false);
+        let b: SparseVec<u64> = SparseVec::new(4096, 0, false);
+        a.store(10, 1);
+        assert_ne!(a, b);
+        a.store(10, 0); // chunk now materialized but all-zero
+        assert_eq!(a.stats().chunks_allocated, 1);
+        assert_eq!(a, b, "materialized-all-fill chunk equals canonical");
+    }
+
+    #[test]
+    fn reset_returns_to_all_fill() {
+        let mut v: SparseVec<u64> = SparseVec::new(1 << 16, 0, false);
+        for i in 0..100 {
+            v.store(i * 600, 1);
+        }
+        let faults = v.stats().chunk_faults;
+        v.reset();
+        assert_eq!(v.stats().chunks_allocated, 0);
+        assert_eq!(v.stats().chunk_faults, faults, "faults are lifetime");
+        assert_eq!(v.load(600), 0);
+        assert_eq!(v, SparseVec::new(1 << 16, 0, false));
+    }
+
+    #[test]
+    fn compact_reclaims_all_fill_chunks_and_reuses_slots() {
+        let mut v: SparseVec<u64> = SparseVec::new(1 << 16, 0, false);
+        v.store(0, 1);
+        v.store(600, 2);
+        v.store(0, 0); // first chunk back to all-zero
+        assert_eq!(v.stats().chunks_allocated, 2);
+        assert_eq!(v.compact(), 1);
+        assert_eq!(v.stats().chunks_allocated, 1);
+        assert_eq!(v.load(0), 0);
+        assert_eq!(v.load(600), 2);
+        // The freed slot is reused by the next fault.
+        let arena_chunks_before = v.stats().chunks_allocated;
+        v.store(0, 3);
+        assert_eq!(v.stats().chunks_allocated, arena_chunks_before + 1);
+        assert_eq!(v.load(0), 3);
+    }
+
+    #[test]
+    fn storage_reuse_yields_a_pristine_vector() {
+        let mut v: SparseVec<u32> = SparseVec::new(4096, 0, false);
+        v.store(7, 9);
+        let reused: SparseVec<u32> = SparseVec::with_storage(8192, 3, false, v.into_storage());
+        assert_eq!(reused.len(), 8192);
+        assert_eq!(reused.load(7), 3);
+        assert_eq!(reused.stats().chunks_allocated, 0);
+        assert_eq!(reused.stats().chunk_faults, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_sparse_state() {
+        let mut s = 0xfeed_f00d_dead_beefu64;
+        let mut v: SparseVec<u64> = SparseVec::new(50_000, 0, false);
+        for _ in 0..300 {
+            let i = (splitmix(&mut s) % 50_000) as usize;
+            v.store(i, splitmix(&mut s) % 16);
+        }
+        let mut words = Vec::new();
+        v.encode_words(&mut words);
+        let back = SparseVec::<u64>::decode_words(&mut words.into_iter()).expect("decodes");
+        assert_eq!(back, v);
+        assert_eq!(back.stats().chunk_faults, v.stats().chunk_faults);
+        assert_eq!(back.len(), v.len());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_element_geometry() {
+        let v: SparseVec<u64> = SparseVec::new(1000, 0, false);
+        let mut words = Vec::new();
+        v.encode_words(&mut words);
+        assert!(
+            SparseVec::<u32>::decode_words(&mut words.into_iter()).is_none(),
+            "a u64 snapshot must not decode as u32"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_compressed_relative_to_dense() {
+        let mut v: SparseVec<u64> = SparseVec::new(1 << 20, 0, false);
+        v.store(0, 1); // one chunk materialized, mostly zero
+        let mut words = Vec::new();
+        v.encode_words(&mut words);
+        // Header + one chunk of RLE runs, not a megaword dump.
+        assert!(
+            words.len() < 32,
+            "RLE snapshot should be tiny, got {} words",
+            words.len()
+        );
+    }
+}

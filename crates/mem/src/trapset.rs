@@ -8,8 +8,17 @@
 //! simulator uses this one so that the hit path costs a couple of shifts
 //! and a load, mirroring how the real hardware filters hits at full
 //! speed.
+//!
+//! Both the bitmap and the per-frame counts live on demand-allocated
+//! [`SparseVec`] chunks (see [`crate::sparse`]): a map over a 64 GiB
+//! simulated memory commits host RAM only for the frames that ever
+//! carry traps, and chunks that never did share one canonical zero
+//! chunk. The dense mode (`sparse = false`, the `TW_SPARSE=0` kill
+//! switch) pre-materializes every chunk through the same code path, so
+//! the two modes are bit-identical by construction.
 
 use crate::addr::PhysAddr;
+use crate::sparse::{SparseStats, SparseStorage, SparseVec};
 
 /// A bitmap of trapped granules over a physical memory.
 ///
@@ -28,7 +37,9 @@ use crate::addr::PhysAddr;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TrapMap {
-    bits: Vec<u64>,
+    /// One bit per granule, on chunked sparse backing: untouched
+    /// 512-word chunks share the canonical zero chunk.
+    bits: SparseVec<u64>,
     granule: u64,
     /// `granule.trailing_zeros()`: granule indexing is a shift, not a
     /// divide, on the per-access and per-miss paths.
@@ -40,7 +51,7 @@ pub struct TrapMap {
     /// instead of a bitmap scan. A granule larger than a frame
     /// contributes to every frame it overlaps. Derivable from `bits`, so
     /// excluded from equality.
-    frame_counts: Vec<u32>,
+    frame_counts: SparseVec<u32>,
     set_events: u64,
     clear_events: u64,
 }
@@ -51,13 +62,15 @@ pub struct TrapMap {
 /// sweep engine's per-worker trial scratch.
 #[derive(Debug, Default)]
 pub struct TrapStorage {
-    bits: Vec<u64>,
-    frame_counts: Vec<u32>,
+    bits: SparseStorage<u64>,
+    frame_counts: SparseStorage<u32>,
 }
 
 /// Equality is over trap *state* (geometry and armed granules), not
 /// the lifetime set/clear event counters — two maps that arrived at
-/// the same state along different paths compare equal.
+/// the same state along different paths compare equal. The bitmap
+/// comparison is logical, so a sparse map equals a dense map holding
+/// the same traps.
 impl PartialEq for TrapMap {
     fn eq(&self, other: &Self) -> bool {
         self.granule == other.granule
@@ -71,7 +84,7 @@ impl Eq for TrapMap {}
 
 impl TrapMap {
     /// Creates an all-clear map over `mem_bytes` of memory at `granule`
-    /// byte granularity.
+    /// byte granularity, on sparse (demand-allocated) backing.
     ///
     /// # Panics
     ///
@@ -79,6 +92,17 @@ impl TrapMap {
     /// `mem_bytes` is not a multiple of `granule`.
     pub fn new(mem_bytes: u64, granule: u64) -> Self {
         Self::with_storage(mem_bytes, granule, TrapStorage::default())
+    }
+
+    /// Like [`TrapMap::new`] with an explicit backing mode: `sparse`
+    /// demand-allocates chunks, `!sparse` pre-materializes everything
+    /// (dense, the `TW_SPARSE=0` behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Same geometry requirements as [`TrapMap::new`].
+    pub fn with_mode(mem_bytes: u64, granule: u64, sparse: bool) -> Self {
+        Self::with_storage_mode(mem_bytes, granule, sparse, TrapStorage::default())
     }
 
     /// Like [`TrapMap::new`], but reuses the heap buffers of `storage`
@@ -90,6 +114,22 @@ impl TrapMap {
     ///
     /// Same geometry requirements as [`TrapMap::new`].
     pub fn with_storage(mem_bytes: u64, granule: u64, storage: TrapStorage) -> Self {
+        Self::with_storage_mode(mem_bytes, granule, true, storage)
+    }
+
+    /// [`TrapMap::with_storage`] with an explicit backing mode — the
+    /// constructor the machine layer uses to honour its sparse-memory
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Same geometry requirements as [`TrapMap::new`].
+    pub fn with_storage_mode(
+        mem_bytes: u64,
+        granule: u64,
+        sparse: bool,
+        storage: TrapStorage,
+    ) -> Self {
         assert!(
             granule.is_power_of_two(),
             "trap granule must be a power of two"
@@ -101,21 +141,14 @@ impl TrapMap {
         let granules = mem_bytes / granule;
         let words = granules.div_ceil(64) as usize;
         let frames = mem_bytes.div_ceil(Self::FRAME_BYTES) as usize;
-        let TrapStorage {
-            mut bits,
-            mut frame_counts,
-        } = storage;
-        bits.clear();
-        bits.resize(words, 0);
-        frame_counts.clear();
-        frame_counts.resize(frames, 0);
+        let TrapStorage { bits, frame_counts } = storage;
         TrapMap {
-            bits,
+            bits: SparseVec::with_storage(words, 0, !sparse, bits),
             granule,
             shift: granule.trailing_zeros(),
             granules,
             count: 0,
-            frame_counts,
+            frame_counts: SparseVec::with_storage(frames, 0, !sparse, frame_counts),
             set_events: 0,
             clear_events: 0,
         }
@@ -125,8 +158,8 @@ impl TrapMap {
     /// [`TrapMap::with_storage`].
     pub fn into_storage(self) -> TrapStorage {
         TrapStorage {
-            bits: self.bits,
-            frame_counts: self.frame_counts,
+            bits: self.bits.into_storage(),
+            frame_counts: self.frame_counts.into_storage(),
         }
     }
 
@@ -145,6 +178,78 @@ impl TrapMap {
         self.count
     }
 
+    /// `true` when the map demand-allocates its backing (the default);
+    /// `false` in dense `TW_SPARSE=0` mode.
+    pub fn is_sparse(&self) -> bool {
+        !self.bits.is_eager()
+    }
+
+    /// Aggregated allocation counters of the bitmap and the per-frame
+    /// counts — the source of the `sparse_chunks_allocated` /
+    /// `zero_chunks_deduped` / `chunk_faults` observability counters.
+    pub fn sparse_stats(&self) -> SparseStats {
+        self.bits.stats().merge(self.frame_counts.stats())
+    }
+
+    /// Re-canonicalizes backing chunks whose content has returned to
+    /// all-clear (the cold-chunk compaction tier). Returns the number
+    /// of chunks reclaimed; no-op in dense mode.
+    pub fn compact(&mut self) -> u64 {
+        self.bits.compact() + self.frame_counts.compact()
+    }
+
+    /// Serializes the map's full state — geometry, event counters,
+    /// bitmap and per-frame counts — as plain words for the checkpoint
+    /// codec; [`TrapMap::restore_words`] round-trips it. Only
+    /// materialized chunks are written (run-length encoded), so a
+    /// nearly-clear huge map snapshots in space proportional to what
+    /// was touched, not to what was simulated.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.granule);
+        out.push(self.granules * self.granule);
+        out.push(self.count);
+        out.push(self.set_events);
+        out.push(self.clear_events);
+        self.bits.encode_words(out);
+        self.frame_counts.encode_words(out);
+    }
+
+    /// Rebuilds a map from [`TrapMap::snapshot_words`] output. Returns
+    /// `None` on truncated input, inconsistent geometry, or a bitmap
+    /// whose population count disagrees with the stored trap count.
+    pub fn restore_words<I: Iterator<Item = u64>>(words: &mut I) -> Option<Self> {
+        let granule = words.next()?;
+        let mem_bytes = words.next()?;
+        let count = words.next()?;
+        let set_events = words.next()?;
+        let clear_events = words.next()?;
+        if granule == 0 || !granule.is_power_of_two() || mem_bytes % granule != 0 {
+            return None;
+        }
+        let bits: SparseVec<u64> = SparseVec::decode_words(words)?;
+        let frame_counts: SparseVec<u32> = SparseVec::decode_words(words)?;
+        let granules = mem_bytes / granule;
+        if bits.len() != granules.div_ceil(64) as usize
+            || frame_counts.len() != mem_bytes.div_ceil(Self::FRAME_BYTES) as usize
+        {
+            return None;
+        }
+        let map = TrapMap {
+            bits,
+            granule,
+            shift: granule.trailing_zeros(),
+            granules,
+            count,
+            frame_counts,
+            set_events,
+            clear_events,
+        };
+        if map.recount() != count {
+            return None;
+        }
+        Some(map)
+    }
+
     /// Frame size of the per-frame trapped-granule counts, matching the
     /// default page size: the hot path asks "is the frame backing this
     /// page clean?" and a frame is exactly one page.
@@ -155,7 +260,7 @@ impl TrapMap {
     #[inline]
     pub fn frame_trapped(&self, pa: PhysAddr) -> u32 {
         let f = (pa.raw() / Self::FRAME_BYTES) as usize;
-        self.frame_counts.get(f).copied().unwrap_or(0)
+        self.frame_counts.get(f).unwrap_or(0)
     }
 
     /// `true` when the frame containing `pa` carries no traps at all —
@@ -182,7 +287,7 @@ impl TrapMap {
         if g >= self.granules {
             return false;
         }
-        self.bits[(g / 64) as usize] & (1 << (g % 64)) != 0
+        self.bits.load((g / 64) as usize) & (1 << (g % 64)) != 0
     }
 
     /// Index of the granule containing `pa`.
@@ -191,22 +296,23 @@ impl TrapMap {
     }
 
     /// Recomputes the trapped-granule count from the bitmap itself —
-    /// one `count_ones` per [`TrapMap::SCAN_CHUNK_WORDS`]-word chunk,
-    /// `O(granules/512)`. The result always equals [`TrapMap::count`]
-    /// (the incremental tally); this is the verification/microbenchmark
-    /// primitive that pins the bookkeeping and measures the full-sweep
-    /// cost directly.
+    /// one popcount pass per materialized storage chunk, with shared
+    /// (all-zero) chunks skipped on a single table load each. The
+    /// result always equals [`TrapMap::count`] (the incremental tally);
+    /// this is the verification/microbenchmark primitive that pins the
+    /// bookkeeping and measures the full-sweep cost directly.
     pub fn recount(&self) -> u64 {
         let mut total = 0u64;
-        let mut w = 0;
-        while w + Self::SCAN_CHUNK_WORDS <= self.bits.len() {
-            let c = &self.bits[w..w + Self::SCAN_CHUNK_WORDS];
-            total += c.iter().map(|x| u64::from(x.count_ones())).sum::<u64>();
-            w += Self::SCAN_CHUNK_WORDS;
-        }
-        while w < self.bits.len() {
-            total += u64::from(self.bits[w].count_ones());
-            w += 1;
+        for c in 0..self.bits.chunks() {
+            if self.bits.chunk_is_canonical(c) {
+                continue;
+            }
+            total += self
+                .bits
+                .chunk_slice(c)
+                .iter()
+                .map(|x| u64::from(x.count_ones()))
+                .sum::<u64>();
         }
         total
     }
@@ -221,10 +327,11 @@ impl TrapMap {
     /// largest `n <= max_bytes` such that no granule overlapping
     /// `[pa, pa + n)` is trapped (so `n == 0` when `pa`'s own granule
     /// is trapped). Scans the bitmap in [`TrapMap::SCAN_CHUNK_WORDS`]
-    /// `u64` chunks — one OR-reduction covers 512 granules — so the
-    /// fast path can size a resident-run batch without probing granule
-    /// by granule. Out-of-range granules are never trapped and extend
-    /// the span.
+    /// `u64` chunks — one OR-reduction covers 512 granules — and skips
+    /// whole storage chunks still sharing the canonical zero chunk on
+    /// one table load (32768 granules at a time), so the fast path can
+    /// size a resident-run batch without probing granule by granule.
+    /// Out-of-range granules are never trapped and extend the span.
     #[inline]
     pub fn clean_span(&self, pa: PhysAddr, max_bytes: u64) -> u64 {
         if max_bytes == 0 {
@@ -238,7 +345,7 @@ impl TrapMap {
         // First (possibly mid-word) position: mask off granules below
         // the start and test the remainder of the word.
         let w0 = (g0 / 64) as usize;
-        let rest = self.bits[w0] >> (g0 % 64);
+        let rest = self.bits.load(w0) >> (g0 % 64);
         if rest != 0 {
             let first_trapped = g0 + u64::from(rest.trailing_zeros());
             return self.span_until(pa, first_trapped, g_last, max_bytes);
@@ -246,21 +353,36 @@ impl TrapMap {
         // Whole-word region: bits past `granules` are never set, so the
         // final partial word is safe to scan in full.
         let w_end = ((g_last.min(self.granules - 1)) / 64) as usize + 1;
+        let cshift = self.bits.chunk_shift();
         let mut w = w0 + 1;
-        while w + Self::SCAN_CHUNK_WORDS <= w_end {
-            let c = &self.bits[w..w + Self::SCAN_CHUNK_WORDS];
-            if (c[0] | c[1] | c[2] | c[3] | c[4] | c[5] | c[6] | c[7]) != 0 {
-                break;
-            }
-            w += Self::SCAN_CHUNK_WORDS;
-        }
         while w < w_end {
-            let word = self.bits[w];
-            if word != 0 {
-                let first_trapped = w as u64 * 64 + u64::from(word.trailing_zeros());
-                return self.span_until(pa, first_trapped, g_last, max_bytes);
+            let c = w >> cshift;
+            let c_end = ((c + 1) << cshift).min(w_end);
+            if self.bits.chunk_is_canonical(c) {
+                // Still sharing the canonical zero chunk: all clean.
+                w = c_end;
+                continue;
             }
-            w += 1;
+            let base = c << cshift;
+            let slice = self.bits.chunk_slice(c);
+            let mut i = w - base;
+            let end = c_end - base;
+            while i + Self::SCAN_CHUNK_WORDS <= end {
+                let s = &slice[i..i + Self::SCAN_CHUNK_WORDS];
+                if (s[0] | s[1] | s[2] | s[3] | s[4] | s[5] | s[6] | s[7]) != 0 {
+                    break;
+                }
+                i += Self::SCAN_CHUNK_WORDS;
+            }
+            while i < end {
+                let word = slice[i];
+                if word != 0 {
+                    let first_trapped = (base + i) as u64 * 64 + u64::from(word.trailing_zeros());
+                    return self.span_until(pa, first_trapped, g_last, max_bytes);
+                }
+                i += 1;
+            }
+            w = c_end;
         }
         max_bytes
     }
@@ -287,13 +409,14 @@ impl TrapMap {
     pub fn set_granule(&mut self, g: u64) -> bool {
         assert!(g < self.granules, "granule index out of range");
         let (w, b) = ((g / 64) as usize, g % 64);
-        let was_clear = self.bits[w] & (1 << b) == 0;
+        let old = self.bits.load(w);
+        let was_clear = old & (1 << b) == 0;
         if was_clear {
-            self.bits[w] |= 1 << b;
+            self.bits.store(w, old | (1 << b));
             self.count += 1;
             self.set_events += 1;
             for f in self.frames_of(g) {
-                self.frame_counts[f] += 1;
+                self.frame_counts.store(f, self.frame_counts.load(f) + 1);
             }
         }
         was_clear
@@ -308,13 +431,14 @@ impl TrapMap {
     pub fn clear_granule(&mut self, g: u64) -> bool {
         assert!(g < self.granules, "granule index out of range");
         let (w, b) = ((g / 64) as usize, g % 64);
-        let was_set = self.bits[w] & (1 << b) != 0;
+        let old = self.bits.load(w);
+        let was_set = old & (1 << b) != 0;
         if was_set {
-            self.bits[w] &= !(1 << b);
+            self.bits.store(w, old & !(1 << b));
             self.count -= 1;
             self.clear_events += 1;
             for f in self.frames_of(g) {
-                self.frame_counts[f] -= 1;
+                self.frame_counts.store(f, self.frame_counts.load(f) - 1);
             }
         }
         was_set
@@ -357,12 +481,13 @@ impl TrapMap {
     fn set_one(&mut self, g: u64) {
         let (w, b) = ((g / 64) as usize, g % 64);
         let mask = 1u64 << b;
-        if self.bits[w] & mask == 0 {
-            self.bits[w] |= mask;
+        let old = self.bits.load(w);
+        if old & mask == 0 {
+            self.bits.store(w, old | mask);
             self.count += 1;
             self.set_events += 1;
             let f = (g / (Self::FRAME_BYTES >> self.shift)) as usize;
-            self.frame_counts[f] += 1;
+            self.frame_counts.store(f, self.frame_counts.load(f) + 1);
         }
     }
 
@@ -372,12 +497,13 @@ impl TrapMap {
     fn clear_one(&mut self, g: u64) {
         let (w, b) = ((g / 64) as usize, g % 64);
         let mask = 1u64 << b;
-        if self.bits[w] & mask != 0 {
-            self.bits[w] &= !mask;
+        let old = self.bits.load(w);
+        if old & mask != 0 {
+            self.bits.store(w, old & !mask);
             self.count -= 1;
             self.clear_events += 1;
             let f = (g / (Self::FRAME_BYTES >> self.shift)) as usize;
-            self.frame_counts[f] -= 1;
+            self.frame_counts.store(f, self.frame_counts.load(f) - 1);
         }
     }
 
@@ -385,7 +511,9 @@ impl TrapMap {
     /// span `[first, last]`. Requires `granule <= FRAME_BYTES` so each
     /// bitmap word's flipped bits map onto whole frame-count groups.
     /// Single-granule spans take [`TrapMap::set_one`] /
-    /// [`TrapMap::clear_one`] before reaching this loop.
+    /// [`TrapMap::clear_one`] before reaching this loop. Words whose
+    /// flip mask changes nothing are skipped *before* any store, so a
+    /// bulk clear over untouched memory never materializes a chunk.
     fn apply_bulk(&mut self, first: u64, last: u64, set: bool) {
         let wf = (first / 64) as usize;
         let wl = (last / 64) as usize;
@@ -394,12 +522,13 @@ impl TrapMap {
             let lo = if w == wf { first % 64 } else { 0 };
             let hi = if w == wl { last % 64 } else { 63 };
             let mask = (!0u64 >> (63 - hi)) & (!0u64 << lo);
-            let old = self.bits[w];
+            let old = self.bits.load(w);
             let flipped = if set { mask & !old } else { mask & old };
             if flipped == 0 {
                 continue;
             }
-            self.bits[w] = if set { old | mask } else { old & !mask };
+            self.bits
+                .store(w, if set { old | mask } else { old & !mask });
             transitions += u64::from(flipped.count_ones());
             self.bump_frame_counts(w, flipped, set);
         }
@@ -424,11 +553,9 @@ impl TrapMap {
             // population count lands in a single frame.
             let f = w / (per_frame / 64) as usize;
             let n = flipped.count_ones();
-            if set {
-                self.frame_counts[f] += n;
-            } else {
-                self.frame_counts[f] -= n;
-            }
+            let old = self.frame_counts.load(f);
+            self.frame_counts
+                .store(f, if set { old + n } else { old - n });
         } else {
             // Several frames per word: split the flipped bits into
             // `per_frame`-bit groups, one population count each.
@@ -439,11 +566,10 @@ impl TrapMap {
             while rest != 0 {
                 let n = (rest & group_mask).count_ones();
                 if n != 0 {
-                    if set {
-                        self.frame_counts[base + i] += n;
-                    } else {
-                        self.frame_counts[base + i] -= n;
-                    }
+                    let f = base + i;
+                    let old = self.frame_counts.load(f);
+                    self.frame_counts
+                        .store(f, if set { old + n } else { old - n });
                 }
                 rest >>= per_frame;
                 i += 1;
@@ -499,26 +625,39 @@ impl TrapMap {
     }
 
     /// Iterates over the indices of all trapped granules (ascending).
+    /// Storage chunks still sharing the canonical zero chunk are
+    /// skipped whole.
     pub fn iter_trapped(&self) -> impl Iterator<Item = u64> + '_ {
-        self.bits.iter().enumerate().flat_map(move |(w, &bits)| {
-            let mut rest = bits;
-            std::iter::from_fn(move || {
-                if rest == 0 {
-                    None
-                } else {
-                    let b = rest.trailing_zeros() as u64;
-                    rest &= rest - 1;
-                    Some(w as u64 * 64 + b)
-                }
+        let cshift = self.bits.chunk_shift();
+        (0..self.bits.chunks()).flat_map(move |c| {
+            let base = (c << cshift) as u64;
+            let slice: &[u64] = if self.bits.chunk_is_canonical(c) {
+                &[]
+            } else {
+                self.bits.chunk_slice(c)
+            };
+            slice.iter().enumerate().flat_map(move |(w, &bits)| {
+                let mut rest = bits;
+                std::iter::from_fn(move || {
+                    if rest == 0 {
+                        None
+                    } else {
+                        let b = rest.trailing_zeros() as u64;
+                        rest &= rest - 1;
+                        Some((base + w as u64) * 64 + b)
+                    }
+                })
             })
         })
     }
 
-    /// Clears every trap.
+    /// Clears every trap. In sparse mode this also drops every
+    /// materialized chunk back to the shared canonical chunk; in dense
+    /// mode the backing stays committed, as dense storage would.
     pub fn clear_all(&mut self) {
         self.clear_events += self.count;
-        self.bits.fill(0);
-        self.frame_counts.fill(0);
+        self.bits.reset();
+        self.frame_counts.reset();
         self.count = 0;
     }
 
@@ -908,5 +1047,154 @@ mod tests {
                 assert_frame_counts_match(&t, mem_bytes);
             }
         }
+    }
+
+    /// Property: sparse and dense maps driven through an identical
+    /// random op sequence stay bit-identical in every observable —
+    /// state equality, counts, events, frame counts, clean spans.
+    #[test]
+    fn sparse_and_dense_maps_are_bit_identical() {
+        let mut s = 0x0123_4567_89ab_cdefu64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mem_bytes = 48 * 4096u64;
+        for &granule in &[16u64, 4096] {
+            let mut sparse = TrapMap::with_mode(mem_bytes, granule, true);
+            let mut dense = TrapMap::with_mode(mem_bytes, granule, false);
+            assert!(sparse.is_sparse());
+            assert!(!dense.is_sparse());
+            for _ in 0..300 {
+                let pa = PhysAddr::new(next() % mem_bytes);
+                let size = next() % 20_000;
+                match next() % 4 {
+                    0..=1 => {
+                        sparse.set_range(pa, size);
+                        dense.set_range(pa, size);
+                    }
+                    2 => {
+                        sparse.clear_range(pa, size);
+                        dense.clear_range(pa, size);
+                    }
+                    _ => {
+                        sparse.clear_all();
+                        dense.clear_all();
+                    }
+                }
+                assert_eq!(sparse, dense);
+                assert_eq!(sparse.count(), dense.count());
+                assert_eq!(sparse.set_events(), dense.set_events());
+                assert_eq!(sparse.clear_events(), dense.clear_events());
+                let probe = PhysAddr::new(next() % mem_bytes);
+                let max = next() % (2 * mem_bytes);
+                assert_eq!(sparse.clean_span(probe, max), dense.clean_span(probe, max));
+                assert_eq!(sparse.frame_trapped(probe), dense.frame_trapped(probe));
+            }
+        }
+    }
+
+    /// A map over a simulated memory far beyond host RAM costs only
+    /// what it touches: table metadata plus the few chunks written.
+    #[test]
+    fn huge_sparse_map_commits_only_touched_chunks() {
+        let mem_bytes = 64u64 << 30; // 64 GiB simulated
+        let mut t = TrapMap::new(mem_bytes, 4096);
+        assert_eq!(t.sparse_stats().chunks_allocated, 0);
+        let far = PhysAddr::new(mem_bytes - 8 * 4096);
+        t.set_range(far, 4096);
+        assert!(t.is_trapped(far));
+        assert!(!t.frame_clean(far));
+        assert!(t.frame_clean(PhysAddr::new(0)));
+        assert_eq!(t.count(), 1);
+        // Clean spans skip the untouched middle via the chunk table.
+        assert_eq!(t.clean_span(PhysAddr::new(0), far.raw()), far.raw());
+        let stats = t.sparse_stats();
+        assert!(
+            stats.chunks_allocated <= 4,
+            "one trap must not commit more than a few chunks, got {stats:?}"
+        );
+        assert!(stats.chunk_faults >= 1);
+        // Clearing and compacting returns the backing to fully shared.
+        t.clear_range(far, 4096);
+        assert!(t.compact() >= 1);
+        assert_eq!(t.sparse_stats().chunks_allocated, 0);
+        assert_eq!(t.recount(), 0);
+    }
+
+    /// Bulk clears over untouched memory must not materialize chunks:
+    /// the flipped-bits-zero skip runs before any store.
+    #[test]
+    fn clearing_untouched_memory_allocates_nothing() {
+        let mut t = TrapMap::new(1u64 << 30, 16);
+        t.clear_range(PhysAddr::new(0), 1u64 << 30);
+        t.clear_all();
+        assert_eq!(t.sparse_stats().chunks_allocated, 0);
+        assert_eq!(t.sparse_stats().chunk_faults, 0);
+    }
+
+    #[test]
+    fn storage_reuse_across_modes_stays_pristine() {
+        let mut dense = TrapMap::with_mode(8 * 4096, 16, false);
+        dense.set_range(PhysAddr::new(0), 8 * 4096);
+        let sparse = TrapMap::with_storage_mode(8 * 4096, 16, true, dense.into_storage());
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.count(), 0);
+        assert_eq!(sparse.sparse_stats().chunks_allocated, 0);
+        assert_eq!(sparse, TrapMap::new(8 * 4096, 16));
+    }
+
+    #[test]
+    fn snapshot_round_trips_map_state_and_counters() {
+        let mut map = TrapMap::new(64 * 4096, 16);
+        map.set_range(PhysAddr::new(0x3000), 4096);
+        map.set_range(PhysAddr::new(30 * 4096), 64);
+        map.clear_range(PhysAddr::new(0x3000), 32);
+        let mut words = Vec::new();
+        map.snapshot_words(&mut words);
+        let mut it = words.iter().copied();
+        let restored = TrapMap::restore_words(&mut it).expect("round trip");
+        assert_eq!(restored, map);
+        assert_eq!(restored.count(), map.count());
+        assert_eq!(restored.set_events(), map.set_events());
+        assert_eq!(restored.clear_events(), map.clear_events());
+        assert_eq!(
+            restored.frame_trapped(PhysAddr::new(0x3000)),
+            map.frame_trapped(PhysAddr::new(0x3000))
+        );
+        assert!(it.next().is_none(), "snapshot consumed exactly");
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupted_count() {
+        let mut map = TrapMap::new(8 * 4096, 16);
+        map.set_range(PhysAddr::new(0), 64);
+        let mut words = Vec::new();
+        map.snapshot_words(&mut words);
+        words[2] += 1; // claim one more armed granule than the bitmap holds
+        assert!(TrapMap::restore_words(&mut words.iter().copied()).is_none());
+        assert!(
+            TrapMap::restore_words(&mut words[..3].iter().copied()).is_none(),
+            "truncated input is rejected"
+        );
+    }
+
+    #[test]
+    fn huge_map_snapshot_is_proportional_to_touched_state() {
+        let mut map = TrapMap::new(64 << 30, 4096);
+        map.set_range(PhysAddr::new(7 << 30), 4096);
+        let mut words = Vec::new();
+        map.snapshot_words(&mut words);
+        assert!(
+            words.len() < 64,
+            "one trap in 64 GiB must snapshot compactly, got {} words",
+            words.len()
+        );
+        let restored = TrapMap::restore_words(&mut words.iter().copied()).expect("round trip");
+        assert_eq!(restored, map);
+        assert!(restored.is_trapped(PhysAddr::new(7 << 30)));
     }
 }

@@ -55,6 +55,15 @@ pub enum CounterId {
     /// Victim selections answered from the per-set full-set memo
     /// inside a miss burst, skipping the duplicate/empty way scans.
     VictimMemoHits,
+    /// Chunks of sparse physical-state backing privately materialized
+    /// at trial end (trap bitmap + frame counts + VM frame refcounts).
+    SparseChunksAllocated,
+    /// Chunks still sharing the canonical all-fill page at trial end —
+    /// the zero-page dedup the sparse backing exists for.
+    ZeroChunksDeduped,
+    /// Demand-materialization events over the trial's lifetime (first
+    /// write into a canonical chunk). Always 0 in dense mode.
+    ChunkFaults,
 }
 
 impl CounterId {
@@ -68,7 +77,7 @@ impl CounterId {
     /// All counters, in registry (and JSON) order. New counters are
     /// appended, never reordered: slot indices are a stable ABI for the
     /// checkpoint codec and the Debug-prefix freeze above.
-    pub const ALL: [CounterId; 17] = [
+    pub const ALL: [CounterId; 20] = [
         CounterId::TrapEntries,
         CounterId::TrapsSet,
         CounterId::TrapsCleared,
@@ -86,6 +95,9 @@ impl CounterId {
         CounterId::FastWords,
         CounterId::MissBatchFlushes,
         CounterId::VictimMemoHits,
+        CounterId::SparseChunksAllocated,
+        CounterId::ZeroChunksDeduped,
+        CounterId::ChunkFaults,
     ];
 
     /// Stable slot index for array-backed storage.
@@ -114,6 +126,9 @@ impl CounterId {
             CounterId::FastWords => "fast_words",
             CounterId::MissBatchFlushes => "miss_batch_flushes",
             CounterId::VictimMemoHits => "victim_memo_hits",
+            CounterId::SparseChunksAllocated => "sparse_chunks_allocated",
+            CounterId::ZeroChunksDeduped => "zero_chunks_deduped",
+            CounterId::ChunkFaults => "chunk_faults",
         }
     }
 }

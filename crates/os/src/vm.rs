@@ -31,7 +31,9 @@ use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 
-use tapeworm_mem::{FrameAllocator, PageSize, Pfn, PhysAddr, Pte, VirtAddr};
+use tapeworm_mem::{
+    FrameAllocator, PageSize, Pfn, PhysAddr, Pte, SparseStats, SparseStorage, SparseVec, VirtAddr,
+};
 
 use crate::task::Tid;
 
@@ -276,7 +278,7 @@ impl TcEntry {
 #[derive(Debug, Default)]
 pub struct VmScratch {
     tables: Vec<PageTable>,
-    frame_refs: Vec<u32>,
+    frame_refs: SparseStorage<u32>,
     tcache: Vec<TcEntry>,
 }
 
@@ -308,8 +310,10 @@ pub struct Vm {
     allocator: Box<dyn FrameAllocator>,
     /// Page tables indexed by raw task id.
     tables: Vec<PageTable>,
-    /// Mapping refcounts indexed by frame number.
-    frame_refs: Vec<u32>,
+    /// Mapping refcounts indexed by frame number, on demand-allocated
+    /// chunked backing so huge physical memories cost only the frames
+    /// actually mapped.
+    frame_refs: SparseVec<u32>,
     tcache: Vec<TcEntry>,
     faults: u64,
     tc_hits: u64,
@@ -319,9 +323,23 @@ pub struct Vm {
 }
 
 impl Vm {
-    /// Creates a VM with the given page size and frame allocator.
+    /// Creates a VM with the given page size and frame allocator. The
+    /// frame refcount vector uses sparse (demand-allocated) backing;
+    /// use [`Vm::with_mode`] to force dense.
     pub fn new(page_size: PageSize, allocator: Box<dyn FrameAllocator>) -> Self {
         Self::new_reusing(page_size, allocator, VmScratch::default())
+    }
+
+    /// Like [`Vm::new`] with an explicit backing mode for the frame
+    /// refcount vector: `sparse == false` eagerly materializes one
+    /// counter per frame, `true` commits chunks only as frames are
+    /// mapped. Behaviour is identical either way.
+    pub fn with_mode(
+        page_size: PageSize,
+        allocator: Box<dyn FrameAllocator>,
+        sparse: bool,
+    ) -> Self {
+        Self::new_reusing_mode(page_size, allocator, sparse, VmScratch::default())
     }
 
     /// Like [`Vm::new`], but reuses the buffers of `scratch` (from a
@@ -333,16 +351,25 @@ impl Vm {
         allocator: Box<dyn FrameAllocator>,
         scratch: VmScratch,
     ) -> Self {
+        Self::new_reusing_mode(page_size, allocator, true, scratch)
+    }
+
+    /// [`Vm::with_mode`] with scratch reuse ([`Vm::new_reusing`]).
+    pub fn new_reusing_mode(
+        page_size: PageSize,
+        allocator: Box<dyn FrameAllocator>,
+        sparse: bool,
+        scratch: VmScratch,
+    ) -> Self {
         let VmScratch {
             mut tables,
-            mut frame_refs,
+            frame_refs,
             mut tcache,
         } = scratch;
         for table in &mut tables {
             table.reset();
         }
-        frame_refs.clear();
-        frame_refs.resize(allocator.capacity(), 0);
+        let frame_refs = SparseVec::with_storage(allocator.capacity(), 0, !sparse, frame_refs);
         tcache.clear();
         tcache.resize(TCACHE_SLOTS, TcEntry::EMPTY);
         Vm {
@@ -364,9 +391,15 @@ impl Vm {
     pub fn into_scratch(self) -> VmScratch {
         VmScratch {
             tables: self.tables,
-            frame_refs: self.frame_refs,
+            frame_refs: self.frame_refs.into_storage(),
             tcache: self.tcache,
         }
+    }
+
+    /// Allocation statistics of the frame refcount vector's chunked
+    /// backing (materialized chunks, zero-chunk dedups, demand faults).
+    pub fn sparse_stats(&self) -> SparseStats {
+        self.frame_refs.stats()
     }
 
     /// The configured page size.
@@ -492,7 +525,8 @@ impl Vm {
             .allocate(vpn)
             .ok_or(OutOfMemoryError { tid, vpn })?;
         self.table_mut(tid).insert(vpn, Pte::mapped(pfn));
-        self.frame_refs[pfn.raw() as usize] += 1;
+        let i = pfn.raw() as usize;
+        self.frame_refs.store(i, self.frame_refs.load(i) + 1);
         self.faults += 1;
         Ok((pfn, VmEvent::PageRegistered { tid, pfn, vpn }))
     }
@@ -510,12 +544,13 @@ impl Vm {
             self.pte(tid, vpn).is_none(),
             "page {vpn:#x} already mapped for {tid}"
         );
+        let i = pfn.raw() as usize;
         let refs = self
             .frame_refs
-            .get_mut(pfn.raw() as usize)
-            .filter(|r| **r > 0)
+            .get(i)
+            .filter(|&r| r > 0)
             .unwrap_or_else(|| panic!("sharing an unmapped frame {pfn}"));
-        *refs += 1;
+        self.frame_refs.store(i, refs + 1);
         self.table_mut(tid).insert(vpn, Pte::mapped(pfn));
         VmEvent::PageRegistered { tid, pfn, vpn }
     }
@@ -533,9 +568,10 @@ impl Vm {
             .and_then(|t| t.remove(vpn))
             .unwrap_or_else(|| panic!("unmapping absent page {vpn:#x} of {tid}"));
         self.tc_invalidate(tid, vpn);
-        let refs = &mut self.frame_refs[pte.pfn.raw() as usize];
-        *refs -= 1;
-        if *refs == 0 {
+        let i = pte.pfn.raw() as usize;
+        let refs = self.frame_refs.load(i) - 1;
+        self.frame_refs.store(i, refs);
+        if refs == 0 {
             self.allocator.free(pte.pfn);
         }
         VmEvent::PageRemoved {
@@ -834,6 +870,99 @@ mod tests {
         let mut fresh = vm(8);
         let (fresh_pfn, _) = fresh.map_new(T1, 3).unwrap();
         assert_eq!(pfn, fresh_pfn);
+    }
+
+    /// O(1) bump allocator so a huge-capacity test does not pay
+    /// [`SequentialAllocator`]'s eager free list (or its per-free
+    /// re-sort).
+    #[derive(Debug)]
+    struct BumpAllocator {
+        next: u64,
+        freed: usize,
+        capacity: usize,
+    }
+
+    impl tapeworm_mem::FrameAllocator for BumpAllocator {
+        fn allocate(&mut self, _vpn: u64) -> Option<Pfn> {
+            if (self.next as usize) < self.capacity {
+                self.next += 1;
+                Some(Pfn::new(self.next - 1))
+            } else {
+                None
+            }
+        }
+        fn free(&mut self, _pfn: Pfn) {
+            self.freed += 1;
+        }
+        fn available(&self) -> usize {
+            self.capacity - self.next as usize + self.freed
+        }
+        fn capacity(&self) -> usize {
+            self.capacity
+        }
+    }
+
+    #[test]
+    fn huge_frame_table_commits_only_mapped_chunks() {
+        // 64 GiB of 4 KiB frames = 16M refcounts; a sparse VM must not
+        // materialize them. Map and unmap a handful of pages and check
+        // only the touched refcount chunks got backing.
+        let frames = (64u64 << 30) / 4096;
+        let mut vm = Vm::new(
+            PageSize::DEFAULT,
+            Box::new(BumpAllocator {
+                next: 0,
+                freed: 0,
+                capacity: frames as usize,
+            }),
+        );
+        for vpn in 0..8 {
+            vm.map_new(T1, vpn).unwrap();
+        }
+        let stats = vm.sparse_stats();
+        assert!(
+            stats.chunks_allocated <= 1,
+            "8 sequential frames live in one refcount chunk, got {stats:?}"
+        );
+        assert!(stats.zero_chunks_deduped > 10_000);
+        vm.unmap_all(T1);
+        assert_eq!(vm.free_frames(), frames as usize);
+
+        // Dense mode pre-materializes everything and faults never.
+        let dense = Vm::with_mode(
+            PageSize::DEFAULT,
+            Box::new(SequentialAllocator::new(64)),
+            false,
+        );
+        let dstats = dense.sparse_stats();
+        assert_eq!(dstats.chunk_faults, 0);
+        assert_eq!(dstats.zero_chunks_deduped, 0);
+    }
+
+    #[test]
+    fn sparse_and_dense_vms_behave_identically() {
+        let mut sparse = Vm::with_mode(
+            PageSize::DEFAULT,
+            Box::new(SequentialAllocator::new(32)),
+            true,
+        );
+        let mut dense = Vm::with_mode(
+            PageSize::DEFAULT,
+            Box::new(SequentialAllocator::new(32)),
+            false,
+        );
+        for vm in [&mut sparse, &mut dense] {
+            let (pfn, _) = vm.map_new(T1, 3).unwrap();
+            vm.map_shared(T2, 9, pfn);
+            vm.map_new(T1, 100).unwrap();
+            vm.unmap(T1, 3);
+        }
+        assert_eq!(sparse.free_frames(), dense.free_frames());
+        assert_eq!(
+            sparse.translate(T2, VirtAddr::new(9 * 4096)),
+            dense.translate(T2, VirtAddr::new(9 * 4096))
+        );
+        assert_eq!(sparse.resident_pages(T1), dense.resident_pages(T1));
     }
 
     #[test]

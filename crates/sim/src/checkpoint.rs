@@ -434,6 +434,27 @@ pub fn decode_outcome(line: &str) -> Option<(usize, TrialOutcome)> {
     decode_record(line)
 }
 
+/// Serializes a [`tapeworm_mem::TrapMap`]'s full state (geometry,
+/// event counters, bitmap, per-frame counts) as a hex-word payload.
+/// Sparse maps write only their materialized chunks, run-length
+/// encoded, so the payload scales with state touched rather than
+/// memory simulated — a nearly-clear 64 GiB map fits in one line.
+pub fn encode_trap_state(map: &tapeworm_mem::TrapMap) -> String {
+    let mut words = Vec::new();
+    map.snapshot_words(&mut words);
+    hex_words(&words)
+}
+
+/// Inverse of [`encode_trap_state`]. Returns `None` on malformed hex,
+/// truncated or trailing words, inconsistent geometry, or a bitmap
+/// that disagrees with its stored trap count.
+pub fn decode_trap_state(payload: &str) -> Option<tapeworm_mem::TrapMap> {
+    let words = parse_hex_words(payload)?;
+    let mut it = words.iter().copied();
+    let map = tapeworm_mem::TrapMap::restore_words(&mut it)?;
+    it.next().is_none().then_some(map)
+}
+
 /// Persists a committed prefix (or a complete run) of `total` outcomes
 /// as a `tapeworm-checkpoint-v1` document under identity `sweep_id`,
 /// atomically. The server's subprocess backend checkpoints through
@@ -471,6 +492,27 @@ pub fn load_outcomes(path: &Path, sweep_id: u64, total: usize) -> Option<Vec<Tri
 mod tests {
     use super::*;
     use tapeworm_obs::write_atomic;
+
+    #[test]
+    fn trap_state_round_trips_through_hex_payload() {
+        use tapeworm_mem::{PhysAddr, TrapMap};
+        let mut map = TrapMap::new(64 << 30, 16);
+        map.set_range(PhysAddr::new(13 << 30), 4096);
+        map.set_range(PhysAddr::new(0x4000), 64);
+        map.clear_range(PhysAddr::new(0x4000), 16);
+        let payload = encode_trap_state(&map);
+        assert!(
+            payload.len() < 4096,
+            "sparse 64 GiB map must encode compactly, got {} bytes",
+            payload.len()
+        );
+        let restored = decode_trap_state(&payload).expect("round trip");
+        assert_eq!(restored, map);
+        assert_eq!(restored.set_events(), map.set_events());
+        assert_eq!(restored.clear_events(), map.clear_events());
+        assert!(decode_trap_state("zz").is_none());
+        assert!(decode_trap_state(&format!("{payload} 1")).is_none());
+    }
 
     fn sample_outcomes() -> Vec<StoredOutcome> {
         let result = TrialResult::new(

@@ -168,6 +168,13 @@ pub struct SystemConfig {
     /// differential tests); disabling it forces per-miss accounting,
     /// as does the `TW_BATCH=0` environment knob.
     pub miss_batch: bool,
+    /// Whether the machine's physical state (trap bitmap, per-frame
+    /// trap counts, VM frame refcounts) sits on demand-allocated
+    /// chunked backing with zero-chunk dedup. Bit-identical to the
+    /// eagerly materialized layout (pinned by differential tests) —
+    /// only the host footprint differs; disabling forces dense
+    /// backing, as does the `TW_SPARSE=0` environment knob.
+    pub sparse_mem: bool,
 }
 
 impl SystemConfig {
@@ -191,6 +198,7 @@ impl SystemConfig {
             write_policy: tapeworm_mem::WritePolicy::NoAllocateOnWrite,
             fast_path: true,
             miss_batch: true,
+            sparse_mem: true,
         }
     }
 
@@ -262,6 +270,13 @@ impl SystemConfig {
     /// Enables or disables batched miss handling.
     pub fn with_miss_batch(mut self, enabled: bool) -> Self {
         self.miss_batch = enabled;
+        self
+    }
+
+    /// Enables or disables sparse (demand-allocated) physical-state
+    /// backing.
+    pub fn with_sparse_mem(mut self, enabled: bool) -> Self {
+        self.sparse_mem = enabled;
         self
     }
 

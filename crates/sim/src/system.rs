@@ -408,10 +408,13 @@ impl<'c> Engine<'c> {
                 Box::new(ColoringAllocator::new(cfg.frames, colors, trial))
             }
         };
+        let sparse_enabled =
+            cfg.sparse_mem && std::env::var("TW_SPARSE").map_or(true, |v| v != "0");
         let mut os = Os::boot_reusing(
             OsConfig {
                 page_size: page,
                 frames: cfg.frames,
+                sparse_mem: sparse_enabled,
             },
             allocator,
             scratch.vm.take().unwrap_or_default(),
@@ -438,6 +441,7 @@ impl<'c> Engine<'c> {
                 clock_period: cfg.clock_period,
                 breakpoint_registers: 4,
                 write_policy: cfg.write_policy,
+                sparse_mem: sparse_enabled,
             },
             scratch.machine.take().unwrap_or_default(),
         );
@@ -1329,6 +1333,13 @@ impl<'c> Engine<'c> {
             Sim::TwoLevel(_) | Sim::Tlb(_) | Sim::Buffer(_) => 0,
         };
         counters.add(CounterId::VictimMemoHits, memo_hits);
+        let sparse = self
+            .machine
+            .sparse_stats()
+            .merge(self.os.vm().sparse_stats());
+        counters.add(CounterId::SparseChunksAllocated, sparse.chunks_allocated);
+        counters.add(CounterId::ZeroChunksDeduped, sparse.zero_chunks_deduped);
+        counters.add(CounterId::ChunkFaults, sparse.chunk_faults);
 
         let mut phases = PhaseCycles::new();
         phases.add(Phase::Kernel, self.monster.cycles(Component::Kernel));
