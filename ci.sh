@@ -46,6 +46,17 @@
 #      fresh queues so neither can hit the fingerprint cache, must both
 #      land on the golden digest — the backing layout is load-bearing
 #      for footprint, never for results.
+#  10. Sweep-planner differential gate: specs/ci_planner.toml (pruned)
+#      and specs/ci_planner_full.toml (the identical grid, planner off)
+#      drained through the service. The pruned run must actually save
+#      trials, every one of its trial records must appear verbatim in
+#      the full twin's sink (simulated cells are ground truth, never
+#      perturbed by pruning), its sink must tag estimates with
+#      provenance (`estimated: true`, `model: kessler-v1`) and carry
+#      the planner counters, and `TW_PLAN=0` must force the full
+#      engine. Then `perf_throughput --plan` gates the ≥2x trial
+#      saving and the declared interpolation error bound on a 24-cell
+#      sweep.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -272,5 +283,84 @@ for sparse in 0 1; do
   }
 done
 echo "ci.sh: sparse and dense backings agree on $SERVICE_GOLDEN_DIGEST"
+
+echo "=== tier 2: sweep-planner differential gate ==="
+# The pruned spec and its full twin share one queue (their fingerprints
+# differ, so neither can alias the other in the cache): job 000001 is
+# the full ground truth, job 000002 the planner run.
+pqueue=results/ci_queue_planner
+rm -rf "$pqueue"
+./target/release/tapeworm-server once --queue "$pqueue" specs/ci_planner_full.toml \
+  | tee results/server_planner_full.txt
+./target/release/tapeworm-server once --queue "$pqueue" specs/ci_planner.toml \
+  | tee results/server_planner.txt
+grep -q "plan=full" results/server_planner_full.txt || {
+  echo "ci.sh: full twin did not run with plan=full" >&2; exit 1;
+}
+grep -q "plan=pruned" results/server_planner.txt || {
+  echo "ci.sh: planner spec did not run with plan=pruned" >&2; exit 1;
+}
+grep -q "from_cache=false" results/server_planner.txt || {
+  echo "ci.sh: pruned run must never be served from the cache" >&2; exit 1;
+}
+grep -Eq "trials_saved=[1-9]" results/server_planner.txt || {
+  echo "ci.sh: planner saved no trials on the 6-point ladder" >&2; exit 1;
+}
+grep -Eq "cells_interpolated=[1-9]" results/server_planner.txt || {
+  echo "ci.sh: planner interpolated no cells on the 6-point ladder" >&2; exit 1;
+}
+fsink="$pqueue/jobs/000001/result.jsonl"
+psink="$pqueue/jobs/000002/result.jsonl"
+test -s "$fsink" && test -s "$psink" || {
+  echo "ci.sh: planner gate sinks missing" >&2; exit 1;
+}
+# Honest provenance in the pruned sink: interpolated cells are tagged
+# estimates with their model named, simulated metrics carry the
+# opposite tag, and the planner record reports all four counters.
+for needle in '"record": "cell"' '"provenance": "interpolated"' '"estimated": true' \
+              '"model": "kessler-v1"' '"provenance": "simulated"' '"estimated": false' \
+              '"record": "planner"' '"plan": "pruned"' '"cells_simulated"' \
+              '"cells_interpolated"' '"trials_saved"' '"ci_early_stops"' '"miss_bound"'; do
+  grep -qF "$needle" "$psink" || {
+    echo "ci.sh: pruned run sink lacks $needle" >&2; exit 1;
+  }
+done
+# Every trap-simulated trial record of the pruned run must appear
+# verbatim (byte-identical line) in the full twin's sink, and there
+# must be strictly fewer of them: pruning means fewer trials, never
+# different ones.
+grep '"record": "trial"' "$fsink" > results/planner_trials_full.txt
+grep '"record": "trial"' "$psink" > results/planner_trials_pruned.txt
+if grep -Fxvf results/planner_trials_full.txt results/planner_trials_pruned.txt \
+    > results/planner_trials_foreign.txt; then
+  echo "ci.sh: pruned sink contains trial records absent from the full sweep:" >&2
+  cat results/planner_trials_foreign.txt >&2
+  exit 1
+fi
+full_n=$(wc -l < results/planner_trials_full.txt)
+pruned_n=$(wc -l < results/planner_trials_pruned.txt)
+if [ "$pruned_n" -ge "$full_n" ] || [ "$pruned_n" -eq 0 ]; then
+  echo "ci.sh: planner gate: expected 0 < pruned trials < full trials, got $pruned_n vs $full_n" >&2
+  exit 1
+fi
+echo "ci.sh: planner simulated $pruned_n of $full_n trials, all verbatim-identical to the full sweep"
+# The kill switch: TW_PLAN=0 must force the pruned spec down the full
+# path — and, being keyed on the effective mode, hit the full twin's
+# cache entry with the identical digest.
+TW_PLAN=0 ./target/release/tapeworm-server once --queue "$pqueue" specs/ci_planner.toml \
+  | tee results/server_planner_killswitch.txt
+grep -q "plan=full" results/server_planner_killswitch.txt || {
+  echo "ci.sh: TW_PLAN=0 did not force the full engine" >&2; exit 1;
+}
+grep -q "from_cache=true" results/server_planner_killswitch.txt || {
+  echo "ci.sh: TW_PLAN=0 run should hit the full twin's cache entry" >&2; exit 1;
+}
+full_digest=$(grep -o 'digest=0x[0-9a-f]*' results/server_planner_full.txt | head -1)
+grep -q "$full_digest" results/server_planner_killswitch.txt || {
+  echo "ci.sh: TW_PLAN=0 digest diverged from the full twin" >&2; exit 1;
+}
+# The planner perf gate: >=2x fewer trap-simulated trials on a 24-cell
+# sweep, every interpolated cell within its declared error bound.
+./target/release/perf_throughput --plan
 
 echo "ci.sh: all gates passed"

@@ -32,6 +32,13 @@
 //!   because the sparse backing commits chunks on demand; skips
 //!   honestly (exit 0, loud annotation) when the host exposes no
 //!   `VmHWM`.
+//! * `--plan` — the sweep-planner gate: a 24-cell two-workload cache
+//!   ladder run both ways (full engine vs Kessler-pruned planner).
+//!   Fails (exit 1) unless the planner trap-simulates at most half the
+//!   full sweep's trials AND every interpolated cell's miss estimate is
+//!   within its own declared error bound of the full sweep's measured
+//!   mean. Prints both wall times and the max interpolation error.
+//!   Skips honestly when `TW_PLAN=0` forces the planner off.
 //!
 //! Environment: `TW_SEED` (base seed), `TW_THREADS` (the "N" of the
 //! thread ladder), `TW_BASELINE` (override the recorded pre-change
@@ -45,9 +52,12 @@ use std::time::Instant;
 use tapeworm_bench::{
     base_seed, large_mem_smoke_config, max_rss_bytes, threads, LARGE_MEM_SMOKE_BYTES,
 };
-use tapeworm_core::{CacheConfig, TlbSimConfig};
+use tapeworm_core::{CacheConfig, Indexing, TlbSimConfig};
 use tapeworm_obs::{write_atomic, CounterId, MetricsReport};
-use tapeworm_sim::{run_sweep, ComponentSet, SystemConfig};
+use tapeworm_sim::{
+    run_sweep, run_sweep_planned, ComponentSet, PlanMode, PlannedCell, PlannerConfig, SweepOptions,
+    SystemConfig,
+};
 use tapeworm_workload::Workload;
 
 /// Single-thread references/second measured on this machine *before*
@@ -142,6 +152,119 @@ fn run_large_mem_gate() -> ! {
     }
 }
 
+/// The `--plan` gate's sweep: two 12-point cache ladders (24 cells),
+/// one per workload family so the planner sees two interpolation
+/// groups. The mpeg_play ladder is physically indexed (page-allocation
+/// variance — the planner must keep the Kessler-uncertain band), the
+/// espresso ladder virtually indexed and set-sampled (model-confident
+/// interiors interpolate, sampling spread exercises CI early stops).
+fn plan_matrix() -> Vec<SystemConfig> {
+    const LADDER_KB: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+    let dm = |kb: u64| CacheConfig::new(kb * 1024, 16, 1).expect("valid geometry");
+    let mut configs = Vec::with_capacity(2 * LADDER_KB.len());
+    for kb in LADDER_KB {
+        configs.push(
+            SystemConfig::cache(Workload::MpegPlay, dm(kb))
+                .with_components(ComponentSet::user_only())
+                .with_scale(20_000),
+        );
+    }
+    for kb in LADDER_KB {
+        configs.push(
+            SystemConfig::cache(Workload::Espresso, dm(kb).with_indexing(Indexing::Virtual))
+                .with_components(ComponentSet::user_only())
+                .with_scale(20_000)
+                .with_sampling(8),
+        );
+    }
+    configs
+}
+
+/// The `--plan` mode: the ci.sh sweep-planner gate. Exits 1 when the
+/// planner saves fewer than half the trials or any interpolated cell
+/// breaks its declared bound; exits 0 on pass or honest kill-switch
+/// skip.
+fn run_plan_gate() -> ! {
+    let trials = 4usize;
+    let configs = plan_matrix();
+    let seed = base_seed();
+    let options = SweepOptions::default().with_threads(1);
+    println!(
+        "perf_throughput --plan: {} cells x {trials} trials, Kessler-pruned planner vs full sweep",
+        configs.len()
+    );
+
+    let start = Instant::now();
+    let full = run_sweep_planned(&configs, trials, seed, &options, &PlannerConfig::full());
+    let full_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let pruned = run_sweep_planned(&configs, trials, seed, &options, &PlannerConfig::pruned());
+    let pruned_wall = start.elapsed().as_secs_f64();
+
+    if pruned.mode() == PlanMode::Full {
+        println!("plan gate SKIPPED: TW_PLAN forces the full engine, nothing to compare");
+        std::process::exit(0);
+    }
+
+    let full_trials = (configs.len() * trials) as u64;
+    let pruned_trials = full_trials - pruned.trials_saved();
+    let mut max_error = 0.0f64;
+    let mut max_declared_bound = 0.0f64;
+    let mut violations = 0u64;
+    for (c, cell) in pruned.cells().iter().enumerate() {
+        let PlannedCell::Interpolated(estimate) = cell else {
+            continue;
+        };
+        let PlannedCell::Simulated { summary, .. } = &full.cells()[c] else {
+            unreachable!("full mode simulates every cell");
+        };
+        let error = (estimate.misses - summary.misses().mean()).abs();
+        max_error = max_error.max(error);
+        max_declared_bound = max_declared_bound.max(estimate.miss_bound);
+        if error > estimate.miss_bound {
+            violations += 1;
+            eprintln!(
+                "  cell {c}: interpolated {:.3} vs measured {:.3} — error {error:.3} \
+                 exceeds declared bound {:.3}",
+                estimate.misses,
+                summary.misses().mean(),
+                estimate.miss_bound
+            );
+        }
+    }
+
+    println!("  full:   wall={full_wall:8.3}s  trap-simulated trials={full_trials}");
+    println!(
+        "  pruned: wall={pruned_wall:8.3}s  trap-simulated trials={pruned_trials}  \
+         cells_simulated={} cells_interpolated={} trials_saved={} ci_early_stops={}",
+        pruned.cells_simulated(),
+        pruned.cells_interpolated(),
+        pruned.trials_saved(),
+        pruned.ci_early_stops(),
+    );
+    println!(
+        "  max interpolation error {max_error:.3} misses (largest declared bound \
+         {max_declared_bound:.3})"
+    );
+    if violations > 0 {
+        eprintln!("plan gate FAIL: {violations} interpolated cell(s) broke their declared bound");
+        std::process::exit(1);
+    }
+    if pruned_trials * 2 > full_trials {
+        eprintln!(
+            "plan gate FAIL: planner ran {pruned_trials} of {full_trials} trials — \
+             less than the required 2x saving"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "plan gate ok: {full_trials} -> {pruned_trials} trap-simulated trials \
+         ({:.1}x fewer), every estimate within its declared bound",
+        full_trials as f64 / pruned_trials as f64
+    );
+    std::process::exit(0);
+}
+
 fn matrix(scale: u64) -> Vec<(String, SystemConfig)> {
     let dm = |kb: u64| CacheConfig::new(kb * 1024, 16, 1).expect("valid geometry");
     // User-task measurement for the cache ladder: the kernel and the
@@ -175,6 +298,9 @@ fn json_escape(s: &str) -> String {
 fn main() {
     if std::env::args().any(|a| a == "--large-mem") {
         run_large_mem_gate();
+    }
+    if std::env::args().any(|a| a == "--plan") {
+        run_plan_gate();
     }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let gate = std::env::args().any(|a| a == "--gate");

@@ -64,6 +64,19 @@ pub enum CounterId {
     /// Demand-materialization events over the trial's lifetime (first
     /// write into a canonical chunk). Always 0 in dense mode.
     ChunkFaults,
+    /// Sweep cells the planner ran through the trap-driven simulator
+    /// (ground truth). Sweep-level: reported by the planner registry,
+    /// always 0 at trial level.
+    CellsSimulated,
+    /// Sweep cells the planner backfilled by interpolating between
+    /// simulated neighbors (estimates, never ground truth).
+    CellsInterpolated,
+    /// Trap-simulated trials the planner avoided, versus a full sweep
+    /// (whole interpolated cells plus early-stopped tails).
+    TrialsSaved,
+    /// Simulated cells whose trial loop stopped early because the
+    /// running confidence interval closed below the configured bound.
+    CiEarlyStops,
 }
 
 impl CounterId {
@@ -77,7 +90,7 @@ impl CounterId {
     /// All counters, in registry (and JSON) order. New counters are
     /// appended, never reordered: slot indices are a stable ABI for the
     /// checkpoint codec and the Debug-prefix freeze above.
-    pub const ALL: [CounterId; 20] = [
+    pub const ALL: [CounterId; 24] = [
         CounterId::TrapEntries,
         CounterId::TrapsSet,
         CounterId::TrapsCleared,
@@ -98,6 +111,10 @@ impl CounterId {
         CounterId::SparseChunksAllocated,
         CounterId::ZeroChunksDeduped,
         CounterId::ChunkFaults,
+        CounterId::CellsSimulated,
+        CounterId::CellsInterpolated,
+        CounterId::TrialsSaved,
+        CounterId::CiEarlyStops,
     ];
 
     /// Stable slot index for array-backed storage.
@@ -129,6 +146,10 @@ impl CounterId {
             CounterId::SparseChunksAllocated => "sparse_chunks_allocated",
             CounterId::ZeroChunksDeduped => "zero_chunks_deduped",
             CounterId::ChunkFaults => "chunk_faults",
+            CounterId::CellsSimulated => "cells_simulated",
+            CounterId::CellsInterpolated => "cells_interpolated",
+            CounterId::TrialsSaved => "trials_saved",
+            CounterId::CiEarlyStops => "ci_early_stops",
         }
     }
 }

@@ -42,6 +42,10 @@ pub use backend::{
 };
 pub use queue::{JobId, JobQueue, JobState};
 pub use service::{JobReport, ServiceError, ServiceOptions, SweepService};
-pub use sink::{digest_outcomes, read_digest, SinkHeader, RUN_SCHEMA};
+pub use sink::{
+    digest_indexed_outcomes, digest_outcomes, read_digest, render_planned, SinkHeader, RUN_SCHEMA,
+};
 pub use spec::{ModelAxis, SpecError, SweepPlan, SweepSpec, SPEC_VERSION};
-pub use tapeworm_sim::{FaultStats, ObsConfig, RetryPolicy, TrialOutcome, TrialSummary};
+pub use tapeworm_sim::{
+    FaultStats, ObsConfig, PlanMode, PlannerConfig, RetryPolicy, TrialOutcome, TrialSummary,
+};

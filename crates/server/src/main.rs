@@ -112,15 +112,21 @@ fn drain(service: &SweepService, backend: &dyn WorkerBackend) -> Result<(), Stri
     let reports = service.run_pending(backend).map_err(|e| e.to_string())?;
     for r in &reports {
         println!(
-            "job {:06} spec={} backend={} from_cache={} trials_computed={} resumed={} \
-             failed={} digest=0x{:016x}",
+            "job {:06} spec={} backend={} plan={} from_cache={} trials_computed={} resumed={} \
+             failed={} cells_simulated={} cells_interpolated={} trials_saved={} \
+             ci_early_stops={} digest=0x{:016x}",
             r.job,
             r.spec,
             r.backend,
+            r.plan,
             r.from_cache,
             r.stats.trials_computed,
             r.resumed_trials,
             r.failed_trials,
+            r.cells_simulated,
+            r.cells_interpolated,
+            r.trials_saved,
+            r.ci_early_stops,
             r.digest,
         );
     }

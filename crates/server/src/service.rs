@@ -20,8 +20,8 @@ use std::io;
 use std::path::PathBuf;
 
 use tapeworm_sim::{
-    fold_outcomes, load_outcomes, save_outcomes, FaultStats, ObsConfig, RetryPolicy, TrialOutcome,
-    TrialSummary,
+    fold_outcomes, load_outcomes, run_sweep_planned, save_outcomes, FaultStats, ObsConfig,
+    PlanMode, PlannedCell, PlannerConfig, RetryPolicy, SweepOptions, TrialOutcome, TrialSummary,
 };
 
 use crate::backend::{BackendError, BackendOptions, BackendRun, WorkerBackend};
@@ -79,9 +79,24 @@ pub struct JobReport {
     /// Trials that exhausted their retry budget.
     pub failed_trials: usize,
     /// Per-configuration summaries, through the engine's committer.
+    /// For a pruned job these cover the trap-simulated configurations
+    /// only, in config order; the sink's `cell` records carry the full
+    /// per-config provenance.
     pub cells: Vec<TrialSummary>,
     /// Where `result.jsonl` was written.
     pub sink_path: PathBuf,
+    /// Effective execution plan (`"full"` or `"pruned"`, after the
+    /// `TW_PLAN` override).
+    pub plan: &'static str,
+    /// Cells the planner ran through the simulator.
+    pub cells_simulated: u64,
+    /// Cells the planner backfilled from the model (always 0 for
+    /// `full`).
+    pub cells_interpolated: u64,
+    /// Trap-simulated trials avoided versus a full sweep.
+    pub trials_saved: u64,
+    /// Simulated cells stopped early on a tight CI.
+    pub ci_early_stops: u64,
 }
 
 /// A failure that aborted a job (its state becomes `failed`).
@@ -204,7 +219,16 @@ impl SweepService {
         let plan = SweepPlan::resolve(&spec_text).map_err(ServiceError::Spec)?;
         self.queue.set_state(id, JobState::Running)?;
 
-        let fingerprint = plan.fingerprint();
+        // The effective mode (spec `plan` after the `TW_PLAN` override)
+        // decides both the execution path and the cache key, so a
+        // pruned result can never be served for a full request or vice
+        // versa — and pruned runs skip the fingerprint cache entirely.
+        let planner = plan.planner_config().resolve_env();
+        if planner.mode == PlanMode::Pruned {
+            return self.run_job_pruned(id, &plan, &planner);
+        }
+
+        let fingerprint = plan.fingerprint_as(PlanMode::Full);
         let cached: Option<Vec<TrialOutcome>> = if self.options.cache {
             load_outcomes(&self.cache_path(fingerprint), fingerprint, plan.total())
         } else {
@@ -240,6 +264,7 @@ impl SweepService {
             threads: self.options.threads,
             configs: plan.configs().len(),
             trials: plan.trials(),
+            plan: "full",
         };
         let sink_path = self.queue.sink_path(id);
         let digest = sink::write(&sink_path, &header, &run.outcomes, &cells, failed.len())?;
@@ -255,6 +280,7 @@ impl SweepService {
             )?;
         }
 
+        let cells_simulated = cells.len() as u64;
         let report = JobReport {
             job: id,
             spec: plan.spec().name.clone(),
@@ -267,6 +293,78 @@ impl SweepService {
             failed_trials: failed.len(),
             cells,
             sink_path,
+            plan: "full",
+            cells_simulated,
+            cells_interpolated: 0,
+            trials_saved: 0,
+            ci_early_stops: 0,
+        };
+        tapeworm_obs::write_atomic(&self.queue.report_path(id), report.to_json().as_bytes())?;
+        self.queue.set_state(id, JobState::Done)?;
+        Ok(report)
+    }
+
+    /// The pruned (planner-driven) job path. Runs in-process regardless
+    /// of the configured backend — the planner's serial adaptive loop
+    /// *is* the scheduler — and never consults or populates the
+    /// fingerprint cache: estimates are not ground truth and must never
+    /// be replayable as such.
+    fn run_job_pruned(
+        &self,
+        id: JobId,
+        plan: &SweepPlan,
+        planner: &PlannerConfig,
+    ) -> Result<JobReport, ServiceError> {
+        let fingerprint = plan.fingerprint_as(PlanMode::Pruned);
+        let options = SweepOptions::default()
+            .with_threads(1)
+            .with_retry(self.options.retry)
+            .with_obs(self.options.obs);
+        let outcome = run_sweep_planned(
+            plan.configs(),
+            plan.trials(),
+            plan.base(),
+            &options,
+            planner,
+        );
+        let header = SinkHeader {
+            job: &format!("{id:06}"),
+            spec: &plan.spec().name,
+            fingerprint,
+            backend: "planner",
+            from_cache: false,
+            threads: 1,
+            configs: plan.configs().len(),
+            trials: plan.trials(),
+            plan: "pruned",
+        };
+        let sink_path = self.queue.sink_path(id);
+        let digest = sink::write_planned(&sink_path, &header, &outcome)?;
+        let cells: Vec<TrialSummary> = outcome
+            .cells()
+            .iter()
+            .filter_map(|cell| match cell {
+                PlannedCell::Simulated { summary, .. } => Some(summary.clone()),
+                PlannedCell::Interpolated(_) => None,
+            })
+            .collect();
+        let report = JobReport {
+            job: id,
+            spec: plan.spec().name.clone(),
+            backend: "planner".to_string(),
+            fingerprint,
+            digest,
+            from_cache: false,
+            resumed_trials: 0,
+            stats: *outcome.fault_stats(),
+            failed_trials: outcome.failed().len(),
+            cells,
+            sink_path,
+            plan: "pruned",
+            cells_simulated: outcome.cells_simulated(),
+            cells_interpolated: outcome.cells_interpolated(),
+            trials_saved: outcome.trials_saved(),
+            ci_early_stops: outcome.ci_early_stops(),
         };
         tapeworm_obs::write_atomic(&self.queue.report_path(id), report.to_json().as_bytes())?;
         self.queue.set_state(id, JobState::Done)?;
@@ -295,7 +393,9 @@ impl JobReport {
             "{{\"job\": \"{:06}\", \"spec\": \"{}\", \"backend\": \"{}\", \
              \"fingerprint\": \"0x{:016x}\", \"digest\": \"0x{:016x}\", \
              \"from_cache\": {}, \"resumed_trials\": {}, \"trials_computed\": {}, \
-             \"retries\": {}, \"panics\": {}, \"failed_trials\": {}}}\n",
+             \"retries\": {}, \"panics\": {}, \"failed_trials\": {}, \
+             \"plan\": \"{}\", \"cells_simulated\": {}, \"cells_interpolated\": {}, \
+             \"trials_saved\": {}, \"ci_early_stops\": {}}}\n",
             self.job,
             self.spec,
             self.backend,
@@ -307,6 +407,11 @@ impl JobReport {
             self.stats.retries,
             self.stats.panics,
             self.failed_trials,
+            self.plan,
+            self.cells_simulated,
+            self.cells_interpolated,
+            self.trials_saved,
+            self.ci_early_stops,
         )
     }
 }

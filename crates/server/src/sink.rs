@@ -20,7 +20,10 @@ use std::io;
 use std::path::Path;
 
 use tapeworm_obs::{metrics_json_fields, write_atomic, METRICS_SCHEMA};
-use tapeworm_sim::{encode_outcome, encode_outcome_digest_v1, TrialOutcome, TrialSummary};
+use tapeworm_sim::{
+    encode_outcome, encode_outcome_digest_v1, PlannedCell, PlannedOutcome, TrialOutcome,
+    TrialSummary,
+};
 
 use crate::spec::fnv1a;
 
@@ -47,6 +50,9 @@ pub struct SinkHeader<'a> {
     pub configs: usize,
     /// Trials per configuration.
     pub trials: usize,
+    /// Effective execution plan (`"full"` or `"pruned"`, after the
+    /// `TW_PLAN` override).
+    pub plan: &'a str,
 }
 
 /// The deterministic service digest over an outcome vector. Hashes the
@@ -63,6 +69,53 @@ pub fn digest_outcomes(outcomes: &[TrialOutcome]) -> u64 {
     fnv1a(doc.as_bytes())
 }
 
+/// The deterministic digest over explicitly indexed outcomes — the
+/// pruned-sweep counterpart of [`digest_outcomes`], hashing exactly the
+/// trap-simulated (ground-truth) cells at their true global indices.
+/// Interpolated estimates never reach this function, so they can never
+/// be folded into a digest as ground truth. On a full index cover this
+/// equals [`digest_outcomes`] bit for bit.
+pub fn digest_indexed_outcomes(outcomes: &[(usize, TrialOutcome)]) -> u64 {
+    let mut doc = String::new();
+    for (index, outcome) in outcomes {
+        doc.push_str(&encode_outcome_digest_v1(*index, outcome));
+        doc.push('\n');
+    }
+    fnv1a(doc.as_bytes())
+}
+
+fn header_line(header: &SinkHeader<'_>) -> String {
+    format!(
+        "{{\"schema\": \"{RUN_SCHEMA}\", \"job\": \"{}\", \"spec\": \"{}\", \
+         \"fingerprint\": \"0x{:016x}\", \"backend\": \"{}\", \"from_cache\": {}, \
+         \"threads\": {}, \"configs\": {}, \"trials\": {}, \"plan\": \"{}\"}}\n",
+        header.job,
+        header.spec,
+        header.fingerprint,
+        header.backend,
+        header.from_cache,
+        header.threads,
+        header.configs,
+        header.trials,
+        header.plan,
+    )
+}
+
+fn trial_line(index: usize, trials: usize, outcome: &TrialOutcome) -> String {
+    let record = encode_outcome(index, outcome);
+    // Splice the config/trial coordinates ahead of the canonical
+    // record fields: `{"index": ...}` → `{"record": "trial",
+    // "config": c, "trial": t, "index": ...}`. Pruned sinks reuse this
+    // verbatim, so a pruned trial line is bit-identical to the full
+    // sink's line at the same global index.
+    format!(
+        "{{\"record\": \"trial\", \"config\": {}, \"trial\": {}, {}\n",
+        index / trials,
+        index % trials,
+        &record[1..],
+    )
+}
+
 /// Renders the full `tapeworm-server-run-v1` document, returning it
 /// with its digest.
 pub fn render(
@@ -73,31 +126,10 @@ pub fn render(
 ) -> (String, u64) {
     let digest = digest_outcomes(outcomes);
     let mut out = String::with_capacity(256 * (outcomes.len() + cells.len() + 2));
-    out.push_str(&format!(
-        "{{\"schema\": \"{RUN_SCHEMA}\", \"job\": \"{}\", \"spec\": \"{}\", \
-         \"fingerprint\": \"0x{:016x}\", \"backend\": \"{}\", \"from_cache\": {}, \
-         \"threads\": {}, \"configs\": {}, \"trials\": {}}}\n",
-        header.job,
-        header.spec,
-        header.fingerprint,
-        header.backend,
-        header.from_cache,
-        header.threads,
-        header.configs,
-        header.trials,
-    ));
+    out.push_str(&header_line(header));
     let trials = header.trials.max(1);
     for (index, outcome) in outcomes.iter().enumerate() {
-        let record = encode_outcome(index, outcome);
-        // Splice the config/trial coordinates ahead of the canonical
-        // record fields: `{"index": ...}` → `{"record": "trial",
-        // "config": c, "trial": t, "index": ...}`.
-        out.push_str(&format!(
-            "{{\"record\": \"trial\", \"config\": {}, \"trial\": {}, {}\n",
-            index / trials,
-            index % trials,
-            &record[1..],
-        ));
+        out.push_str(&trial_line(index, trials, outcome));
     }
     for (config, cell) in cells.iter().enumerate() {
         out.push_str(&format!(
@@ -128,6 +160,104 @@ pub fn write(
     failed: usize,
 ) -> io::Result<u64> {
     let (doc, digest) = render(header, outcomes, cells, failed);
+    write_atomic(path, doc.as_bytes())?;
+    Ok(digest)
+}
+
+/// Renders a pruned (planner-driven) run document. Trial lines are
+/// emitted only for trap-simulated cells, bit-identical to the full
+/// sink's lines at the same global indices; every configuration gets a
+/// `cell` record carrying its provenance (`estimated: true` plus the
+/// model fields for interpolated cells); metrics lines cover simulated
+/// cells only; a `planner` record carries the sweep-level counters; and
+/// the digest footer hashes exactly the simulated outcomes
+/// ([`digest_indexed_outcomes`]) — an estimate can never enter the
+/// digest.
+pub fn render_planned(header: &SinkHeader<'_>, outcome: &PlannedOutcome) -> (String, u64) {
+    let simulated = outcome.simulated_outcomes();
+    let digest = digest_indexed_outcomes(simulated);
+    let trials = header.trials.max(1);
+    let mut out = String::with_capacity(256 * (simulated.len() + 2 * outcome.cells().len() + 3));
+    out.push_str(&header_line(header));
+    for (index, o) in simulated {
+        out.push_str(&trial_line(*index, trials, o));
+    }
+    for (config, cell) in outcome.cells().iter().enumerate() {
+        match cell {
+            PlannedCell::Simulated {
+                summary,
+                trials_run,
+                early_stop,
+            } => {
+                let ci = match early_stop {
+                    Some(ci) => format!(
+                        ", \"ci_half_width\": {}, \"ci_confidence\": {}",
+                        ci.half_width, ci.confidence
+                    ),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{{\"record\": \"cell\", \"config\": {config}, \
+                     \"provenance\": \"simulated\", \"estimated\": false, \
+                     \"trials_run\": {trials_run}, \"early_stop\": {}{ci}, \
+                     \"misses_mean\": {}}}\n",
+                    early_stop.is_some(),
+                    summary.misses().mean(),
+                ));
+            }
+            PlannedCell::Interpolated(e) => {
+                out.push_str(&format!(
+                    "{{\"record\": \"cell\", \"config\": {config}, \
+                     \"provenance\": \"interpolated\", \"estimated\": true, \
+                     \"model\": \"kessler-v1\", \"left\": {}, \"right\": {}, \
+                     \"misses_mean\": {}, \"slowdown_mean\": {}, \"miss_bound\": {}, \
+                     \"conflict_probability\": {}}}\n",
+                    e.left, e.right, e.misses, e.slowdown, e.miss_bound, e.conflict_probability,
+                ));
+            }
+        }
+    }
+    for (config, cell) in outcome.cells().iter().enumerate() {
+        if let PlannedCell::Simulated { summary, .. } = cell {
+            out.push_str(&format!(
+                "{{\"record\": \"metrics\", \"schema\": \"{METRICS_SCHEMA}\", \
+                 \"config\": {config}, \"trials\": {}, \"provenance\": \"simulated\", \
+                 \"estimated\": false, {}}}\n",
+                summary.results().len(),
+                metrics_json_fields(summary.metrics()),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{{\"record\": \"planner\", \"plan\": \"{}\", \"cells_simulated\": {}, \
+         \"cells_interpolated\": {}, \"trials_saved\": {}, \"ci_early_stops\": {}}}\n",
+        outcome.mode().name(),
+        outcome.cells_simulated(),
+        outcome.cells_interpolated(),
+        outcome.trials_saved(),
+        outcome.ci_early_stops(),
+    ));
+    out.push_str(&format!(
+        "{{\"record\": \"digest\", \"committed\": {}, \"failed\": {}, \
+         \"digest\": \"0x{digest:016x}\"}}\n",
+        simulated.len(),
+        outcome.failed().len(),
+    ));
+    (out, digest)
+}
+
+/// Renders and atomically writes a pruned run sink, returning the
+/// digest over the simulated outcomes.
+///
+/// # Errors
+///
+/// Propagates the atomic-write failure.
+pub fn write_planned(
+    path: &Path,
+    header: &SinkHeader<'_>,
+    outcome: &PlannedOutcome,
+) -> io::Result<u64> {
+    let (doc, digest) = render_planned(header, outcome);
     write_atomic(path, doc.as_bytes())?;
     Ok(digest)
 }
@@ -169,6 +299,7 @@ mod tests {
             threads: 1,
             configs: plan.configs().len(),
             trials: plan.trials(),
+            plan: "full",
         };
         let (doc, digest) = render(&header, &run.outcomes, &cells, failed.len());
         assert_eq!(digest, digest_outcomes(&run.outcomes));
@@ -214,6 +345,7 @@ mod tests {
             threads: 1,
             configs: 2,
             trials: 2,
+            plan: "full",
         };
         let header_b = SinkHeader {
             job: "999999",

@@ -31,7 +31,10 @@
 use std::fmt;
 
 use tapeworm_core::{CacheConfig, TlbSimConfig};
-use tapeworm_sim::{sweep_fingerprint, AllocPolicy, ComponentSet, CostKind, SystemConfig};
+use tapeworm_sim::{
+    planned_sweep_fingerprint, sweep_fingerprint, AllocPolicy, ComponentSet, CostKind, PlanMode,
+    PlannerConfig, SystemConfig,
+};
 use tapeworm_stats::seed::SeedSeq;
 use tapeworm_workload::Workload;
 
@@ -110,11 +113,19 @@ pub struct SweepSpec {
     pub cost: CostKind,
     /// Whether the resident-run fast path is enabled.
     pub fast_path: bool,
+    /// Sweep execution plan: `full` (ground truth everywhere, the
+    /// default) or `pruned` (model-guided planner). The `TW_PLAN`
+    /// environment knob overrides this at run time.
+    pub plan: PlanMode,
+    /// Relative CI half-width bound for the planner's early stop
+    /// (`pruned` only; `0.0` disables early stopping).
+    pub ci_bound: f64,
 }
 
 /// One raw `key = value` right-hand side.
 enum Value {
     Int(u64),
+    Float(f64),
     Bool(bool),
     Str(String),
     IntList(Vec<u64>),
@@ -125,6 +136,7 @@ impl Value {
     fn kind(&self) -> &'static str {
         match self {
             Value::Int(_) => "integer",
+            Value::Float(_) => "float",
             Value::Bool(_) => "boolean",
             Value::Str(_) => "string",
             Value::IntList(_) => "integer array",
@@ -162,9 +174,22 @@ fn parse_scalar(raw: &str, lineno: usize) -> Result<Value, SpecError> {
         "false" => return Ok(Value::Bool(false)),
         _ => {}
     }
-    raw.parse::<u64>()
-        .map(Value::Int)
-        .map_err(|_| SpecError::new(lineno, format!("unrecognised value `{raw}`")))
+    if let Ok(v) = raw.parse::<u64>() {
+        return Ok(Value::Int(v));
+    }
+    // Floats must carry a decimal point, so `inf`/`nan` spellings and
+    // negative integers stay rejected.
+    if raw.contains('.') {
+        if let Ok(v) = raw.parse::<f64>() {
+            if v.is_finite() && v >= 0.0 {
+                return Ok(Value::Float(v));
+            }
+        }
+    }
+    Err(SpecError::new(
+        lineno,
+        format!("unrecognised value `{raw}`"),
+    ))
 }
 
 fn parse_value(raw: &str, lineno: usize) -> Result<Value, SpecError> {
@@ -247,6 +272,8 @@ impl SweepSpec {
         let mut alloc = AllocPolicy::default();
         let mut cost = CostKind::default();
         let mut fast_path = true;
+        let mut plan = PlanMode::Full;
+        let mut ci_bound = PlannerConfig::default().ci_bound;
         let mut seen: Vec<String> = Vec::new();
 
         for (i, raw_line) in text.lines().enumerate() {
@@ -387,6 +414,32 @@ impl SweepSpec {
                     Value::Bool(v) => fast_path = v,
                     v => return Err(type_err(&v, "a boolean")),
                 },
+                "plan" => match value {
+                    Value::Str(s) => {
+                        plan = match s.as_str() {
+                            "full" => PlanMode::Full,
+                            "pruned" => PlanMode::Pruned,
+                            other => {
+                                return Err(SpecError::new(
+                                    lineno,
+                                    format!("unknown plan `{other}` (expected full or pruned)"),
+                                ))
+                            }
+                        }
+                    }
+                    v => return Err(type_err(&v, "a string")),
+                },
+                "ci_bound" => match value {
+                    Value::Float(v) if v < 1.0 => ci_bound = v,
+                    Value::Int(0) => ci_bound = 0.0,
+                    Value::Float(_) | Value::Int(_) => {
+                        return Err(SpecError::new(
+                            lineno,
+                            "`ci_bound` must be in [0, 1) — a relative CI half-width",
+                        ))
+                    }
+                    v => return Err(type_err(&v, "a number")),
+                },
                 other => {
                     return Err(SpecError::new(lineno, format!("unknown key `{other}`")));
                 }
@@ -439,6 +492,8 @@ impl SweepSpec {
             alloc,
             cost,
             fast_path,
+            plan,
+            ci_bound,
         })
     }
 }
@@ -539,12 +594,38 @@ impl SweepPlan {
         sweep_fingerprint(&self.configs, self.spec.trials, self.base())
     }
 
-    /// The service-level fingerprint: the engine identity extended with
-    /// the spec format version and job name. This is the fingerprint
-    /// cache key; any semantic field change moves [`Self::sweep_id`]
-    /// and a rename moves this without touching checkpoints.
+    /// The planner configuration the spec asks for (before the
+    /// `TW_PLAN` environment override).
+    pub fn planner_config(&self) -> PlannerConfig {
+        PlannerConfig {
+            mode: self.spec.plan,
+            ci_bound: self.spec.ci_bound,
+            ..PlannerConfig::default()
+        }
+    }
+
+    /// The service-level fingerprint: the planner-aware engine identity
+    /// ([`planned_sweep_fingerprint`], which folds in the spec's plan
+    /// mode and CI bound) extended with the spec format version and job
+    /// name. This is the fingerprint cache key; because the mode is
+    /// part of it, a pruned run can never be served from the cache for
+    /// a `full` request or vice versa.
     pub fn fingerprint(&self) -> u64 {
-        fnv1a(format!("{SPEC_VERSION}|{}|{:016x}", self.spec.name, self.sweep_id()).as_bytes())
+        self.fingerprint_as(self.spec.plan)
+    }
+
+    /// [`Self::fingerprint`] with the plan mode forced — the key the
+    /// service uses after resolving the `TW_PLAN` override, so the
+    /// cache is keyed on what actually ran, not what the spec asked
+    /// for.
+    pub fn fingerprint_as(&self, mode: PlanMode) -> u64 {
+        let planner = PlannerConfig {
+            mode,
+            ..self.planner_config()
+        };
+        let engine_id =
+            planned_sweep_fingerprint(&self.configs, self.spec.trials, self.base(), &planner);
+        fnv1a(format!("{SPEC_VERSION}|{}|{engine_id:016x}", self.spec.name).as_bytes())
     }
 }
 
@@ -677,6 +758,77 @@ mod tests {
         }
         let err = SweepSpec::parse("name = \"a\"\n\ntrials = [1").unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn plan_and_ci_bound_round_trip_with_full_default() {
+        // Omitted keys: the spec defaults to a full sweep with the
+        // planner's default bound.
+        let plan = SweepPlan::resolve(
+            "name = \"d\"\ntrials = 1\nworkloads = [\"sdet\"]\ncache_kb = [4]\n",
+        )
+        .unwrap();
+        assert_eq!(plan.spec().plan, PlanMode::Full);
+        assert_eq!(plan.spec().ci_bound, PlannerConfig::default().ci_bound);
+        assert_eq!(plan.planner_config().mode, PlanMode::Full);
+        // Explicit keys round-trip into the PlannerConfig.
+        let pruned = SweepPlan::resolve(
+            "name = \"d\"\ntrials = 1\nworkloads = [\"sdet\"]\ncache_kb = [4]\n\
+             plan = \"pruned\"\nci_bound = 0.125\n",
+        )
+        .unwrap();
+        assert_eq!(pruned.spec().plan, PlanMode::Pruned);
+        assert_eq!(pruned.spec().ci_bound, 0.125);
+        let cfg = pruned.planner_config();
+        assert_eq!(cfg.mode, PlanMode::Pruned);
+        assert_eq!(cfg.ci_bound, 0.125);
+        assert_eq!(cfg.min_trials, PlannerConfig::default().min_trials);
+        // ci_bound = 0 (integer spelling) disables early stopping.
+        let zero = SweepPlan::resolve(
+            "name = \"d\"\ntrials = 1\nworkloads = [\"sdet\"]\ncache_kb = [4]\nci_bound = 0\n",
+        )
+        .unwrap();
+        assert_eq!(zero.spec().ci_bound, 0.0);
+    }
+
+    #[test]
+    fn plan_and_ci_bound_reject_bad_values_with_line_numbers() {
+        let base = "name = \"a\"\ntrials = 1\nworkloads = [\"sdet\"]\ncache_kb = [4]\n";
+        for (tail, want) in [
+            ("plan = \"adaptive\"\n", "unknown plan `adaptive`"),
+            ("plan = 3\n", "`plan` must be a string"),
+            ("ci_bound = 1.5\n", "must be in [0, 1)"),
+            ("ci_bound = 2\n", "must be in [0, 1)"),
+            ("ci_bound = \"tight\"\n", "`ci_bound` must be a number"),
+            ("ci_bound = -0.5\n", "unrecognised value"),
+            ("ci_bound = [0.1]\n", "got float"),
+        ] {
+            let err = SweepPlan::resolve(&format!("{base}{tail}"))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(want), "`{want}` not in `{err}`");
+            assert!(err.contains("line 5"), "line number missing in `{err}`");
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_plan_modes_and_bounds() {
+        let base = "name = \"a\"\ntrials = 2\nworkloads = [\"sdet\"]\ncache_kb = [4]\n";
+        let full = SweepPlan::resolve(base).unwrap();
+        let pruned = SweepPlan::resolve(&format!("{base}plan = \"pruned\"\n")).unwrap();
+        // Same engine identity (checkpoints are mode-agnostic ground
+        // truth) but distinct service cache keys.
+        assert_eq!(full.sweep_id(), pruned.sweep_id());
+        assert_ne!(full.fingerprint(), pruned.fingerprint());
+        // The CI bound moves the pruned key but not the full one.
+        let loose =
+            SweepPlan::resolve(&format!("{base}plan = \"pruned\"\nci_bound = 0.25\n")).unwrap();
+        assert_ne!(pruned.fingerprint(), loose.fingerprint());
+        let full_loose = SweepPlan::resolve(&format!("{base}ci_bound = 0.25\n")).unwrap();
+        assert_eq!(full.fingerprint(), full_loose.fingerprint());
+        // fingerprint_as maps each plan onto the other mode's key.
+        assert_eq!(full.fingerprint_as(PlanMode::Pruned), pruned.fingerprint());
+        assert_eq!(pruned.fingerprint_as(PlanMode::Full), full.fingerprint());
     }
 
     #[test]

@@ -4,11 +4,15 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use tapeworm_server::{
-    InProcessBackend, RetryPolicy, ServiceOptions, SubprocessBackend, SweepPlan, SweepService,
-    ENV_FAIL_INDEX,
+    InProcessBackend, PlanMode, RetryPolicy, ServiceOptions, SubprocessBackend, SweepPlan,
+    SweepService, ENV_FAIL_INDEX,
 };
+
+/// Serializes tests that touch the `TW_PLAN` process environment.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 const BASE_SPEC: &str = "name = \"cache-probe\"\ntrials = 2\nseed = 1994\nscale = 20000\n\
                          sampling = 1\ncomponents = \"user\"\nworkloads = [\"espresso\"]\n\
@@ -137,6 +141,108 @@ fn any_single_field_perturbation_misses_the_cache() {
         perturbations.len() + 1,
         "perturbed fingerprints must be pairwise distinct"
     );
+    fs::remove_dir_all(svc.queue().root()).unwrap();
+}
+
+/// Planner modes can never alias each other in the cache: a pruned
+/// result is never served for a `full` request or vice versa, and
+/// pruned runs never populate the cache at all (estimates are not
+/// ground truth).
+#[test]
+fn pruned_and_full_never_share_cache_entries() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    std::env::remove_var("TW_PLAN");
+    let pruned_spec = format!("{BASE_SPEC}plan = \"pruned\"\n");
+    let full = SweepPlan::resolve(BASE_SPEC).unwrap();
+    let pruned = SweepPlan::resolve(&pruned_spec).unwrap();
+    assert_ne!(
+        full.fingerprint(),
+        pruned.fingerprint(),
+        "plan mode must be part of the cache key"
+    );
+    assert_ne!(
+        pruned.fingerprint(),
+        SweepPlan::resolve(&format!("{BASE_SPEC}plan = \"pruned\"\nci_bound = 0.25\n"))
+            .unwrap()
+            .fingerprint(),
+        "the CI bound must be part of the pruned cache key"
+    );
+
+    let svc = temp_service("modes", ServiceOptions::default());
+    let cache_dir = svc.queue().root().join("cache");
+
+    // Full run populates the cache.
+    svc.submit(BASE_SPEC).unwrap();
+    let full_report = svc.run_pending(&InProcessBackend).unwrap().pop().unwrap();
+    assert!(!full_report.from_cache);
+    assert_eq!(full_report.plan, "full");
+    let entries_after_full = fs::read_dir(&cache_dir).unwrap().count();
+    assert_eq!(entries_after_full, 1);
+
+    // The pruned variant of the same grid must not be served from that
+    // entry — it runs the planner — and must not add an entry of its
+    // own.
+    svc.submit(&pruned_spec).unwrap();
+    let pruned_report = svc.run_pending(&InProcessBackend).unwrap().pop().unwrap();
+    assert!(
+        !pruned_report.from_cache,
+        "a full result must never satisfy a pruned request"
+    );
+    assert_eq!(pruned_report.backend, "planner");
+    assert_eq!(pruned_report.plan, "pruned");
+    assert!(pruned_report.stats.trials_computed > 0);
+    assert_eq!(
+        fs::read_dir(&cache_dir).unwrap().count(),
+        entries_after_full,
+        "a pruned run must never populate the fingerprint cache"
+    );
+
+    // A second pruned submission recomputes — no hit in either
+    // direction.
+    svc.submit(&pruned_spec).unwrap();
+    let again = svc.run_pending(&InProcessBackend).unwrap().pop().unwrap();
+    assert!(!again.from_cache, "estimates must never be replayed");
+    assert_eq!(again.digest, pruned_report.digest, "but stay deterministic");
+
+    // The full request still hits its own (ground-truth) entry.
+    svc.submit(BASE_SPEC).unwrap();
+    let hit = svc.run_pending(&InProcessBackend).unwrap().pop().unwrap();
+    assert!(hit.from_cache);
+    assert_eq!(hit.digest, full_report.digest);
+    fs::remove_dir_all(svc.queue().root()).unwrap();
+}
+
+/// `TW_PLAN` decides the *effective* mode, and the cache is keyed on
+/// what actually ran: a pruned spec forced to `full` by the kill
+/// switch hits the full spec's cache entry.
+#[test]
+fn tw_plan_kill_switch_rekeys_the_cache_on_the_effective_mode() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    std::env::remove_var("TW_PLAN");
+    let pruned_spec = format!("{BASE_SPEC}plan = \"pruned\"\n");
+    let full = SweepPlan::resolve(BASE_SPEC).unwrap();
+    let pruned = SweepPlan::resolve(&pruned_spec).unwrap();
+    assert_eq!(
+        pruned.fingerprint_as(PlanMode::Full),
+        full.fingerprint(),
+        "forcing full must map onto the full cache key"
+    );
+
+    let svc = temp_service("killswitch", ServiceOptions::default());
+    svc.submit(BASE_SPEC).unwrap();
+    let full_report = svc.run_pending(&InProcessBackend).unwrap().pop().unwrap();
+
+    std::env::set_var("TW_PLAN", "0");
+    svc.submit(&pruned_spec).unwrap();
+    let forced = svc.run_pending(&InProcessBackend).unwrap();
+    std::env::remove_var("TW_PLAN");
+    let forced = forced.last().unwrap();
+    assert_eq!(forced.plan, "full", "TW_PLAN=0 must force the full path");
+    assert!(
+        forced.from_cache,
+        "the forced-full run is keyed as full and hits the full entry"
+    );
+    assert_eq!(forced.digest, full_report.digest);
     fs::remove_dir_all(svc.queue().root()).unwrap();
 }
 

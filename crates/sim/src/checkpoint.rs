@@ -125,7 +125,7 @@ pub fn sweep_fingerprint(configs: &[SystemConfig], trials: usize, base: SeedSeq)
     fnv1a(format!("{configs:?}|trials={trials}|seed={:x}", base.value()).as_bytes())
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -156,4 +156,88 @@ mod tests {
     fn zero_slots_panics() {
         let _ = expected_colliding_pairs(4, 0);
     }
+
+    #[test]
+    fn hand_computed_small_cases() {
+        // 2 pages in 2 slots: one pair, collides with p = 1/2.
+        assert!((expected_colliding_pairs(2, 2) - 0.5).abs() < 1e-12);
+        assert!((collision_probability(2, 2) - 0.5).abs() < 1e-12);
+        // Variance of that single Bernoulli pair: p(1−p) = 1/4.
+        assert!((colliding_pairs_variance(2, 2) - 0.25).abs() < 1e-12);
+        // 3 pages in 4 slots: C(3,2)/4 = 0.75 expected pairs;
+        // P(all distinct) = (4·3·2)/4³ = 3/8, so P(collision) = 5/8;
+        // variance = 3 · (1/4) · (3/4) = 9/16.
+        assert!((expected_colliding_pairs(3, 4) - 0.75).abs() < 1e-12);
+        assert!((collision_probability(3, 4) - 0.625).abs() < 1e-12);
+        assert!((colliding_pairs_variance(3, 4) - 0.5625).abs() < 1e-12);
+        // Degenerate: 0 or 1 page can never collide, in any cache.
+        assert_eq!(expected_colliding_pairs(0, 7), 0.0);
+        assert_eq!(collision_probability(0, 7), 0.0);
+        assert_eq!(colliding_pairs_variance(1, 7), 0.0);
+    }
+
+    #[test]
+    fn saturation_branch_when_pages_exceed_slots() {
+        // Pigeonhole saturation: every n > s hits exactly 1.0, far past
+        // the product form's domain.
+        for (n, s) in [(9u64, 8u64), (100, 8), (u64::MAX, 1), (2, 1)] {
+            assert_eq!(collision_probability(n, s), 1.0, "n={n} s={s}");
+        }
+        // At the boundary n == s the product form still applies and is
+        // strictly below 1 (some permutation leaves every slot distinct).
+        let p = collision_probability(8, 8);
+        assert!(p < 1.0 && p > 0.99, "got {p}");
+        // Expected pairs and variance keep growing past saturation.
+        assert!(expected_colliding_pairs(100, 8) > expected_colliding_pairs(9, 8));
+        assert!(colliding_pairs_variance(100, 8) > colliding_pairs_variance(9, 8));
+    }
+
+    #[test]
+    fn conflict_curve_is_monotone_and_uncertainty_peaks_near_the_footprint() {
+        // Sweep caches from far below to far above a 32K footprint
+        // (8 pages of 4K).
+        let sizes: Vec<u64> = (0..10).map(|i| (1u64 << i) * 1024).collect(); // 1K..512K
+        let curve = conflict_curve(32 * 1024, 4096, &sizes);
+        // Monotonicity of the curve itself: expected conflicts only
+        // fall as the cache grows, while the coefficient of variation
+        // only rises (conflicts become rare-but-large).
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1, "means must fall: {curve:?}");
+            assert!(w[1].2 >= w[0].2, "cv must rise: {curve:?}");
+        }
+        // The paper's peak property ("conflicts peak when the cache
+        // roughly equals the workload size"): the *uncertainty* of the
+        // collision event, P·(1−P), is pinned at 0 for tiny caches
+        // (conflicts certain) and vanishes for huge ones (conflicts
+        // impossible) — its maximum sits strictly inside, within a few
+        // doublings of the footprint.
+        let uncertainty: Vec<(u64, f64)> = sizes
+            .iter()
+            .map(|&c| {
+                let p = collision_probability(8, (c / 4096).max(1));
+                (c, p * (1.0 - p))
+            })
+            .collect();
+        let &(peak_bytes, peak_u) = uncertainty
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        assert!(
+            (32 * 1024..=256 * 1024).contains(&peak_bytes),
+            "uncertainty peak at {peak_bytes} bytes, expected near the 32K footprint"
+        );
+        assert!(peak_u > uncertainty.first().unwrap().1);
+        assert!(peak_u > uncertainty.last().unwrap().1);
+        // Unimodal: rising flank then falling flank, no second peak.
+        let peak_at = uncertainty
+            .iter()
+            .position(|&(_, u)| u == peak_u)
+            .expect("peak is on the curve");
+        for w in uncertainty[..=peak_at].windows(2) {
+            assert!(w[0].1 <= w[1].1, "rising flank: {uncertainty:?}");
+        }
+        for w in uncertainty[peak_at..].windows(2) {
+            assert!(w[0].1 >= w[1].1, "falling flank: {uncertainty:?}");
+        }
+    }
 }

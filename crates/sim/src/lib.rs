@@ -26,6 +26,12 @@
 //!   graceful degradation ([`SweepOutcome::failed`]), versioned
 //!   checkpoint/resume ([`CheckpointConfig`]) and deterministic fault
 //!   injection ([`FaultPlan`]) for the chaos harness.
+//! * [`run_sweep_planned`] is the model-guided sweep planner on top:
+//!   the Kessler conflict model ([`kessler`]) prunes the grid to the
+//!   cells where the model is uncertain, adaptive Student-t sampling
+//!   stops cells early once their miss-count CI closes, and the rest
+//!   are interpolated with a declared error bound and explicit
+//!   estimated provenance ([`PlannedCell`]). `TW_PLAN=0` kills it.
 //!
 //! Determinism contract: workload reference streams derive from the
 //! experiment's *base* seed and are identical across trials; only the
@@ -43,6 +49,7 @@ pub mod compare;
 mod config;
 mod fault;
 pub mod kessler;
+mod planner;
 mod result;
 mod sweep;
 mod system;
@@ -54,6 +61,10 @@ pub use checkpoint::{
 };
 pub use config::{AllocPolicy, ComponentSet, CostKind, SimModel, SystemConfig};
 pub use fault::FaultPlan;
+pub use planner::{
+    planned_sweep_fingerprint, run_sweep_planned, EstimatedCell, PlanMode, PlannedCell,
+    PlannedOutcome, PlannerConfig, ENV_PLAN,
+};
 pub use result::TrialResult;
 pub use sweep::{
     fold_outcomes, run_sweep, run_sweep_cell, run_sweep_resilient, run_sweep_resilient_observed,

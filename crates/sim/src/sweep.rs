@@ -342,8 +342,10 @@ impl<'a> Fold<'a> {
 }
 
 /// Runs one `(config, trial)` cell of a sweep exactly as the resilient
-/// engine would, reusing the caller's scratch.
-fn run_cell_reusing(
+/// engine would, reusing the caller's scratch. Shared with the planner
+/// (`crate::planner`), whose simulated cells must be bit-identical to
+/// the cells a full sweep commits.
+pub(crate) fn run_cell_reusing(
     configs: &[SystemConfig],
     trials: usize,
     base: SeedSeq,

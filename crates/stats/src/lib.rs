@@ -8,6 +8,8 @@
 //!
 //! * [`Summary`] / [`OnlineStats`] — the exact summary shape those tables
 //!   use, computed with Welford's numerically stable online algorithm.
+//! * [`ci`] — Student-t confidence intervals for trial means, the sweep
+//!   planner's adaptive stopping rule.
 //! * [`Zipf`] — a Zipf-distributed sampler used by the synthetic workload
 //!   models to pick "procedures" with realistic popularity skew.
 //! * [`Rng`] — a small, dependency-free SplitMix64 generator providing the
@@ -39,10 +41,12 @@ mod rng;
 mod summary;
 mod zipf;
 
+pub mod ci;
 pub mod seed;
 pub mod table;
 pub mod trials;
 
+pub use ci::{mean_ci, mean_ci_from_parts, student_t_critical, MeanCi};
 pub use online::OnlineStats;
 pub use rng::{Rng, Sample, SampleRange};
 pub use seed::SeedSeq;
