@@ -72,17 +72,37 @@ cargo test -q --workspace
 echo "=== tier 2: warnings-as-errors (workspace, all targets) ==="
 RUSTFLAGS="-D warnings" cargo check -q --workspace --all-targets
 RUSTFLAGS="-D warnings" cargo check -q -p tapeworm-bench --features microbench --all-targets
+RUSTFLAGS="-D warnings" cargo check -q -p tapeworm-core --features sched-fuzz --all-targets
+
+echo "=== tier 2: miss-schedule signature fuzz (dependency-free) ==="
+# SplitMix64-perturbed entry states must never replay a schedule
+# recorded under different state — the honesty core of the
+# set-state/miss-schedule layer (crates/core/tests/sched_fuzz.rs).
+cargo test -q --release -p tapeworm-core --features sched-fuzz --test sched_fuzz
 
 echo "=== tier 2: perf_throughput gate run ==="
 ./target/release/perf_throughput --gate
 test -s results/BENCH.json || { echo "ci.sh: results/BENCH.json missing or empty" >&2; exit 1; }
 for key in schema per_config runs host_cpus scaling_status scaling two_thread_refs_per_sec \
            two_thread_speedup single_thread_refs_per_sec speedup_vs_baseline \
-           large_mem_bytes sparse_rss_bytes sparse_chunks_allocated chunk_faults; do
+           large_mem_bytes sparse_rss_bytes sparse_chunks_allocated chunk_faults \
+           trap_entries ns_per_miss; do
   grep -q "\"$key\"" results/BENCH.json || {
     echo "ci.sh: results/BENCH.json lacks \"$key\"" >&2; exit 1;
   }
 done
+# Single-cpu honesty: when the harness declared the scaling ladder
+# SKIPPED, every multi-thread runs/scaling entry must carry the
+# "informational": true tag (and on a real multi-core host none may).
+if grep -q '"scaling_status": "SKIPPED' results/BENCH.json; then
+  grep -q '"informational": true' results/BENCH.json || {
+    echo "ci.sh: scaling SKIPPED but no entry tagged \"informational\"" >&2; exit 1;
+  }
+else
+  if grep -q '"informational": true' results/BENCH.json; then
+    echo "ci.sh: multi-core host but entries tagged \"informational\"" >&2; exit 1;
+  fi
+fi
 
 echo "=== tier 2: bench regression gate (15% tolerance) ==="
 if [ -s results/BENCH_baseline.json ]; then
@@ -168,6 +188,7 @@ for key in schema source mode per_config totals counters phases dilation slowdow
            breakpoint_checks sched_quanta trial_retries trial_panics trials_failed \
            workers_respawned clock_ticks_dropped fast_runs fast_words \
            miss_batch_flushes victim_memo_hits \
+           sched_replays sched_records sched_sig_misses \
            sparse_chunks_allocated zero_chunks_deduped chunk_faults \
            user kernel handler replacement recorded dropped; do
   grep -q "\"$key\"" results/METRICS.json || {
@@ -188,6 +209,18 @@ cargo build -q --release -p tapeworm-bench --features microbench
 test -s results/MICROBENCH.json || { echo "ci.sh: results/MICROBENCH.json missing or empty" >&2; exit 1; }
 grep -q '"schema": "tapeworm-microbench-v1"' results/MICROBENCH.json || {
   echo "ci.sh: results/MICROBENCH.json has wrong schema id" >&2; exit 1;
+}
+
+echo "=== tier 2: miss-path microbench (informational) ==="
+# Decomposes the per-miss service cost: stepwise handler vs set-state
+# burst (recording) vs miss-schedule replay, plus the signature
+# verification and table-lookup primitives. Informational like the
+# trapset microbench: the tapeworm-microbench-v1 schema is gated, the
+# host-local nanoseconds are not.
+./target/release/microbench_miss
+test -s results/MICROBENCH_MISS.json || { echo "ci.sh: results/MICROBENCH_MISS.json missing or empty" >&2; exit 1; }
+grep -q '"schema": "tapeworm-microbench-v1"' results/MICROBENCH_MISS.json || {
+  echo "ci.sh: results/MICROBENCH_MISS.json has wrong schema id" >&2; exit 1;
 }
 
 echo "=== tier 2: memory-footprint gate (64 GiB simulated, sparse backing) ==="

@@ -1,0 +1,259 @@
+//! Miss-path decomposition microbenchmark, writing
+//! `results/MICROBENCH_MISS.json` (`tapeworm-microbench-v1`).
+//!
+//! The throughput gate's `ns_per_miss` folds the whole service stack
+//! into one number; this harness times the layers the set-state /
+//! miss-schedule work separates, each in the shape the engine actually
+//! uses, so a regression is attributable to a layer:
+//!
+//! * `trapped_run_probe` — the bitmap probe that sizes a burst (the
+//!   only trapset read the scheduled path performs);
+//! * `handle_miss_stepwise` — the per-miss stepwise handler on a
+//!   conflict-displacing ladder (the cost every burst layer amortizes);
+//! * `burst_record_per_miss` — whole-page burst service through the
+//!   set-state table with the schedule store cleared each time, i.e.
+//!   probe + per-set classification + signature recording;
+//! * `burst_replay_per_miss` — the same bursts in signature
+//!   steady-state, answered by miss-schedule replay with zero trapset
+//!   probes beyond the entry run;
+//! * `replay_lookup_refresh_per_miss` — replay of an all-Refresh burst
+//!   (aliased duplicates, no cache writes): the pure table-lookup plus
+//!   set-state verification overhead.
+//!
+//! Build with the `microbench` feature:
+//! `cargo run --release --features microbench --bin microbench_miss`.
+//! Like the trapset microbench, the JSON schema is CI-gated and the
+//! host-local nanoseconds are informational.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use tapeworm_core::{BurstRequest, CacheConfig, CostModel, MissSchedule, Tapeworm};
+use tapeworm_machine::Component;
+use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+use tapeworm_obs::write_atomic;
+use tapeworm_os::Tid;
+use tapeworm_stats::SeedSeq;
+
+/// Schema identifier stamped into the microbench artifact.
+const MICROBENCH_SCHEMA: &str = "tapeworm-microbench-v1";
+
+/// One timed case: median-of-batches nanoseconds per miss.
+struct Case {
+    name: &'static str,
+    ns_per_op: f64,
+    ops: u64,
+}
+
+/// Times `op` over `per_batch` iterations × `batches`, returning the
+/// median batch's ns/op — robust against a stray descheduling blip.
+fn time_case(batches: usize, per_batch: u64, mut op: impl FnMut(u64)) -> f64 {
+    let mut samples: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for i in 0..per_batch {
+                op(i);
+            }
+            start.elapsed().as_nanos() as f64 / per_batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+const MEM_BYTES: u64 = 1 << 20;
+const LINE: u64 = 16;
+const PAGE: u64 = 4096;
+/// Lines (= granules = sets) in one page of the direct-mapped 4 KiB
+/// geometry: a whole-page burst services this many misses.
+const PAGE_LINES: u64 = PAGE / LINE;
+
+/// A fresh direct-mapped 4 KiB Tapeworm (sets × line = one page, so
+/// the scheduled burst path is eligible) with `pages` identity-mapped
+/// registered pages, every line trapped.
+fn build(pages: u64) -> (Tapeworm, TrapMap) {
+    let cache = CacheConfig::new(4096, LINE, 1).expect("valid geometry");
+    let mut tw = Tapeworm::new(cache, PAGE, SeedSeq::new(7)).with_cost(CostModel::optimized());
+    let mut traps = TrapMap::new(MEM_BYTES, LINE);
+    for page in 0..pages {
+        tw.tw_register_page(&mut traps, Tid::KERNEL, Pfn::new(page), page);
+    }
+    assert!(tw.sched_eligible(), "dm-4k must admit the burst path");
+    (tw, traps)
+}
+
+/// A whole-page burst request over identity-mapped page `page`.
+fn page_burst(page: u64) -> BurstRequest {
+    BurstRequest {
+        component: Component::User,
+        tid: Tid::KERNEL,
+        va: VirtAddr::new(page * PAGE),
+        pa: PhysAddr::new(page * PAGE),
+        rem_words: PAGE / 4,
+        page_end_va: (page + 1) * PAGE,
+        budget_milli: 1 << 40,
+        cpi_milli: 1000,
+        dilate_ov_milli: 0,
+        masked: false,
+        want_victims: false,
+    }
+}
+
+fn main() {
+    let batches = 7;
+    let mut cases: Vec<Case> = Vec::new();
+    let mut push = |name, per_batch: u64, ns| {
+        println!("  {name:<28} {ns:>9.2} ns/miss");
+        cases.push(Case {
+            name,
+            ns_per_op: ns,
+            ops: per_batch,
+        });
+    };
+    println!("microbench_miss: dm-4k, line {LINE}, page {PAGE}");
+
+    // The burst-entry probe: size a fully trapped page-long run from
+    // the bitmap. This is the only trapset read the scheduled path
+    // keeps per burst, so it is priced per *burst* here, per miss in
+    // the burst cases below.
+    let (_, mut traps) = build(2);
+    traps.set_range(PhysAddr::new(0), 2 * PAGE);
+    let n = 1_000_000;
+    push(
+        "trapped_run_probe",
+        n,
+        time_case(batches, n, |i| {
+            black_box(traps.trapped_run(PhysAddr::new(((i % 2) * PAGE) & !(LINE - 1)), PAGE_LINES));
+        }),
+    );
+
+    // Stepwise baseline: two identity-mapped pages conflicting in the
+    // direct-mapped cache. Striding linearly through both, every
+    // access displaces (and re-traps) the other page's line, so each
+    // call is a genuine trapped conflict miss and the ladder is
+    // self-sustaining — no per-op re-arm.
+    let (mut tw, mut traps) = build(2);
+    let footprint = 2 * PAGE;
+    let misses = 200_000;
+    push(
+        "handle_miss_stepwise",
+        misses,
+        time_case(batches, misses, |i| {
+            let off = (i * LINE) % footprint;
+            let (va, pa) = (VirtAddr::new(off), PhysAddr::new(off));
+            black_box(tw.handle_miss(&mut traps, Component::User, Tid::KERNEL, va, pa));
+        }),
+    );
+
+    // Burst service through the set-state table, alternating the same
+    // two conflicting pages so each whole-page burst displaces (and
+    // re-traps) the other page — self-sustaining like the stepwise
+    // ladder. With the store cleared each op every burst records.
+    let (mut tw, mut traps) = build(2);
+    let mut sched = MissSchedule::new();
+    let bursts = 2_000;
+    let record_ns = time_case(batches, bursts, |i| {
+        sched.clear();
+        let req = page_burst(i % 2);
+        let served = tw.service_burst(&mut traps, &mut sched, &req);
+        debug_assert!(served.is_some());
+        black_box(served);
+    });
+    assert_eq!(sched.replays(), 0, "cleared store cannot replay");
+    push(
+        "burst_record_per_miss",
+        bursts * PAGE_LINES,
+        record_ns / PAGE_LINES as f64,
+    );
+
+    // The same alternating bursts with the store kept: after one
+    // record per (key, set-state) shape the signatures recur every
+    // round and the schedule replays with zero probes.
+    let (mut tw, mut traps) = build(2);
+    let mut sched = MissSchedule::new();
+    let replay_ns = time_case(batches, bursts, |i| {
+        let req = page_burst(i % 2);
+        let served = tw.service_burst(&mut traps, &mut sched, &req);
+        debug_assert!(served.is_some());
+        black_box(served);
+    });
+    assert!(
+        sched.replays() > sched.records() * 100,
+        "displace bursts must reach replay steady-state \
+         (replays {} records {})",
+        sched.replays(),
+        sched.records()
+    );
+    push(
+        "burst_replay_per_miss",
+        bursts * PAGE_LINES,
+        replay_ns / PAGE_LINES as f64,
+    );
+
+    // Pure lookup + verification: an all-Refresh burst (every granule
+    // an aliased duplicate of a resident line) replays without writing
+    // a single cache slot, so what remains is the schedule-key lookup,
+    // the verbatim set-state comparison and the merged trap clear. The
+    // span is re-armed each op; the cache never changes, so the first
+    // record's signature holds forever.
+    let (mut tw, mut traps) = build(1);
+    for g in 0..PAGE_LINES {
+        let off = g * LINE;
+        tw.handle_miss(
+            &mut traps,
+            Component::User,
+            Tid::KERNEL,
+            VirtAddr::new(off),
+            PhysAddr::new(off),
+        );
+    }
+    let mut sched = MissSchedule::new();
+    let span_lines = 64u64;
+    let refresh_ns = time_case(batches, bursts, |_| {
+        tw.tw_set_trap(&mut traps, PhysAddr::new(0), span_lines * LINE);
+        let req = BurstRequest {
+            rem_words: span_lines * LINE / 4,
+            ..page_burst(0)
+        };
+        let served = tw.service_burst(&mut traps, &mut sched, &req);
+        debug_assert!(served.is_some());
+        black_box(served);
+    });
+    assert!(
+        sched.replays() > 0 && sched.records() <= 1,
+        "refresh burst must replay its single recorded schedule \
+         (replays {} records {})",
+        sched.replays(),
+        sched.records()
+    );
+    push(
+        "replay_lookup_refresh_per_miss",
+        bursts * span_lines,
+        refresh_ns / span_lines as f64,
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"{MICROBENCH_SCHEMA}\",");
+    let _ = writeln!(json, "  \"source\": \"microbench_miss\",");
+    let _ = writeln!(json, "  \"mem_bytes\": {MEM_BYTES},");
+    let _ = writeln!(json, "  \"granule\": {LINE},");
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.3}, \"ops\": {}}}{}",
+            c.name,
+            c.ns_per_op,
+            c.ops,
+            if i + 1 == cases.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    write_atomic(Path::new("results/MICROBENCH_MISS.json"), json.as_bytes())
+        .expect("results/MICROBENCH_MISS.json must be writable");
+    println!("wrote results/MICROBENCH_MISS.json");
+}

@@ -12,7 +12,13 @@
 //! written machine-readably (and atomically: temp file + rename) to
 //! `results/BENCH.json` so future PRs have a recorded trajectory to
 //! beat, and the per-config observability metrics go to
-//! `results/METRICS.json` (`tapeworm-metrics-v1`).
+//! `results/METRICS.json` (`tapeworm-metrics-v1`). Each per-config
+//! entry also carries `ns_per_miss` (wall time over serviced trap
+//! entries) so per-miss-cost regressions stay visible even when the
+//! hit-dominated `refs_per_sec` hides them. On a single-cpu host the
+//! multi-thread `runs`/`scaling` entries are tagged
+//! `"informational": true` — they time-slice one core and are not
+//! scaling data.
 //!
 //! Self-contained: no criterion, no external dependencies. The JSON is
 //! emitted by hand.
@@ -91,6 +97,15 @@ struct ConfigCell {
     chunks_allocated: u64,
     /// Demand-materialization faults over the trial's lifetime.
     chunk_faults: u64,
+    /// Serviced misses across the cell's trials: ECC trap entries for
+    /// the cache configs, software-tcache refills for the TLB config
+    /// (whose misses vector through the translation path, not the
+    /// valid-bit trap). The per-miss denominator.
+    trap_entries: u64,
+    /// Wall nanoseconds per serviced miss — the number the
+    /// set-state/miss-schedule work moves, separated from the hit-path
+    /// throughput that `refs_per_sec` folds in. 0.0 when no misses.
+    ns_per_miss: f64,
 }
 
 /// Runs one sweep over [`LARGE_MEM_SMOKE_BYTES`] of simulated physical
@@ -371,9 +386,18 @@ fn main() {
         let counters = &out[0].metrics().counters;
         let chunks_allocated = counters.get(CounterId::SparseChunksAllocated);
         let chunk_faults = counters.get(CounterId::ChunkFaults);
+        let mut trap_entries = counters.get(CounterId::TrapEntries);
+        if trap_entries == 0 {
+            trap_entries = counters.get(CounterId::TcacheMisses);
+        }
+        let ns_per_miss = if trap_entries > 0 {
+            wall * 1e9 / trap_entries as f64
+        } else {
+            0.0
+        };
         println!(
             "  config {name:<12} wall={wall:8.3}s  refs/sec={refs_per_sec:12.0}  \
-             chunks={chunks_allocated} faults={chunk_faults}"
+             ns/miss={ns_per_miss:8.1}  chunks={chunks_allocated} faults={chunk_faults}"
         );
         metrics_report.push(name, trials as u64, out[0].metrics().clone());
         per_config.push(ConfigCell {
@@ -383,6 +407,8 @@ fn main() {
             refs_per_sec,
             chunks_allocated,
             chunk_faults,
+            trap_entries,
+            ns_per_miss,
         });
     }
 
@@ -454,26 +480,41 @@ fn main() {
     for (i, c) in per_config.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"config\": \"{}\", \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}, \"sparse_chunks_allocated\": {}, \"chunk_faults\": {}}}{}",
+            "    {{\"config\": \"{}\", \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}, \"trap_entries\": {}, \"ns_per_miss\": {:.2}, \"sparse_chunks_allocated\": {}, \"chunk_faults\": {}}}{}",
             json_escape(&c.name),
             c.wall_secs,
             c.instructions,
             c.refs_per_sec,
+            c.trap_entries,
+            c.ns_per_miss,
             c.chunks_allocated,
             c.chunk_faults,
             if i + 1 == per_config.len() { "" } else { "," }
         );
     }
     let _ = writeln!(json, "  ],");
+    // On a single-cpu host every run beyond one thread time-slices a
+    // single core; tag those entries `"informational": true` so
+    // downstream consumers (and the ci.sh schema check) can separate
+    // real scaling data from scheduling noise instead of guessing from
+    // `host_cpus` at a distance.
+    let informational = |threads: usize| {
+        if host_cpus == 1 && threads > 1 {
+            ", \"informational\": true"
+        } else {
+            ""
+        }
+    };
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"threads\": {}, \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}}}{}",
+            "    {{\"threads\": {}, \"wall_secs\": {:.6}, \"instructions\": {}, \"refs_per_sec\": {:.0}{}}}{}",
             r.threads,
             r.wall_secs,
             r.instructions,
             r.refs_per_sec,
+            informational(r.threads),
             if i + 1 == runs.len() { "" } else { "," }
         );
     }
@@ -506,9 +547,10 @@ fn main() {
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"threads\": {}, \"speedup_vs_single\": {:.3}}}{}",
+            "    {{\"threads\": {}, \"speedup_vs_single\": {:.3}{}}}{}",
             r.threads,
             r.refs_per_sec / single.refs_per_sec,
+            informational(r.threads),
             if i + 1 == runs.len() { "" } else { "," }
         );
     }

@@ -55,6 +55,7 @@ mod cost;
 mod hierarchy;
 pub mod portability;
 mod sampling;
+mod schedule;
 mod stats;
 mod tapeworm;
 mod tlbsim;
@@ -64,6 +65,7 @@ pub use config::{CacheConfig, CacheConfigError, Indexing, Replacement};
 pub use cost::CostModel;
 pub use hierarchy::TwoLevelTapeworm;
 pub use sampling::SetSample;
+pub use schedule::{BurstRequest, BurstServed, MissSchedule};
 pub use stats::MissStats;
 pub use tapeworm::Tapeworm;
 pub use tlbsim::{TlbSim, TlbSimConfig};

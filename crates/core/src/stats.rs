@@ -44,6 +44,19 @@ impl MissStats {
         self.misses[component.index()] += 1;
     }
 
+    /// Records `n` observed misses for `component` in one call — the
+    /// batched equivalent of `n` [`MissStats::count_miss`] calls, used
+    /// by the scheduled burst path.
+    pub fn count_misses(&mut self, component: Component, n: u64) {
+        self.misses[component.index()] += n;
+    }
+
+    /// Records `n` interrupt-masked misses in one call — the batched
+    /// equivalent of `n` [`MissStats::count_masked`] calls.
+    pub fn count_masked_n(&mut self, n: u64) {
+        self.masked_estimate += n;
+    }
+
     /// Records a miss known to have been lost to interrupt masking
     /// (accounted separately; "special code around these regions helps
     /// Tapeworm to take their cache effects into account", §4.2).

@@ -1,0 +1,165 @@
+// Dependency-free fuzz suite for the miss-schedule signature. Enable
+// with `--features sched-fuzz` (wired into ci.sh).
+#![cfg(feature = "sched-fuzz")]
+
+//! Signature soundness: a burst whose entry state differs from the
+//! recorded occurrence must never be answered by replay.
+//!
+//! The property under test is the honesty core of
+//! `Tapeworm::service_burst`: the schedule key plus the recomputed
+//! `(k, words)` run shape plus the verbatim set-state comparison must
+//! separate *every* pair of differing entry states. The suite builds a
+//! deterministic state, records a schedule, rebuilds the identical
+//! state (which must replay — the sanity arm), then rebuilds once more
+//! with one SplitMix64-chosen perturbation — a trap bit cleared inside
+//! the recorded run, or a foreign line inserted into a covered set —
+//! and asserts the perturbed service records afresh instead of
+//! replaying.
+
+use tapeworm_core::{BurstRequest, CacheConfig, MissSchedule, Tapeworm};
+use tapeworm_machine::Component;
+use tapeworm_mem::{Pfn, PhysAddr, TrapMap, VirtAddr};
+use tapeworm_os::Tid;
+use tapeworm_stats::SeedSeq;
+
+const PAGE: u64 = 4096;
+const MEM: u64 = 1 << 20;
+const LINE: u64 = 16;
+const PAGES: u64 = 8;
+const ITERS: u64 = 96;
+
+/// SplitMix64 (Steele et al.): the same generator the workloads use,
+/// reimplemented here so the suite needs no dev-dependencies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Geometries that pass `sched_eligible`: physically indexed FIFO with
+/// sets × line covering a page.
+fn geometries() -> Vec<CacheConfig> {
+    vec![
+        CacheConfig::new(4 * 1024, LINE, 1).expect("valid geometry"),
+        CacheConfig::new(8 * 1024, LINE, 2).expect("valid geometry"),
+        CacheConfig::new(16 * 1024, LINE, 4).expect("valid geometry"),
+    ]
+}
+
+/// Builds a deterministic simulator state: identity-mapped pages plus
+/// a seed-driven warm-up of stepwise misses that scrambles resident
+/// lines, FIFO cursors and trap bits.
+fn build(cfg: &CacheConfig, state_seed: u64) -> (Tapeworm, TrapMap) {
+    let mut tw = Tapeworm::new(cfg.clone(), PAGE, SeedSeq::new(1994));
+    let mut traps = TrapMap::new(MEM, LINE);
+    let tid = Tid::new(1);
+    for p in 0..PAGES {
+        tw.tw_register_page(&mut traps, tid, Pfn::new(p), p);
+    }
+    let mut rng = SplitMix64(state_seed);
+    let warm = 32 + rng.next() % 96;
+    for _ in 0..warm {
+        let addr = (rng.next() % (PAGES * PAGE)) & !3;
+        let pa = PhysAddr::new(addr);
+        if traps.is_trapped(pa) {
+            tw.handle_miss(&mut traps, Component::User, tid, VirtAddr::new(addr), pa);
+        }
+    }
+    (tw, traps)
+}
+
+/// A seed-driven burst request over the identity-mapped pages.
+fn request(req_seed: u64) -> BurstRequest {
+    let mut rng = SplitMix64(req_seed);
+    let page = rng.next() % PAGES;
+    let va = page * PAGE + (rng.next() % (PAGE / 4)) * 4;
+    BurstRequest {
+        component: Component::User,
+        tid: Tid::new(1),
+        va: VirtAddr::new(va),
+        pa: PhysAddr::new(va),
+        rem_words: 1 + rng.next() % 256,
+        page_end_va: (page + 1) * PAGE,
+        budget_milli: 1 << 40,
+        cpi_milli: 1000,
+        dilate_ov_milli: 0,
+        masked: false,
+        want_victims: false,
+    }
+}
+
+/// Identical state replays; any single perturbation of the entry state
+/// — trap bit or resident line — forces a fresh record instead.
+#[test]
+fn perturbed_entry_state_never_replays() {
+    for cfg in geometries() {
+        let mut recorded = 0u64;
+        for iter in 0..ITERS {
+            let state_seed = 0x5eed_0000 + iter;
+            let req_seed = 0xbeef_0000 + iter * 7;
+            let req = request(req_seed);
+            let mut sched = MissSchedule::new();
+
+            // Arm 1: record.
+            let (mut tw, mut traps) = build(&cfg, state_seed);
+            assert!(tw.sched_eligible(), "fuzz geometry must be eligible");
+            let Some(first) = tw.service_burst(&mut traps, &mut sched, &req) else {
+                continue; // clean entry granule: nothing recorded
+            };
+            assert!(!first.replayed, "a fresh schedule cannot replay");
+            assert_eq!(sched.records(), 1);
+            recorded += 1;
+
+            // Arm 2 (sanity): the identical state must replay.
+            let (mut tw, mut traps) = build(&cfg, state_seed);
+            let again = tw
+                .service_burst(&mut traps, &mut sched, &req)
+                .expect("identical state must service identically");
+            assert!(again.replayed, "identical entry state must replay");
+            assert_eq!(again.chunks, first.chunks);
+            assert_eq!(again.words, first.words);
+            let replays_before = sched.replays();
+
+            // Arm 3: one perturbation of the entry state.
+            let (mut tw, mut traps) = build(&cfg, state_seed);
+            let mut rng = SplitMix64(0xface_0000 + iter);
+            let g = rng.next() % first.chunks;
+            let granule_pa = (req.pa.raw() & !(LINE - 1)) + g * LINE;
+            if rng.next() % 2 == 0 {
+                // Clear a trap bit inside the recorded run: the
+                // recomputed run shortens, so (k, words) cannot match.
+                tw.tw_clear_trap(&mut traps, PhysAddr::new(granule_pa), LINE);
+            } else {
+                // Insert a foreign line into a covered set (stride a
+                // multiple of sets × line keeps the set index): the
+                // verbatim slot comparison must fail.
+                let foreign = granule_pa + PAGES * PAGE * (1 + rng.next() % 8);
+                tw.tw_replace(Tid::new(2), VirtAddr::new(foreign), PhysAddr::new(foreign));
+            }
+            if let Some(third) = tw.service_burst(&mut traps, &mut sched, &req) {
+                assert!(
+                    !third.replayed,
+                    "perturbed entry state replayed a stale schedule \
+                     (iter {iter}, ways {})",
+                    cfg.associativity()
+                );
+            }
+            assert_eq!(
+                sched.replays(),
+                replays_before,
+                "perturbed service must not count a replay (iter {iter})"
+            );
+        }
+        // The suite only proves something if bursts actually recorded.
+        assert!(
+            recorded > ITERS / 2,
+            "too few recordable bursts ({recorded}/{ITERS}) — fuzz shapes degenerate"
+        );
+    }
+}

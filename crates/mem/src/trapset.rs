@@ -400,6 +400,36 @@ impl TrapMap {
         }
     }
 
+    /// Length of the run of consecutive trapped granules starting at
+    /// `pa`'s granule, capped at `max_granules`. The dual of
+    /// [`TrapMap::clean_span`]: where the resident-run fast path asks
+    /// "how far is everything clean?", the scheduled burst path asks
+    /// "how many granules in a row would trap?" so a whole miss burst
+    /// can be sized from a handful of word loads instead of one bitmap
+    /// probe per granule. Granules past the end of the map are never
+    /// trapped and end the run.
+    #[inline]
+    pub fn trapped_run(&self, pa: PhysAddr, max_granules: u64) -> u64 {
+        let g0 = pa.raw() >> self.shift;
+        if max_granules == 0 || g0 >= self.granules {
+            return 0;
+        }
+        let limit = g0.saturating_add(max_granules).min(self.granules);
+        let mut g = g0;
+        while g < limit {
+            // Ones where a granule is *clear*, shifted so bit 0 is `g`.
+            let clear = !self.bits.load((g / 64) as usize) >> (g % 64);
+            if clear == 0 {
+                // Trapped through the end of this word: keep scanning.
+                g = (g / 64 + 1) * 64;
+            } else {
+                g += u64::from(clear.trailing_zeros());
+                break;
+            }
+        }
+        g.min(limit) - g0
+    }
+
     /// Sets the trap on one granule by index. Returns `true` if it was
     /// previously clear.
     ///
@@ -873,6 +903,40 @@ mod tests {
         // Out-of-range addresses are never trapped: spans extend past
         // the covered region.
         assert_eq!(t.clean_span(PhysAddr::new(63 * 4096), 8 * 4096), 8 * 4096);
+    }
+
+    #[test]
+    fn trapped_run_measures_the_trapped_prefix() {
+        let mut t = TrapMap::new(64 * 4096, 16);
+        // Nothing trapped: zero-length run.
+        assert_eq!(t.trapped_run(PhysAddr::new(0), 256), 0);
+        // Granules 8..12 trapped.
+        t.set_range(PhysAddr::new(128), 64);
+        assert_eq!(t.trapped_run(PhysAddr::new(128), 256), 4);
+        assert_eq!(t.trapped_run(PhysAddr::new(144), 256), 3);
+        // Mid-granule starts count the containing granule.
+        assert_eq!(t.trapped_run(PhysAddr::new(130), 256), 4);
+        // The cap clips the run.
+        assert_eq!(t.trapped_run(PhysAddr::new(128), 2), 2);
+        assert_eq!(t.trapped_run(PhysAddr::new(128), 0), 0);
+        // A clear granule at the start means no run at all.
+        assert_eq!(t.trapped_run(PhysAddr::new(112), 256), 0);
+        // Runs crossing bitmap-word boundaries are walked word by word
+        // (granules 60..140 span three u64 words).
+        t.set_range(PhysAddr::new(60 * 16), 80 * 16);
+        assert_eq!(t.trapped_run(PhysAddr::new(60 * 16), 4096), 80);
+        assert_eq!(t.trapped_run(PhysAddr::new(64 * 16), 4096), 76);
+        // Exhaustive cross-check against a per-granule probe loop.
+        for g0 in 0..160u64 {
+            let pa = PhysAddr::new(g0 * 16);
+            let mut want = 0;
+            while g0 + want < t.granules() && t.is_trapped(PhysAddr::new((g0 + want) * 16)) {
+                want += 1;
+            }
+            assert_eq!(t.trapped_run(pa, u64::MAX), want, "run at granule {g0}");
+        }
+        // Out-of-range granules are never trapped.
+        assert_eq!(t.trapped_run(PhysAddr::new(1 << 40), 256), 0);
     }
 
     #[test]

@@ -77,6 +77,15 @@ pub enum CounterId {
     /// Simulated cells whose trial loop stopped early because the
     /// running confidence interval closed below the configured bound.
     CiEarlyStops,
+    /// Trap bursts answered by replaying a recorded miss schedule
+    /// (signature verified against live trap-run shape and set state).
+    SchedReplays,
+    /// Trap bursts serviced through the set-state table and recorded
+    /// into the per-trial miss-schedule cache.
+    SchedRecords,
+    /// Keyed schedule lookups whose recorded signature failed
+    /// verification, forcing a re-record instead of a replay.
+    SchedSigMisses,
 }
 
 impl CounterId {
@@ -90,7 +99,7 @@ impl CounterId {
     /// All counters, in registry (and JSON) order. New counters are
     /// appended, never reordered: slot indices are a stable ABI for the
     /// checkpoint codec and the Debug-prefix freeze above.
-    pub const ALL: [CounterId; 24] = [
+    pub const ALL: [CounterId; 27] = [
         CounterId::TrapEntries,
         CounterId::TrapsSet,
         CounterId::TrapsCleared,
@@ -115,6 +124,9 @@ impl CounterId {
         CounterId::CellsInterpolated,
         CounterId::TrialsSaved,
         CounterId::CiEarlyStops,
+        CounterId::SchedReplays,
+        CounterId::SchedRecords,
+        CounterId::SchedSigMisses,
     ];
 
     /// Stable slot index for array-backed storage.
@@ -150,6 +162,9 @@ impl CounterId {
             CounterId::CellsInterpolated => "cells_interpolated",
             CounterId::TrialsSaved => "trials_saved",
             CounterId::CiEarlyStops => "ci_early_stops",
+            CounterId::SchedReplays => "sched_replays",
+            CounterId::SchedRecords => "sched_records",
+            CounterId::SchedSigMisses => "sched_sig_misses",
         }
     }
 }

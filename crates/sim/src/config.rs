@@ -168,6 +168,14 @@ pub struct SystemConfig {
     /// differential tests); disabling it forces per-miss accounting,
     /// as does the `TW_BATCH=0` environment knob.
     pub miss_batch: bool,
+    /// Whether the batched burst path may service bursts through
+    /// set-state tables with miss-schedule record/replay (eligible
+    /// geometries only: physically indexed FIFO caches spanning at
+    /// least a page). Bit-identical to the stepwise burst loop
+    /// (pinned by differential tests); disabling it forces the
+    /// stepwise loop, as does the `TW_SCHED=0` environment knob.
+    /// Inert unless `miss_batch` is also on.
+    pub miss_schedule: bool,
     /// Whether the machine's physical state (trap bitmap, per-frame
     /// trap counts, VM frame refcounts) sits on demand-allocated
     /// chunked backing with zero-chunk dedup. Bit-identical to the
@@ -198,6 +206,7 @@ impl SystemConfig {
             write_policy: tapeworm_mem::WritePolicy::NoAllocateOnWrite,
             fast_path: true,
             miss_batch: true,
+            miss_schedule: true,
             sparse_mem: true,
         }
     }
@@ -270,6 +279,12 @@ impl SystemConfig {
     /// Enables or disables batched miss handling.
     pub fn with_miss_batch(mut self, enabled: bool) -> Self {
         self.miss_batch = enabled;
+        self
+    }
+
+    /// Enables or disables set-state/miss-schedule burst service.
+    pub fn with_miss_schedule(mut self, enabled: bool) -> Self {
+        self.miss_schedule = enabled;
         self
     }
 

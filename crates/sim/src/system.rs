@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use tapeworm_core::{SetSample, Tapeworm, TlbSim, TwoLevelTapeworm};
+use tapeworm_core::{BurstRequest, MissSchedule, SetSample, Tapeworm, TlbSim, TwoLevelTapeworm};
 use tapeworm_machine::{AccessKind, Component, FetchOutcome, Machine, MachineConfig, Monster};
 use tapeworm_mem::{
     ColoringAllocator, FrameAllocator, PhysAddr, RandomAllocator, SequentialAllocator, VirtAddr,
@@ -115,6 +115,10 @@ pub struct TrialScratch {
     machine: Option<tapeworm_machine::MachineScratch>,
     vm: Option<tapeworm_os::VmScratch>,
     data: Vec<DataRef>,
+    /// Miss-schedule cache allocations (map, entry table, arenas);
+    /// contents are cleared on reuse — the schedule itself is strictly
+    /// per-trial state.
+    sched: Option<MissSchedule>,
 }
 
 impl TrialScratch {
@@ -365,6 +369,12 @@ struct Engine<'c> {
     /// Batched miss handling enabled (`SystemConfig::miss_batch` and
     /// the `TW_BATCH` env knob both allow it).
     batch_enabled: bool,
+    /// Set-state/miss-schedule burst service enabled
+    /// (`SystemConfig::miss_schedule` and the `TW_SCHED` env knob both
+    /// allow it; rides on top of `batch_enabled`).
+    sched_enabled: bool,
+    /// Per-trial miss-schedule cache (record/replay store + counters).
+    sched: MissSchedule,
     /// Clean runs retired through the fast path.
     fast_runs: u64,
     /// Words retired through the fast path.
@@ -592,6 +602,13 @@ impl<'c> Engine<'c> {
             chunk_bytes,
             fast_enabled: cfg.fast_path && std::env::var("TW_FAST").map_or(true, |v| v != "0"),
             batch_enabled: cfg.miss_batch && std::env::var("TW_BATCH").map_or(true, |v| v != "0"),
+            sched_enabled: cfg.miss_schedule
+                && std::env::var("TW_SCHED").map_or(true, |v| v != "0"),
+            sched: {
+                let mut sched = std::mem::take(&mut scratch.sched).unwrap_or_default();
+                sched.clear();
+                sched
+            },
             fast_runs: 0,
             fast_words: 0,
             miss_batch_flushes: 0,
@@ -633,6 +650,7 @@ impl<'c> Engine<'c> {
         scratch.machine = Some(self.machine.into_scratch());
         scratch.vm = Some(self.os.into_scratch());
         scratch.data = self.data_scratch;
+        scratch.sched = Some(self.sched);
     }
 
     fn fork_user(&mut self) {
@@ -996,6 +1014,101 @@ impl<'c> Engine<'c> {
                         _ => None,
                     };
                     if let Some(tw) = tw {
+                        // Scheduled service: when the geometry admits
+                        // set-state tables (physically indexed FIFO,
+                        // set span >= page), size the whole burst from
+                        // the trap bitmap's word-level trapped run,
+                        // service it against the set-state table in
+                        // one pass — replaying a recorded miss
+                        // schedule when its signature matches — and
+                        // flush with one batched retire/advance. The
+                        // stepwise loop below remains the reference
+                        // path (and the fallback for ineligible
+                        // geometries, budget-starved entries and the
+                        // TW_SCHED=0 kill switch); the differential
+                        // suite pins the two bit-identical.
+                        if self.sched_enabled
+                            && tw.sched_eligible()
+                            && !self.machine.breakpoints_in(va, page_end - va.raw())
+                        {
+                            let ring_on = self.ring.enabled();
+                            let miss_ov = tw.miss_overhead_cycles();
+                            let req = BurstRequest {
+                                component,
+                                tid,
+                                va,
+                                pa,
+                                rem_words: remaining,
+                                page_end_va: page_end,
+                                budget_milli: self
+                                    .machine
+                                    .cycles_until_tick()
+                                    .saturating_mul(1000)
+                                    .saturating_sub(self.cpi_acc_milli),
+                                cpi_milli: cpi,
+                                dilate_ov_milli: if self.cfg.dilate {
+                                    miss_ov.saturating_mul(1000)
+                                } else {
+                                    0
+                                },
+                                masked: !self.machine.interrupts_enabled(),
+                                want_victims: ring_on,
+                            };
+                            let served =
+                                tw.service_burst(self.machine.traps_mut(), &mut self.sched, &req);
+                            if let Some(s) = served {
+                                if ring_on && !req.masked {
+                                    // Re-derive each miss's stepwise
+                                    // virtual timestamp from the CPI
+                                    // telescoping identity: the cycles
+                                    // burst before chunk i are
+                                    // floor((acc0 + prefix_i)/1000),
+                                    // plus i dilated miss overheads.
+                                    let now = self.machine.now();
+                                    let vpn_ev = va.page_number(self.page_bytes);
+                                    let mut prefix_milli = self.cpi_acc_milli;
+                                    let mut rem_w = remaining;
+                                    let mut cva = va;
+                                    for (i, victim) in self.sched.last_burst_victims().enumerate() {
+                                        let cycle = now
+                                            + prefix_milli / 1000
+                                            + if self.cfg.dilate {
+                                                i as u64 * miss_ov
+                                            } else {
+                                                0
+                                            };
+                                        self.ring.record(TrapEvent {
+                                            cycle,
+                                            tid: tid.raw(),
+                                            vpn: vpn_ev,
+                                            kind: TrapKind::IFetch,
+                                            victim,
+                                        });
+                                        let cend =
+                                            cva.line_base(self.chunk_bytes) + self.chunk_bytes;
+                                        let cw = rem_w.min((cend - cva) / tapeworm_mem::WORD_BYTES);
+                                        prefix_milli += cw * cpi;
+                                        rem_w -= cw;
+                                        cva += cw * tapeworm_mem::WORD_BYTES;
+                                    }
+                                }
+                                // Machine-side flush: one batched
+                                // retire + trap/breakpoint counters,
+                                // one deferred advance (the budget
+                                // pre-check inside service_burst
+                                // guarantees it fires no tick).
+                                self.machine.retire_trapped_burst(s.words, s.chunks);
+                                self.cpi_acc_milli += s.words * cpi;
+                                let burst_cycles = self.cpi_acc_milli / 1000;
+                                self.cpi_acc_milli %= 1000;
+                                self.monster.record(component, s.words, burst_cycles);
+                                self.miss_batch_flushes += 1;
+                                self.advance(burst_cycles, s.overhead_cycles)?;
+                                va += s.words * tapeworm_mem::WORD_BYTES;
+                                remaining -= s.words;
+                                continue;
+                            }
+                        }
                         let ring_on = self.ring.enabled();
                         let delta = pa.raw().wrapping_sub(va.raw());
                         let dilate_ov_milli = if self.cfg.dilate {
@@ -1340,6 +1453,9 @@ impl<'c> Engine<'c> {
         counters.add(CounterId::SparseChunksAllocated, sparse.chunks_allocated);
         counters.add(CounterId::ZeroChunksDeduped, sparse.zero_chunks_deduped);
         counters.add(CounterId::ChunkFaults, sparse.chunk_faults);
+        counters.add(CounterId::SchedReplays, self.sched.replays());
+        counters.add(CounterId::SchedRecords, self.sched.records());
+        counters.add(CounterId::SchedSigMisses, self.sched.sig_misses());
 
         let mut phases = PhaseCycles::new();
         phases.add(Phase::Kernel, self.monster.cycles(Component::Kernel));

@@ -94,10 +94,18 @@ fn fast_path_is_bit_identical_to_slow_path() {
             for (id, sv) in sm.counters.iter() {
                 // The miss-burst flush tally rides the fast path
                 // (bursts only form where the batched clean-run scan
-                // runs), so it differs with the fast path off too.
+                // runs), so it differs with the fast path off too —
+                // as do the miss-schedule tallies and the victim memo,
+                // which the schedule path replaces wholesale.
                 if matches!(
                     id,
-                    CounterId::FastRuns | CounterId::FastWords | CounterId::MissBatchFlushes
+                    CounterId::FastRuns
+                        | CounterId::FastWords
+                        | CounterId::MissBatchFlushes
+                        | CounterId::VictimMemoHits
+                        | CounterId::SchedReplays
+                        | CounterId::SchedRecords
+                        | CounterId::SchedSigMisses
                 ) {
                     continue;
                 }

@@ -83,6 +83,9 @@ fn batch_bookkeeping(id: CounterId) -> bool {
             | CounterId::VictimMemoHits
             | CounterId::FastRuns
             | CounterId::FastWords
+            | CounterId::SchedReplays
+            | CounterId::SchedRecords
+            | CounterId::SchedSigMisses
     )
 }
 
@@ -164,6 +167,11 @@ fn miss_batch_engages_exactly_where_expected() {
         m.counters.get(CounterId::MissBatchFlushes) > 0,
         "miss-rich config never flushed a batch"
     );
+    // The victim memo only services bursts when the miss schedule is
+    // not short-circuiting them, so pin its engagement with the
+    // schedule disabled.
+    let memo_cfg = cfg.clone().with_miss_schedule(false);
+    let (_, m) = run_trial_observed(&memo_cfg, base, trial, ObsConfig::default());
     assert!(
         m.counters.get(CounterId::VictimMemoHits) > 0,
         "batch never reused a memoized victim"
